@@ -1,0 +1,185 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   offers Bechamel micro-benchmarks of the substrates (--perf).
+
+   Usage:
+     dune exec bench/main.exe                    # everything, reduced scale
+     dune exec bench/main.exe -- table3 fig2     # selected experiments
+     dune exec bench/main.exe -- --full table3   # paper-scale datasets
+     dune exec bench/main.exe -- --ids 0-9 fig5_6
+     dune exec bench/main.exe -- --perf          # substrate micro-benches *)
+
+module E = Contest.Experiments
+
+let all_experiments =
+  [ "table3"; "fig1"; "fig2"; "fig3"; "fig4"; "table4"; "fig16_17"; "table5";
+    "table6"; "table7"; "fig5_6"; "fig7"; "fig11_12"; "fig21"; "fig32_33"; "fig26_27"; "appendix_bdd"; "ablations" ]
+
+let needs_shared_run = [ "table3"; "fig2"; "fig3"; "fig4"; "fig32_33" ]
+
+(* The standalone studies retrain models per benchmark; by default they run
+   on a representative spread (about two per category) instead of all 100. *)
+let standalone_default_ids =
+  [ 0; 1; 8; 12; 19; 20; 29; 30; 39; 40; 47; 50; 59; 63; 70; 74; 75; 80; 85;
+    90; 95 ]
+
+let parse_ids spec =
+  String.split_on_char ',' spec
+  |> List.concat_map (fun part ->
+         match String.index_opt part '-' with
+         | Some i ->
+             let lo = int_of_string (String.sub part 0 i) in
+             let hi =
+               int_of_string (String.sub part (i + 1) (String.length part - i - 1))
+             in
+             List.init (hi - lo + 1) (fun k -> lo + k)
+         | None -> [ int_of_string part ])
+  |> List.filter (fun id -> id >= 0 && id <= 99)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  let open Bechamel in
+  let open Toolkit in
+  let inst =
+    Benchgen.Suite.instantiate ~sizes:Benchgen.Suite.reduced_sizes ~seed:1
+      (Benchgen.Suite.benchmark 30)
+  in
+  let train = inst.Benchgen.Suite.train in
+  let parity_aig =
+    let g = Aig.Graph.create ~num_inputs:20 in
+    Aig.Graph.set_output g
+      (List.fold_left (Aig.Graph.xor_ g) Aig.Graph.const_false
+         (List.init 20 (Aig.Graph.input g)));
+    g
+  in
+  let st = Random.State.make [| 42 |] in
+  let columns = Aig.Sim.random_patterns st ~num_inputs:20 ~num_patterns:6400 in
+  let tests =
+    [ Test.make ~name:"aig-sim-6400pat"
+        (Staged.stage (fun () -> ignore (Aig.Sim.simulate parity_aig columns)));
+      Test.make ~name:"dtree-train-depth8"
+        (Staged.stage (fun () ->
+             ignore
+               (Dtree.Train.train
+                  { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 }
+                  train)));
+      Test.make ~name:"espresso-1pass"
+        (Staged.stage (fun () ->
+             let config =
+               { Sop.Espresso.default_config with Sop.Espresso.max_passes = 1 }
+             in
+             ignore (Sop.Espresso.minimize ~config train)));
+      Test.make ~name:"lutnet-train-4x32"
+        (Staged.stage (fun () -> ignore (Lutnet.train Lutnet.default_params train)));
+      Test.make ~name:"forest-train-9x8"
+        (Staged.stage (fun () ->
+             let rng = Random.State.make [| 9 |] in
+             ignore
+               (Forest.Bagging.train ~rng
+                  { Forest.Bagging.default_params with Forest.Bagging.num_trees = 9 }
+                  train)))
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    List.map (fun i -> Analyze.all ols i raw_results) instances
+  in
+  Contest.Report.heading "Substrate micro-benchmarks (bechamel)";
+  let results =
+    benchmark (Test.make_grouped ~name:"lsml" ~fmt:"%s %s" tests)
+  in
+  List.iter
+    (fun result ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-28s %12.0f ns/run\n" name t
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        result)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let perf_only = List.mem "--perf" args in
+  let rec extract_opt name = function
+    | flag :: value :: rest when flag = name -> Some (value, rest)
+    | x :: rest -> (
+        match extract_opt name rest with
+        | Some (v, r) -> Some (v, x :: r)
+        | None -> None)
+    | [] -> None
+  in
+  let ids_override, args =
+    match extract_opt "--ids" args with
+    | Some (spec, rest) -> (Some (parse_ids spec), rest)
+    | None -> (None, args)
+  in
+  let seed, args =
+    match extract_opt "--seed" args with
+    | Some (spec, rest) -> (int_of_string spec, rest)
+    | None -> (1, args)
+  in
+  let selected =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  let selected = if selected = [] then all_experiments else selected in
+  List.iter
+    (fun e ->
+      if not (List.mem e all_experiments) then begin
+        Printf.eprintf "unknown experiment %s; available: %s\n" e
+          (String.concat " " all_experiments);
+        exit 2
+      end)
+    selected;
+  if perf_only then perf ()
+  else begin
+    let shared_config = E.config_with ~full ?ids:ids_override ~seed () in
+    let standalone_config =
+      E.config_with ~full
+        ~ids:(Option.value ~default:standalone_default_ids ids_override)
+        ~seed ()
+    in
+    let shared =
+      if List.exists (fun e -> List.mem e needs_shared_run) selected then
+        Some (E.run_suite shared_config)
+      else None
+    in
+    let with_shared f = match shared with Some run -> f run | None -> () in
+    List.iter
+      (fun e ->
+        match e with
+        | "table3" -> with_shared E.table3
+        | "fig1" -> E.fig1 ()
+        | "fig2" -> with_shared E.fig2
+        | "fig3" -> with_shared E.fig3
+        | "fig4" -> with_shared E.fig4
+        | "table4" | "fig16_17" ->
+            (* one driver regenerates both; avoid running it twice *)
+            if e = "table4" || not (List.mem "table4" selected) then
+              E.table4_fig16_17 standalone_config
+        | "table5" -> E.table5 standalone_config
+        | "table6" -> E.table6 standalone_config
+        | "table7" -> E.table7_cgp standalone_config
+        | "fig5_6" -> E.fig5_6 standalone_config
+        | "fig7" -> E.fig7 standalone_config
+        | "fig11_12" -> E.fig11_12 standalone_config
+        | "fig21" -> E.fig21 standalone_config
+        | "fig32_33" -> with_shared E.fig32_33
+        | "fig26_27" -> E.fig26_27 standalone_config
+        | "appendix_bdd" -> E.appendix_bdd standalone_config
+        | "ablations" -> E.ablations standalone_config
+        | _ -> assert false)
+      selected
+  end

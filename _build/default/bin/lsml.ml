@@ -1,0 +1,215 @@
+(* Command-line interface: generate contest benchmarks as PLA files, run a
+   team solver on PLA data, and evaluate AAG circuits against PLA data. *)
+
+open Cmdliner
+
+module S = Benchgen.Suite
+
+let solver_of_name name =
+  List.find_opt (fun (t : Contest.Solver.t) -> t.Contest.Solver.name = name)
+    Contest.Teams.all
+
+let sizes_of_full full = if full then S.contest_sizes else S.reduced_sizes
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Array.iter
+      (fun (b : S.benchmark) ->
+        Printf.printf "%s  %-10s  %3d inputs  %s\n" b.S.name
+          (S.category_name b.S.category)
+          b.S.num_inputs b.S.description)
+      S.benchmarks
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 100 contest benchmarks.")
+    Term.(const run $ const ())
+
+(* ---- generate ---- *)
+
+let id_arg =
+  Arg.(required & opt (some int) None & info [ "id" ] ~docv:"N" ~doc:"Benchmark id (0-99).")
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale 6400-sample datasets.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+
+let out_dir_arg =
+  Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let generate_cmd =
+  let run id full seed dir =
+    let b = S.benchmark id in
+    let inst = S.instantiate ~sizes:(sizes_of_full full) ~seed b in
+    let write suffix d =
+      let path = Filename.concat dir (Printf.sprintf "%s.%s.pla" b.S.name suffix) in
+      Data.Pla.write_file path (Data.Pla.of_dataset d);
+      Printf.printf "wrote %s (%d samples)\n" path (Data.Dataset.num_samples d)
+    in
+    write "train" inst.S.train;
+    write "valid" inst.S.valid;
+    write "test" inst.S.test
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Sample a benchmark's train/valid/test sets as PLA files.")
+    Term.(const run $ id_arg $ full_arg $ seed_arg $ out_dir_arg)
+
+(* ---- solve ---- *)
+
+let team_arg =
+  Arg.(
+    value
+    & opt string "team1"
+    & info [ "team" ] ~docv:"TEAM" ~doc:"Solver: team1 .. team10.")
+
+let pla_arg name doc =
+  Arg.(required & opt (some file) None & info [ name ] ~docv:"FILE.pla" ~doc)
+
+let solve_cmd =
+  let run team train valid out =
+    match solver_of_name team with
+    | None ->
+        Printf.eprintf "unknown team %s\n" team;
+        exit 2
+    | Some solver ->
+        let train = Data.Pla.to_dataset (Data.Pla.read_file train) in
+        let valid = Data.Pla.to_dataset (Data.Pla.read_file valid) in
+        (* Wrap the PLA data as an instance; the solver never reads the
+           test set, so an empty placeholder is enough. *)
+        let placeholder, _ = Data.Dataset.split_at valid 0 in
+        let spec =
+          {
+            S.id = 0;
+            name = "user";
+            category = S.Logic_cone;
+            num_inputs = Data.Dataset.num_inputs train;
+            description = "user-supplied PLA";
+          }
+        in
+        let inst = { S.spec; train; valid; test = placeholder } in
+        let r = solver.Contest.Solver.solve inst in
+        let aig = Aig.Opt.cleanup r.Contest.Solver.aig in
+        Aig.Io.write_file out aig;
+        Printf.printf "technique=%s gates=%d levels=%d valid-acc=%.4f -> %s\n"
+          r.Contest.Solver.technique (Aig.Graph.num_ands aig)
+          (Aig.Graph.levels aig)
+          (Contest.Solver.evaluate aig valid)
+          out
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Learn an AIG from training/validation PLA files with a team solver.")
+    Term.(
+      const run $ team_arg
+      $ pla_arg "train" "Training set (PLA)."
+      $ pla_arg "valid" "Validation set (PLA)."
+      $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG."))
+
+(* ---- eval ---- *)
+
+let eval_cmd =
+  let run aag pla =
+    let g = Aig.Io.read_file aag in
+    let d = Data.Pla.to_dataset (Data.Pla.read_file pla) in
+    Printf.printf "accuracy=%.4f gates=%d levels=%d\n"
+      (Contest.Solver.evaluate g d)
+      (Aig.Graph.num_ands (Aig.Opt.cleanup g))
+      (Aig.Graph.levels g)
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate an AAG circuit against a PLA dataset.")
+    Term.(
+      const run
+      $ Arg.(required & opt (some file) None & info [ "aig" ] ~docv:"FILE.aag" ~doc:"Circuit.")
+      $ pla_arg "pla" "Dataset (PLA).")
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run aag do_balance =
+    let g = Aig.Io.read_file aag in
+    let g = Aig.Opt.cleanup g in
+    Printf.printf "inputs=%d gates=%d levels=%d\n" (Aig.Graph.num_inputs g)
+      (Aig.Graph.num_ands g) (Aig.Graph.levels g);
+    if do_balance then begin
+      let b = Aig.Opt.balance g in
+      Printf.printf "balanced: gates=%d levels=%d\n" (Aig.Graph.num_ands b)
+        (Aig.Graph.levels b)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print AIG statistics for an AAG file.")
+    Term.(
+      const run
+      $ Arg.(required & opt (some file) None & info [ "aig" ] ~docv:"FILE.aag" ~doc:"Circuit.")
+      $ Arg.(value & flag & info [ "balance" ] ~doc:"Also report the level-balanced size/depth."))
+
+(* ---- pareto ---- *)
+
+let pareto_cmd =
+  let run id full seed =
+    let b = S.benchmark id in
+    let inst = S.instantiate ~sizes:(sizes_of_full full) ~seed b in
+    let train = inst.S.train in
+    let num_inputs = b.S.num_inputs in
+    let rng = Random.State.make [| seed |] in
+    let candidates =
+      [ ( "dt8",
+          Synth.Tree_synth.aig_of_tree ~num_inputs
+            (Dtree.Train.train
+               { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 }
+               train) );
+        ( "forest",
+          Forest.Bagging.to_aig ~num_inputs
+            (Forest.Bagging.train ~rng Forest.Bagging.default_params train) );
+        ("lutnet", Lutnet.to_aig (Lutnet.train Lutnet.default_params train)) ]
+    in
+    let front = Contest.Solver.pareto_front ~valid:inst.S.valid ~seed candidates in
+    Printf.printf "%8s  %10s  %10s  %s\n" "gates" "valid acc" "test acc" "source";
+    List.iter
+      (fun (p : Contest.Solver.pareto_point) ->
+        Printf.printf "%8d  %10.4f  %10.4f  %s\n" p.Contest.Solver.gates
+          p.Contest.Solver.accuracy
+          (Contest.Solver.evaluate p.Contest.Solver.circuit inst.S.test)
+          p.Contest.Solver.source)
+      front
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:
+         "Print the accuracy/area Pareto front for a benchmark (the paper's \
+          proposed trade-off extension).")
+    Term.(const run $ id_arg $ full_arg $ seed_arg)
+
+(* ---- run (end to end) ---- *)
+
+let run_cmd =
+  let run id team full seed =
+    match solver_of_name team with
+    | None ->
+        Printf.eprintf "unknown team %s\n" team;
+        exit 2
+    | Some solver ->
+        let b = S.benchmark id in
+        let inst = S.instantiate ~sizes:(sizes_of_full full) ~seed b in
+        let r = solver.Contest.Solver.solve inst in
+        let m = Contest.Score.measure inst r in
+        Printf.printf
+          "%s %s: technique=%s test-acc=%.4f valid-acc=%.4f gates=%d levels=%d\n"
+          solver.Contest.Solver.name b.S.name m.Contest.Score.technique
+          m.Contest.Score.test_acc m.Contest.Score.valid_acc
+          m.Contest.Score.gates m.Contest.Score.levels
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a team solver on a generated benchmark end to end.")
+    Term.(const run $ id_arg $ team_arg $ full_arg $ seed_arg)
+
+let () =
+  let doc = "learning incompletely-specified Boolean functions (IWLS 2020 contest)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lsml" ~doc)
+          [ list_cmd; generate_cmd; solve_cmd; eval_cmd; run_cmd; pareto_cmd;
+            stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/approx_tradeoff.ml: Aig Array Benchgen Data Forest List Printf Random Sys

@@ -1,0 +1,1 @@
+examples/multi_output.ml: Aig Array Benchgen Data Dtree List Printf Random Synth

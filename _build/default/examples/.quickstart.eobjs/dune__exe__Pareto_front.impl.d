@@ -1,0 +1,1 @@
+examples/pareto_front.ml: Array Benchgen Contest Dtree Forest List Lutnet Printf Random Synth Sys

@@ -1,0 +1,1 @@
+examples/portfolio.ml: Aig Array Benchgen Data Dtree Forest List Lutnet Printf Random Sop Synth Sys

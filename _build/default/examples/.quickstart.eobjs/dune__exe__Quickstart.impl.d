@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Array Data Dtree Format List Printf Random Synth

@@ -1,0 +1,1 @@
+examples/standard_functions.ml: Aig Benchgen Data Dtree Fmatch List Printf Synth

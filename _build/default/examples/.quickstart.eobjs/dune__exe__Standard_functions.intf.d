@@ -1,0 +1,1 @@
+examples/standard_functions.mli:

@@ -1,0 +1,52 @@
+(* Accuracy-size trade-off (the paper's headline observation): sacrificing
+   a little accuracy halves the circuit, here demonstrated by sweeping the
+   node budget of the simulation-based approximation pass on a random
+   forest learned from a contest benchmark.
+
+   Run with: dune exec examples/approx_tradeoff.exe [benchmark-id] *)
+
+let () =
+  let id =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 85
+  in
+  let b = Benchgen.Suite.benchmark id in
+  let inst =
+    Benchgen.Suite.instantiate ~sizes:Benchgen.Suite.reduced_sizes ~seed:7 b
+  in
+  Printf.printf "benchmark %s: %s (%d inputs)\n" b.Benchgen.Suite.name
+    b.Benchgen.Suite.description b.Benchgen.Suite.num_inputs;
+
+  let rng = Random.State.make [| 7 |] in
+  let forest =
+    Forest.Bagging.train ~rng Forest.Bagging.default_params
+      inst.Benchgen.Suite.train
+  in
+  let full =
+    Aig.Opt.cleanup
+      (Forest.Bagging.to_aig ~num_inputs:b.Benchgen.Suite.num_inputs forest)
+  in
+  let test_acc aig =
+    Aig.Sim.accuracy aig
+      (Data.Dataset.columns inst.Benchgen.Suite.test)
+      (Data.Dataset.outputs inst.Benchgen.Suite.test)
+  in
+  Printf.printf "full circuit: %d gates, test accuracy %.4f\n\n"
+    (Aig.Graph.num_ands full) (test_acc full);
+
+  Printf.printf "%8s  %8s  %s\n" "budget" "gates" "test accuracy";
+  let budgets = [ 2000; 1000; 500; 250; 125; 60; 30 ] in
+  List.iter
+    (fun budget ->
+      if budget < Aig.Graph.num_ands full then begin
+        let st = Random.State.make [| 7; budget |] in
+        (* Rank node constancy on the data distribution: on image-like
+           benchmarks uniform stimuli mislead the approximation. *)
+        let shrunk, _ =
+          Aig.Approx.approximate
+            ~patterns:(Data.Dataset.columns inst.Benchgen.Suite.valid)
+            st full ~budget
+        in
+        Printf.printf "%8d  %8d  %.4f\n" budget (Aig.Graph.num_ands shrunk)
+          (test_acc shrunk)
+      end)
+    budgets

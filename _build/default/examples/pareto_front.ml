@@ -1,0 +1,45 @@
+(* The paper's proposed future extension: instead of a single circuit,
+   produce the whole accuracy/area trade-off.  We gather candidate models
+   of different families, sweep them through budgeted approximation, and
+   print the non-dominated front.
+
+   Run with: dune exec examples/pareto_front.exe [benchmark-id] *)
+
+let () =
+  let id =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 82
+  in
+  let b = Benchgen.Suite.benchmark id in
+  let inst =
+    Benchgen.Suite.instantiate ~sizes:Benchgen.Suite.reduced_sizes ~seed:9 b
+  in
+  let train = inst.Benchgen.Suite.train in
+  let num_inputs = b.Benchgen.Suite.num_inputs in
+  Printf.printf "benchmark %s: %s (%d inputs)\n\n" b.Benchgen.Suite.name
+    b.Benchgen.Suite.description num_inputs;
+
+  let rng = Random.State.make [| 9 |] in
+  let candidates =
+    [ ( "dt8",
+        Synth.Tree_synth.aig_of_tree ~num_inputs
+          (Dtree.Train.train
+             { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 }
+             train) );
+      ( "forest",
+        Forest.Bagging.to_aig ~num_inputs
+          (Forest.Bagging.train ~rng Forest.Bagging.default_params train) );
+      ("lutnet", Lutnet.to_aig (Lutnet.train Lutnet.default_params train)) ]
+  in
+  let front =
+    Contest.Solver.pareto_front ~valid:inst.Benchgen.Suite.valid ~seed:9
+      candidates
+  in
+  Printf.printf "%8s  %10s  %10s  %s\n" "gates" "valid acc" "test acc" "source";
+  List.iter
+    (fun (p : Contest.Solver.pareto_point) ->
+      let test_acc =
+        Contest.Solver.evaluate p.Contest.Solver.circuit inst.Benchgen.Suite.test
+      in
+      Printf.printf "%8d  %10.4f  %10.4f  %s\n" p.Contest.Solver.gates
+        p.Contest.Solver.accuracy test_acc p.Contest.Solver.source)
+    front

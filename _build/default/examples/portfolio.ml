@@ -1,0 +1,70 @@
+(* A miniature contest: run several learning techniques on one benchmark
+   and compare accuracy and circuit size — the "no single technique
+   dominates, pick per benchmark" finding of the paper.
+
+   Run with: dune exec examples/portfolio.exe [benchmark-id] *)
+
+let () =
+  let id =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 31
+  in
+  let b = Benchgen.Suite.benchmark id in
+  let inst =
+    Benchgen.Suite.instantiate ~sizes:Benchgen.Suite.reduced_sizes ~seed:3 b
+  in
+  let train = inst.Benchgen.Suite.train in
+  let num_inputs = b.Benchgen.Suite.num_inputs in
+  Printf.printf "benchmark %s: %s (%d inputs)\n\n" b.Benchgen.Suite.name
+    b.Benchgen.Suite.description num_inputs;
+
+  let candidates =
+    let dt =
+      let t =
+        Dtree.Train.train
+          { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 }
+          train
+      in
+      ("decision tree (d8)", Synth.Tree_synth.aig_of_tree ~num_inputs t)
+    in
+    let forest =
+      let rng = Random.State.make [| 1 |] in
+      ( "random forest (17x8)",
+        Forest.Bagging.to_aig ~num_inputs
+          (Forest.Bagging.train ~rng Forest.Bagging.default_params train) )
+    in
+    let boost =
+      let model =
+        Forest.Boosting.train
+          { Forest.Boosting.default_params with Forest.Boosting.num_trees = 31 }
+          train
+      in
+      ("boosted trees (31x5)", Forest.Boosting.to_aig ~num_inputs model)
+    in
+    let lutnet =
+      ("lut network (4x32)", Lutnet.to_aig (Lutnet.train Lutnet.default_params train))
+    in
+    let espresso =
+      if num_inputs > 40 then []
+      else begin
+        let config =
+          { Sop.Espresso.default_config with Sop.Espresso.max_passes = 1 }
+        in
+        let cover, complemented = Sop.Espresso.minimize_best_polarity ~config train in
+        [ ("espresso", Synth.Sop_synth.aig_of_cover ~complemented cover) ]
+      end
+    in
+    [ dt; forest; boost; lutnet ] @ espresso
+  in
+  Printf.printf "%-22s  %9s  %9s  %6s  %6s\n" "technique" "train acc" "test acc"
+    "gates" "levels";
+  List.iter
+    (fun (name, aig) ->
+      let aig = Aig.Opt.cleanup aig in
+      let acc d =
+        Aig.Sim.accuracy aig (Data.Dataset.columns d) (Data.Dataset.outputs d)
+      in
+      Printf.printf "%-22s  %9.4f  %9.4f  %6d  %6d\n" name
+        (acc inst.Benchgen.Suite.train)
+        (acc inst.Benchgen.Suite.test)
+        (Aig.Graph.num_ands aig) (Aig.Graph.levels aig))
+    candidates

@@ -1,0 +1,43 @@
+(* Quickstart: learn an incompletely specified Boolean function from
+   labelled minterms, synthesize an AIG, and inspect it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* The hidden function is a 3-out-of-5 majority; we only observe 40 of
+     the 32 possible minterms (with repeats), i.e. an incompletely
+     specified function. *)
+  let st = Random.State.make [| 2024 |] in
+  let hidden bits =
+    Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 bits >= 3
+  in
+  let rows =
+    List.init 40 (fun _ ->
+        let bits = Array.init 5 (fun _ -> Random.State.bool st) in
+        (bits, hidden bits))
+  in
+  let data = Data.Dataset.create ~num_inputs:5 rows in
+  let train, valid = Data.Dataset.split_ratio st data ~ratio:0.75 in
+
+  (* 1. Learn a decision tree. *)
+  let tree = Dtree.Train.train Dtree.Train.default_params train in
+  Printf.printf "decision tree: %d nodes, depth %d\n" (Dtree.Tree.num_nodes tree)
+    (Dtree.Tree.depth tree);
+  Printf.printf "train accuracy: %.2f  validation accuracy: %.2f\n"
+    (Dtree.Train.accuracy tree train)
+    (Dtree.Train.accuracy tree valid);
+
+  (* 2. Synthesize it into an And-Inverter Graph. *)
+  let aig = Synth.Tree_synth.aig_of_tree ~num_inputs:5 tree in
+  Format.printf "%a@." Aig.Graph.pp_stats aig;
+
+  (* 3. Check the circuit against the true function on all 32 minterms. *)
+  let correct = ref 0 in
+  for i = 0 to 31 do
+    let bits = Array.init 5 (fun k -> i lsr k land 1 = 1) in
+    if Aig.Graph.eval aig bits = hidden bits then incr correct
+  done;
+  Printf.printf "exhaustive accuracy vs hidden function: %d/32\n" !correct;
+
+  (* 4. Serialize to the AIGER ASCII format. *)
+  print_string (Aig.Io.to_string aig)

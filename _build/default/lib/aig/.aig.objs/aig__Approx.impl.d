@@ -1,0 +1,1 @@
+lib/aig/approx.ml: Array Graph Hashtbl List Opt Sim Words

@@ -1,0 +1,1 @@
+lib/aig/approx.mli: Graph Random Words

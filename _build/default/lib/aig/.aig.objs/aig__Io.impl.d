@@ -1,0 +1,1 @@
+lib/aig/io.ml: Array Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/aig/io.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/multi.ml: Array Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/aig/multi.mli: Graph

@@ -1,0 +1,40 @@
+(** Node-budget approximation (Team 1's method).
+
+    When an AIG exceeds the node budget, simulate it with random input
+    patterns and replace the internal node that is most often constant by
+    that constant (complemented nodes count as constant-1 replacements),
+    excluding nodes whose level is within [protect_levels] of the output.
+    Repeat until the budget is met.  Accuracy typically degrades a few
+    percent while removing thousands of nodes. *)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  replacements : int;
+}
+
+val approximate :
+  ?num_patterns:int ->
+  ?patterns:Words.t array ->
+  ?protect_levels:int ->
+  ?batch_divisor:int ->
+  Random.State.t ->
+  Graph.t ->
+  budget:int ->
+  Graph.t * stats
+(** [approximate st g ~budget] returns a cleaned-up graph whose reachable
+    AND count is at most [budget] (always achievable: in the limit the
+    output itself becomes a constant).  [num_patterns] defaults to 1024,
+    [protect_levels] to 4; when the result collapses to a constant the
+    level threshold is re-explored with more protection, as the paper
+    describes ("explored through try and error").
+
+    Each iteration replaces a batch of [excess / batch_divisor] nodes
+    (default divisor 8) before re-simulating; larger divisors approach the
+    paper's one-node-at-a-time loop — slower but gentler on accuracy.
+
+    [patterns] supplies the simulation stimuli (input columns) used to
+    rank nodes by constancy.  Default: uniform random patterns, the
+    paper's choice.  When the data distribution is far from uniform (the
+    image benchmarks), pass dataset columns — a node that is constant
+    under uniform stimuli can be decisive on the real distribution. *)

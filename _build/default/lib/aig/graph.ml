@@ -1,0 +1,164 @@
+type lit = int
+
+type t = {
+  num_inputs : int;
+  mutable fan0 : int array;  (* fan-in literals of AND vars, indexed by   *)
+  mutable fan1 : int array;  (* var - first_and_var                        *)
+  mutable n_ands : int;
+  strash : (int * int, int) Hashtbl.t;  (* (fan0, fan1) -> AND var *)
+  mutable out : lit;
+}
+
+let const_false = 0
+let const_true = 1
+
+let lit_not l = l lxor 1
+let lit_notif l c = if c then l lxor 1 else l
+let var_of_lit l = l lsr 1
+let is_complemented l = l land 1 = 1
+let lit_of_var v c = (v lsl 1) lor (if c then 1 else 0)
+
+let create ~num_inputs =
+  if num_inputs < 0 then invalid_arg "Graph.create: negative input count";
+  {
+    num_inputs;
+    fan0 = Array.make 16 0;
+    fan1 = Array.make 16 0;
+    n_ands = 0;
+    strash = Hashtbl.create 64;
+    out = const_false;
+  }
+
+let num_inputs g = g.num_inputs
+let num_ands g = g.n_ands
+let num_vars g = 1 + g.num_inputs + g.n_ands
+let first_and_var g = 1 + g.num_inputs
+
+let input g i =
+  if i < 0 || i >= g.num_inputs then invalid_arg "Graph.input: index out of range";
+  lit_of_var (1 + i) false
+
+let is_input_var g v = v >= 1 && v <= g.num_inputs
+let is_and_var g v = v >= first_and_var g && v < num_vars g
+
+let fanins g v =
+  if not (is_and_var g v) then invalid_arg "Graph.fanins: not an AND variable";
+  let i = v - first_and_var g in
+  (g.fan0.(i), g.fan1.(i))
+
+let grow g =
+  if g.n_ands = Array.length g.fan0 then begin
+    let n = 2 * Array.length g.fan0 in
+    let f0 = Array.make n 0 and f1 = Array.make n 0 in
+    Array.blit g.fan0 0 f0 0 g.n_ands;
+    Array.blit g.fan1 0 f1 0 g.n_ands;
+    g.fan0 <- f0;
+    g.fan1 <- f1
+  end
+
+let and_ g a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const_false then const_false
+  else if a = const_true then b
+  else if a = b then a
+  else if a = lit_not b then const_false
+  else
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some v -> lit_of_var v false
+    | None ->
+        grow g;
+        let v = first_and_var g + g.n_ands in
+        g.fan0.(g.n_ands) <- a;
+        g.fan1.(g.n_ands) <- b;
+        g.n_ands <- g.n_ands + 1;
+        Hashtbl.add g.strash (a, b) v;
+        lit_of_var v false
+
+let or_ g a b = lit_not (and_ g (lit_not a) (lit_not b))
+
+let xor_ g a b =
+  (* a XOR b = NOT (NOT(a AND NOT b) AND NOT(NOT a AND b)) *)
+  let p = and_ g a (lit_not b) and q = and_ g (lit_not a) b in
+  or_ g p q
+
+let xnor_ g a b = lit_not (xor_ g a b)
+
+let mux g ~sel ~t1 ~t0 =
+  let p = and_ g sel t1 and q = and_ g (lit_not sel) t0 in
+  or_ g p q
+
+(* Balanced reduction keeps the level count logarithmic. *)
+let rec reduce_balanced g op neutral = function
+  | [] -> neutral
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | a :: b :: rest -> op g a b :: pair rest
+        | tail -> tail
+      in
+      reduce_balanced g op neutral (pair xs)
+
+let and_list g ls = reduce_balanced g and_ const_true ls
+let or_list g ls = reduce_balanced g or_ const_false ls
+
+let set_output g l =
+  if var_of_lit l >= num_vars g then invalid_arg "Graph.set_output: unknown literal";
+  g.out <- l
+
+let output g = g.out
+
+let import g ~src =
+  if num_inputs src <> num_inputs g then
+    invalid_arg "Graph.import: input count mismatch";
+  (* Map every src variable reachable from src's output to a literal in g. *)
+  let map = Array.make (num_vars src) (-1) in
+  map.(0) <- const_false;
+  for i = 0 to num_inputs src - 1 do
+    map.(1 + i) <- input g i
+  done;
+  let first = first_and_var src in
+  let lit_in_g l =
+    let m = map.(var_of_lit l) in
+    assert (m >= 0);
+    lit_notif m (is_complemented l)
+  in
+  (* AND vars are stored in topological order, so one forward pass maps all
+     of them; unreachable nodes are mapped too, which only costs work. *)
+  for i = 0 to num_ands src - 1 do
+    let a = src.fan0.(i) and b = src.fan1.(i) in
+    map.(first + i) <- and_ g (lit_in_g a) (lit_in_g b)
+  done;
+  lit_in_g (output src)
+
+let eval g inputs =
+  if Array.length inputs <> g.num_inputs then
+    invalid_arg "Graph.eval: wrong input arity";
+  let value = Array.make (num_vars g) false in
+  Array.blit inputs 0 value 1 g.num_inputs;
+  let first = first_and_var g in
+  let lit_value l = value.(var_of_lit l) <> is_complemented l in
+  for i = 0 to g.n_ands - 1 do
+    value.(first + i) <- lit_value g.fan0.(i) && lit_value g.fan1.(i)
+  done;
+  lit_value g.out
+
+let levels g =
+  let level = Array.make (num_vars g) 0 in
+  let first = first_and_var g in
+  for i = 0 to g.n_ands - 1 do
+    let l0 = level.(var_of_lit g.fan0.(i)) and l1 = level.(var_of_lit g.fan1.(i)) in
+    level.(first + i) <- 1 + max l0 l1
+  done;
+  level.(var_of_lit g.out)
+
+let fold_ands g ~init ~f =
+  let first = first_and_var g in
+  let acc = ref init in
+  for i = 0 to g.n_ands - 1 do
+    acc := f !acc (first + i) g.fan0.(i) g.fan1.(i)
+  done;
+  !acc
+
+let pp_stats fmt g =
+  Format.fprintf fmt "aig: i/o = %d/1  and = %d  lev = %d" g.num_inputs
+    g.n_ands (levels g)

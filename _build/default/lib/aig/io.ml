@@ -1,0 +1,127 @@
+(* Reachable cone of the output, as a var -> bool array. *)
+let reachable g =
+  let seen = Array.make (Graph.num_vars g) false in
+  seen.(0) <- true;
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if Graph.is_and_var g v then begin
+        let f0, f1 = Graph.fanins g v in
+        visit (Graph.var_of_lit f0);
+        visit (Graph.var_of_lit f1)
+      end
+    end
+  in
+  visit (Graph.var_of_lit (Graph.output g));
+  seen
+
+let to_string g =
+  let seen = reachable g in
+  let num_inputs = Graph.num_inputs g in
+  (* Renumber: constant 0; inputs keep vars 1..I; reachable ANDs follow. *)
+  let new_var = Array.make (Graph.num_vars g) (-1) in
+  new_var.(0) <- 0;
+  for i = 1 to num_inputs do
+    new_var.(i) <- i
+  done;
+  let next = ref (num_inputs + 1) in
+  let n_ands =
+    Graph.fold_ands g ~init:0 ~f:(fun acc var _ _ ->
+        if seen.(var) then begin
+          new_var.(var) <- !next;
+          incr next;
+          acc + 1
+        end
+        else acc)
+  in
+  let map_lit l =
+    let v = new_var.(Graph.var_of_lit l) in
+    assert (v >= 0);
+    (2 * v) lor (if Graph.is_complemented l then 1 else 0)
+  in
+  let buf = Buffer.create 1024 in
+  let max_var = num_inputs + n_ands in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 1 %d\n" max_var num_inputs n_ands);
+  for i = 1 to num_inputs do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * i))
+  done;
+  Buffer.add_string buf (Printf.sprintf "%d\n" (map_lit (Graph.output g)));
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         if seen.(var) then
+           Buffer.add_string buf
+             (Printf.sprintf "%d %d %d\n" (2 * new_var.(var)) (map_lit f0)
+                (map_lit f1))));
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let ints_of_line line =
+    String.split_on_char ' ' line
+    |> List.filter (fun t -> t <> "")
+    |> List.map (fun t ->
+           match int_of_string_opt t with
+           | Some v -> v
+           | None -> failwith ("Io.of_string: bad token " ^ t))
+  in
+  match lines with
+  | [] -> failwith "Io.of_string: empty input"
+  | header :: rest ->
+      let m, i, l, o, a =
+        match String.split_on_char ' ' header |> List.filter (fun t -> t <> "") with
+        | [ "aag"; m; i; l; o; a ] ->
+            ( int_of_string m, int_of_string i, int_of_string l,
+              int_of_string o, int_of_string a )
+        | _ -> failwith "Io.of_string: bad header"
+      in
+      if l <> 0 then failwith "Io.of_string: latches not supported";
+      if o <> 1 then failwith "Io.of_string: exactly one output expected";
+      let rest = Array.of_list rest in
+      if Array.length rest < i + 1 + a then
+        failwith "Io.of_string: truncated file";
+      let g = Graph.create ~num_inputs:i in
+      (* Literal map from file vars (0..m) to our literals. *)
+      let map = Array.make (m + 1) (-1) in
+      map.(0) <- Graph.const_false;
+      for k = 0 to i - 1 do
+        (match ints_of_line rest.(k) with
+        | [ lit ] when lit = 2 * (k + 1) -> ()
+        | _ -> failwith "Io.of_string: unexpected input literal");
+        map.(k + 1) <- Graph.input g k
+      done;
+      let out_lit =
+        match ints_of_line rest.(i) with
+        | [ lit ] -> lit
+        | _ -> failwith "Io.of_string: bad output line"
+      in
+      let lit_of_file l =
+        let v = map.(l / 2) in
+        if v < 0 then failwith "Io.of_string: use before definition";
+        Graph.lit_notif v (l land 1 = 1)
+      in
+      for k = 0 to a - 1 do
+        match ints_of_line rest.(i + 1 + k) with
+        | [ lhs; rhs0; rhs1 ] when lhs land 1 = 0 ->
+            map.(lhs / 2) <- Graph.and_ g (lit_of_file rhs0) (lit_of_file rhs1)
+        | _ -> failwith "Io.of_string: bad AND line"
+      done;
+      Graph.set_output g (lit_of_file out_lit);
+      g
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

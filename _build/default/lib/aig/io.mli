@@ -1,0 +1,16 @@
+(** ASCII AIGER (AAG) reading and writing.
+
+    The subset of AIGER 1.9 used by the contest: combinational,
+    single-output, no latches.  Format:
+    [aag M I L O A] header, one line per input literal, one line for the
+    output literal, then [A] lines of [lhs rhs0 rhs1]. *)
+
+val to_string : Graph.t -> string
+(** Serialize, emitting only AND nodes reachable from the output. *)
+
+val of_string : string -> Graph.t
+(** Parse.  Raises [Failure] with a diagnostic on malformed input,
+    latches, or multiple outputs. *)
+
+val write_file : string -> Graph.t -> unit
+val read_file : string -> Graph.t

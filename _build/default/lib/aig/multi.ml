@@ -1,0 +1,158 @@
+type t = { graph : Graph.t; outputs : Graph.lit array }
+
+let create graph outputs =
+  if Array.length outputs = 0 then
+    invalid_arg "Multi.create: need at least one output";
+  Array.iter
+    (fun l ->
+      if Graph.var_of_lit l >= Graph.num_vars graph then
+        invalid_arg "Multi.create: output literal outside the graph")
+    outputs;
+  { graph; outputs }
+
+let num_outputs m = Array.length m.outputs
+
+let eval m inputs =
+  (* Evaluate all variables once, then read every output. *)
+  let g = m.graph in
+  if Array.length inputs <> Graph.num_inputs g then
+    invalid_arg "Multi.eval: wrong input arity";
+  let value = Array.make (Graph.num_vars g) false in
+  Array.blit inputs 0 value 1 (Graph.num_inputs g);
+  let lit_value l = value.(Graph.var_of_lit l) <> Graph.is_complemented l in
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         value.(var) <- lit_value f0 && lit_value f1));
+  Array.map lit_value m.outputs
+
+(* Count AND variables reachable from the given roots. *)
+let cone_size g roots =
+  let seen = Array.make (Graph.num_vars g) false in
+  seen.(0) <- true;
+  let count = ref 0 in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if Graph.is_and_var g v then begin
+        incr count;
+        let f0, f1 = Graph.fanins g v in
+        visit (Graph.var_of_lit f0);
+        visit (Graph.var_of_lit f1)
+      end
+    end
+  in
+  List.iter (fun l -> visit (Graph.var_of_lit l)) roots;
+  !count
+
+let size m = cone_size m.graph (Array.to_list m.outputs |> List.map Fun.id)
+
+let separate_size m =
+  Array.fold_left (fun acc l -> acc + cone_size m.graph [ l ]) 0 m.outputs
+
+let to_string m =
+  let g = m.graph in
+  let num_inputs = Graph.num_inputs g in
+  (* Mark logic reachable from any output. *)
+  let seen = Array.make (Graph.num_vars g) false in
+  seen.(0) <- true;
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if Graph.is_and_var g v then begin
+        let f0, f1 = Graph.fanins g v in
+        visit (Graph.var_of_lit f0);
+        visit (Graph.var_of_lit f1)
+      end
+    end
+  in
+  Array.iter (fun l -> visit (Graph.var_of_lit l)) m.outputs;
+  let new_var = Array.make (Graph.num_vars g) (-1) in
+  new_var.(0) <- 0;
+  for i = 1 to num_inputs do
+    new_var.(i) <- i
+  done;
+  let next = ref (num_inputs + 1) in
+  let n_ands =
+    Graph.fold_ands g ~init:0 ~f:(fun acc var _ _ ->
+        if seen.(var) then begin
+          new_var.(var) <- !next;
+          incr next;
+          acc + 1
+        end
+        else acc)
+  in
+  let map_lit l =
+    (2 * new_var.(Graph.var_of_lit l))
+    lor (if Graph.is_complemented l then 1 else 0)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" (num_inputs + n_ands) num_inputs
+       (Array.length m.outputs) n_ands);
+  for i = 1 to num_inputs do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * i))
+  done;
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (map_lit l)))
+    m.outputs;
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         if seen.(var) then
+           Buffer.add_string buf
+             (Printf.sprintf "%d %d %d\n" (2 * new_var.(var)) (map_lit f0)
+                (map_lit f1))));
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> failwith "Multi.of_string: empty input"
+  | header :: rest ->
+      let m, i, l, o, a =
+        match
+          String.split_on_char ' ' header |> List.filter (fun t -> t <> "")
+        with
+        | [ "aag"; m; i; l; o; a ] ->
+            ( int_of_string m, int_of_string i, int_of_string l,
+              int_of_string o, int_of_string a )
+        | _ -> failwith "Multi.of_string: bad header"
+      in
+      if l <> 0 then failwith "Multi.of_string: latches not supported";
+      if o < 1 then failwith "Multi.of_string: need at least one output";
+      let rest = Array.of_list rest in
+      if Array.length rest < i + o + a then
+        failwith "Multi.of_string: truncated file";
+      let g = Graph.create ~num_inputs:i in
+      let map = Array.make (m + 1) (-1) in
+      map.(0) <- Graph.const_false;
+      let int_of line =
+        match int_of_string_opt (String.trim line) with
+        | Some v -> v
+        | None -> failwith "Multi.of_string: bad literal"
+      in
+      for k = 0 to i - 1 do
+        if int_of rest.(k) <> 2 * (k + 1) then
+          failwith "Multi.of_string: unexpected input literal";
+        map.(k + 1) <- Graph.input g k
+      done;
+      let lit_of_file lit =
+        let v = map.(lit / 2) in
+        if v < 0 then failwith "Multi.of_string: use before definition";
+        Graph.lit_notif v (lit land 1 = 1)
+      in
+      let out_lits = Array.init o (fun k -> int_of rest.(i + k)) in
+      for k = 0 to a - 1 do
+        match
+          String.split_on_char ' ' rest.(i + o + k)
+          |> List.filter (fun t -> t <> "")
+          |> List.map int_of_string
+        with
+        | [ lhs; rhs0; rhs1 ] when lhs land 1 = 0 ->
+            map.(lhs / 2) <- Graph.and_ g (lit_of_file rhs0) (lit_of_file rhs1)
+        | _ -> failwith "Multi.of_string: bad AND line"
+      done;
+      let outputs = Array.map lit_of_file out_lits in
+      Graph.set_output g outputs.(0);
+      { graph = g; outputs }

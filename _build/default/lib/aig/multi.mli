@@ -1,0 +1,31 @@
+(** Multi-output circuits over a shared AIG.
+
+    The contest used single-output functions; the paper's conclusion names
+    "circuits with multiple outputs" as the natural extension.  A value
+    here bundles one graph with several output literals, so structurally
+    hashed logic (e.g. a carry chain feeding both MSBs of an adder) is
+    shared and counted once. *)
+
+type t = { graph : Graph.t; outputs : Graph.lit array }
+
+val create : Graph.t -> Graph.lit array -> t
+(** Raises [Invalid_argument] when an output literal does not belong to
+    the graph or the output array is empty. *)
+
+val num_outputs : t -> int
+
+val eval : t -> bool array -> bool array
+
+val size : t -> int
+(** AND nodes reachable from at least one output — the shared-logic
+    count. *)
+
+val separate_size : t -> int
+(** Sum of the per-output cone sizes (what building each output as its own
+    circuit would cost before sharing). *)
+
+val to_string : t -> string
+(** Multi-output ASCII AAG. *)
+
+val of_string : string -> t
+(** Parses single- or multi-output AAG files. *)

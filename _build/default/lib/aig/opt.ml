@@ -1,0 +1,163 @@
+(* Rebuild [g] into a fresh graph, mapping AND variable [var] through
+   [image] (default: a fresh AND of the mapped fan-ins).  Only logic
+   reachable from the output survives because unreachable nodes map to
+   literals that the new output cone never references — they are still
+   constructed, so we rebuild twice for a true sweep: once to substitute,
+   once keeping only the cone. *)
+
+let rebuild ?(subst = fun _ -> None) g =
+  let fresh = Graph.create ~num_inputs:(Graph.num_inputs g) in
+  let seen = Array.make (Graph.num_vars g) false in
+  seen.(0) <- true;
+  let rec mark v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if Graph.is_and_var g v && subst v = None then begin
+        let f0, f1 = Graph.fanins g v in
+        mark (Graph.var_of_lit f0);
+        mark (Graph.var_of_lit f1)
+      end
+    end
+  in
+  mark (Graph.var_of_lit (Graph.output g));
+  let map = Array.make (Graph.num_vars g) Graph.const_false in
+  for i = 0 to Graph.num_inputs g - 1 do
+    map.(1 + i) <- Graph.input fresh i
+  done;
+  let map_lit l = Graph.lit_notif map.(Graph.var_of_lit l) (Graph.is_complemented l) in
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         if seen.(var) then
+           map.(var) <-
+             (match subst var with
+             | Some lit -> lit
+             | None -> Graph.and_ fresh (map_lit f0) (map_lit f1))));
+  Graph.set_output fresh (map_lit (Graph.output g));
+  fresh
+
+let cleanup g = rebuild g
+
+let size g =
+  let seen = Array.make (Graph.num_vars g) false in
+  seen.(0) <- true;
+  let count = ref 0 in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if Graph.is_and_var g v then begin
+        incr count;
+        let f0, f1 = Graph.fanins g v in
+        visit (Graph.var_of_lit f0);
+        visit (Graph.var_of_lit f1)
+      end
+    end
+  in
+  visit (Graph.var_of_lit (Graph.output g));
+  !count
+
+let substitute g ~var ~by =
+  if Graph.var_of_lit by > Graph.num_inputs g then
+    invalid_arg "Opt.substitute: replacement must be a constant or input";
+  rebuild ~subst:(fun v -> if v = var then Some by else None) g
+
+let substitute_many g subst = rebuild ~subst g
+
+let remap_inputs g ~map ~num_inputs =
+  let fresh = Graph.create ~num_inputs in
+  let table = Array.make (Graph.num_vars g) Graph.const_false in
+  for i = 0 to Graph.num_inputs g - 1 do
+    let j = map i in
+    if j < 0 || j >= num_inputs then
+      invalid_arg "Opt.remap_inputs: mapped index out of range";
+    table.(1 + i) <- Graph.input fresh j
+  done;
+  let map_lit l =
+    Graph.lit_notif table.(Graph.var_of_lit l) (Graph.is_complemented l)
+  in
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         table.(var) <- Graph.and_ fresh (map_lit f0) (map_lit f1)));
+  Graph.set_output fresh (map_lit (Graph.output g));
+  cleanup fresh
+
+let vote3 a b c =
+  let g = Graph.create ~num_inputs:(Graph.num_inputs a) in
+  let la = Graph.import g ~src:a in
+  let lb = Graph.import g ~src:b in
+  let lc = Graph.import g ~src:c in
+  let ab = Graph.and_ g la lb in
+  let bc = Graph.and_ g lb lc in
+  let ac = Graph.and_ g la lc in
+  Graph.set_output g (Graph.or_list g [ ab; bc; ac ]);
+  cleanup g
+
+let balance g =
+  let nv = Graph.num_vars g in
+  let fanout = Array.make nv 0 in
+  let compl_used = Array.make nv false in
+  let note l =
+    let v = Graph.var_of_lit l in
+    fanout.(v) <- fanout.(v) + 1;
+    if Graph.is_complemented l then compl_used.(v) <- true
+  in
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () _ f0 f1 ->
+         note f0;
+         note f1));
+  note (Graph.output g);
+  let out_var = Graph.var_of_lit (Graph.output g) in
+  (* A "root" AND node cannot be folded into its parent's conjunction:
+     it is shared, used complemented, or the output itself. *)
+  let is_root v =
+    Graph.is_and_var g v && (fanout.(v) > 1 || compl_used.(v) || v = out_var)
+  in
+  let fresh = Graph.create ~num_inputs:(Graph.num_inputs g) in
+  let map = Array.make nv Graph.const_false in
+  for i = 0 to Graph.num_inputs g - 1 do
+    map.(1 + i) <- Graph.input fresh i
+  done;
+  let map_lit l =
+    Graph.lit_notif map.(Graph.var_of_lit l) (Graph.is_complemented l)
+  in
+  (* Leaves of the maximal AND tree hanging off literal [l]. *)
+  let rec leaves l acc =
+    let v = Graph.var_of_lit l in
+    if (not (Graph.is_complemented l)) && Graph.is_and_var g v && not (is_root v)
+    then begin
+      let f0, f1 = Graph.fanins g v in
+      leaves f0 (leaves f1 acc)
+    end
+    else map_lit l :: acc
+  in
+  (* Level-aware conjunction: always combine the two shallowest operands
+     (Huffman-style), so deep leaves never get pushed deeper. *)
+  let fresh_level = Hashtbl.create 256 in
+  let level_of l =
+    Option.value ~default:0 (Hashtbl.find_opt fresh_level (Graph.var_of_lit l))
+  in
+  let and_balanced lits =
+    let insert l sorted =
+      let rec go = function
+        | x :: rest when level_of x < level_of l -> x :: go rest
+        | rest -> l :: rest
+      in
+      go sorted
+    in
+    let rec combine = function
+      | [] -> Graph.const_true
+      | [ l ] -> l
+      | a :: b :: rest ->
+          let c = Graph.and_ fresh a b in
+          if not (Hashtbl.mem fresh_level (Graph.var_of_lit c)) then
+            Hashtbl.add fresh_level (Graph.var_of_lit c)
+              (1 + max (level_of a) (level_of b));
+          combine (insert c rest)
+    in
+    combine (List.sort (fun a b -> compare (level_of a) (level_of b)) lits)
+  in
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () v f0 f1 ->
+         if is_root v then
+           map.(v) <- and_balanced (leaves f0 (leaves f1 []))));
+  Graph.set_output fresh (map_lit (Graph.output g));
+  cleanup fresh

@@ -1,0 +1,34 @@
+(** AIG optimization passes. *)
+
+val cleanup : Graph.t -> Graph.t
+(** Rebuild the graph keeping only logic reachable from the output.
+    Re-running construction also re-applies structural hashing and local
+    simplification, so shared and trivially reducible structure collapses. *)
+
+val size : Graph.t -> int
+(** Number of AND nodes reachable from the output (the contest metric),
+    without mutating the graph. *)
+
+val substitute : Graph.t -> var:int -> by:Graph.lit -> Graph.t
+(** Rebuild the graph with AND variable [var] replaced by the literal that
+    [by] maps to in the new graph.  [by] must be a constant or an input
+    literal.  The result is cleaned up. *)
+
+val substitute_many : Graph.t -> (int -> Graph.lit option) -> Graph.t
+(** Like {!substitute} for several variables at once: the function maps an
+    AND variable to the constant/input literal replacing it, or [None] to
+    keep it. *)
+
+val balance : Graph.t -> Graph.t
+(** Depth reduction: collect maximal single-fanout AND trees and rebuild
+    them as balanced conjunctions (the AIG analogue of ABC's [balance]).
+    The function is preserved; levels typically drop on chain-shaped
+    logic such as rule cascades and carry chains built naively. *)
+
+val remap_inputs : Graph.t -> map:(int -> int) -> num_inputs:int -> Graph.t
+(** Rebuild over a new input space: input [i] of the source becomes input
+    [map i] of the result, which has [num_inputs] inputs.  Used to lift a
+    model trained on selected features back to the full input vector. *)
+
+val vote3 : Graph.t -> Graph.t -> Graph.t -> Graph.t
+(** Majority vote of three single-output AIGs over the same inputs. *)

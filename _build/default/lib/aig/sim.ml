@@ -1,0 +1,53 @@
+let check_columns g columns =
+  if Array.length columns <> Graph.num_inputs g then
+    invalid_arg "Sim: column count must equal the number of inputs";
+  if Array.length columns > 0 then begin
+    let n = Words.length columns.(0) in
+    Array.iter
+      (fun c ->
+        if Words.length c <> n then invalid_arg "Sim: ragged columns")
+      columns;
+    n
+  end
+  else 0
+
+let simulate_all g columns =
+  let n = check_columns g columns in
+  let values = Array.make (Graph.num_vars g) (Words.create n) in
+  values.(0) <- Words.create n;
+  for i = 0 to Graph.num_inputs g - 1 do
+    values.(1 + i) <- columns.(i)
+  done;
+  ignore
+    (Graph.fold_ands g ~init:() ~f:(fun () var f0 f1 ->
+         let dst = Words.create n in
+         let a = values.(Graph.var_of_lit f0) and b = values.(Graph.var_of_lit f1) in
+         (match (Graph.is_complemented f0, Graph.is_complemented f1) with
+         | false, false -> Words.and_into ~dst a b
+         | false, true -> Words.andnot_into ~dst a b
+         | true, false -> Words.andnot_into ~dst b a
+         | true, true ->
+             Words.or_into ~dst a b;
+             Words.not_into ~dst dst);
+         values.(var) <- dst));
+  values
+
+let output_vector g values =
+  let out = Graph.output g in
+  let v = values.(Graph.var_of_lit out) in
+  if Graph.is_complemented out then Words.lognot v else Words.copy v
+
+let simulate g columns =
+  let values = simulate_all g columns in
+  output_vector g values
+
+let random_patterns st ~num_inputs ~num_patterns =
+  Array.init num_inputs (fun _ -> Words.random st num_patterns)
+
+let accuracy g columns expected =
+  let got = simulate g columns in
+  let n = Words.length expected in
+  if n = 0 then 1.0
+  else
+    let disagreements = Words.popcount (Words.logxor got expected) in
+    1.0 -. (float_of_int disagreements /. float_of_int n)

@@ -1,0 +1,23 @@
+(** Bit-parallel AIG simulation.
+
+    Simulates an AIG on a batch of input patterns in one pass, 62 patterns
+    per machine word, using {!Words.t} bit sets (one per variable, one bit
+    per pattern). *)
+
+val simulate : Graph.t -> Words.t array -> Words.t
+(** [simulate g columns] evaluates [g] on a batch of patterns.
+    [columns.(i)] holds the value of primary input [i] across all patterns;
+    all columns must have the same length.  The result holds the output
+    value for every pattern. *)
+
+val simulate_all : Graph.t -> Words.t array -> Words.t array
+(** Like {!simulate} but returns the value vector of every variable
+    (indexed by AIG variable; index 0 is the constant-false vector).
+    Used by the approximation pass to find candidate nodes. *)
+
+val random_patterns : Random.State.t -> num_inputs:int -> num_patterns:int -> Words.t array
+(** Fresh uniform input columns for [num_patterns] patterns. *)
+
+val accuracy : Graph.t -> Words.t array -> Words.t -> float
+(** [accuracy g columns expected] is the fraction of patterns on which the
+    simulated output agrees with [expected]. *)

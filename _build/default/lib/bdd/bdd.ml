@@ -1,0 +1,222 @@
+type t = int
+(* Node ids: 0 = false terminal, 1 = true terminal, others internal. *)
+
+type node = { var : int; lo : int; hi : int }
+
+type man = {
+  nv : int;
+  mutable nodes : node array;
+  mutable n : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  apply_cache : (int * int * int, int) Hashtbl.t;  (* (op, a, b) *)
+}
+
+let terminal_var = max_int
+
+let create ~num_vars =
+  if num_vars < 1 then invalid_arg "Bdd.create: need at least one variable";
+  let sentinel = { var = terminal_var; lo = 0; hi = 1 } in
+  let m =
+    {
+      nv = num_vars;
+      nodes = Array.make 1024 sentinel;
+      n = 2;
+      unique = Hashtbl.create 4096;
+      apply_cache = Hashtbl.create 4096;
+    }
+  in
+  m.nodes.(0) <- { var = terminal_var; lo = 0; hi = 0 };
+  m.nodes.(1) <- { var = terminal_var; lo = 1; hi = 1 };
+  m
+
+let num_vars m = m.nv
+let bfalse _ = 0
+let btrue _ = 1
+let equal (a : t) b = a = b
+
+let topvar m f = m.nodes.(f).var
+
+let mk m var lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (var, lo, hi) with
+    | Some id -> id
+    | None ->
+        if m.n = Array.length m.nodes then begin
+          let bigger = Array.make (2 * m.n) m.nodes.(0) in
+          Array.blit m.nodes 0 bigger 0 m.n;
+          m.nodes <- bigger
+        end;
+        let id = m.n in
+        m.nodes.(id) <- { var; lo; hi };
+        m.n <- m.n + 1;
+        Hashtbl.add m.unique (var, lo, hi) id;
+        id
+
+let var m i =
+  if i < 0 || i >= m.nv then invalid_arg "Bdd.var: index out of range";
+  mk m i 0 1
+
+let cofactors m f v =
+  let node = m.nodes.(f) in
+  if node.var = v then (node.lo, node.hi) else (f, f)
+
+(* Generic binary apply; op codes: 0 = and, 1 = or, 2 = xor. *)
+let rec apply m op a b =
+  let terminal_result =
+    match op with
+    | 0 ->
+        if a = 0 || b = 0 then Some 0
+        else if a = 1 then Some b
+        else if b = 1 then Some a
+        else if a = b then Some a
+        else None
+    | 1 ->
+        if a = 1 || b = 1 then Some 1
+        else if a = 0 then Some b
+        else if b = 0 then Some a
+        else if a = b then Some a
+        else None
+    | _ ->
+        if a = 0 then Some b
+        else if b = 0 then Some a
+        else if a = b then Some 0
+        else if a = 1 && b = 1 then Some 0
+        else None
+  in
+  match terminal_result with
+  | Some r -> r
+  | None -> (
+      (* Normalize operand order for the cache (all three ops commute). *)
+      let a, b = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt m.apply_cache (op, a, b) with
+      | Some r -> r
+      | None ->
+          let v = min (topvar m a) (topvar m b) in
+          let a0, a1 = cofactors m a v and b0, b1 = cofactors m b v in
+          let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+          Hashtbl.add m.apply_cache (op, a, b) r;
+          r)
+
+let mk_and m a b = apply m 0 a b
+let mk_or m a b = apply m 1 a b
+let mk_xor m a b = apply m 2 a b
+let mk_not m a = mk_xor m a 1
+let mk_ite m c t e = mk_or m (mk_and m c t) (mk_and m (mk_not m c) e)
+
+let rec eval m f inputs =
+  if f < 2 then f = 1
+  else
+    let node = m.nodes.(f) in
+    eval m (if inputs.(node.var) then node.hi else node.lo) inputs
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go m.nodes.(f).lo;
+      go m.nodes.(f).hi
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let of_cube m bits =
+  if Array.length bits <> m.nv then invalid_arg "Bdd.of_cube: arity mismatch";
+  let acc = ref 1 in
+  for i = m.nv - 1 downto 0 do
+    acc := if bits.(i) then mk m i 0 !acc else mk m i !acc 0
+  done;
+  !acc
+
+let fold_minterms m d keep =
+  let acc = ref 0 in
+  for j = 0 to Data.Dataset.num_samples d - 1 do
+    if keep j then acc := mk_or m !acc (of_cube m (Data.Dataset.row d j))
+  done;
+  !acc
+
+let on_set_of_dataset m d = fold_minterms m d (Data.Dataset.output_bit d)
+let care_set_of_dataset m d = fold_minterms m d (fun _ -> true)
+
+type style = One_sided | Two_sided | Complemented_two_sided
+
+let minimize m style ~f ~care =
+  let memo = Hashtbl.create 1024 in
+  let rec go f care =
+    if care = 0 then 0
+    else if f < 2 then f
+    else
+      match Hashtbl.find_opt memo (f, care) with
+      | Some r -> r
+      | None ->
+          let v = min (topvar m f) (topvar m care) in
+          let f0, f1 = cofactors m f v and c0, c1 = cofactors m care v in
+          let result =
+            if c0 = 0 then go f1 c1
+            else if c1 = 0 then go f0 c0
+            else begin
+              let two_sided_ok () =
+                mk_and m (mk_xor m f0 f1) (mk_and m c0 c1) = 0
+              in
+              let complemented_ok () =
+                mk_and m (mk_not m (mk_xor m f0 f1)) (mk_and m c0 c1) = 0
+              in
+              match style with
+              | One_sided -> mk m v (go f0 c0) (go f1 c1)
+              | Two_sided ->
+                  if two_sided_ok () then
+                    go (mk_ite m c0 f0 f1) (mk_or m c0 c1)
+                  else mk m v (go f0 c0) (go f1 c1)
+              | Complemented_two_sided ->
+                  if two_sided_ok () then
+                    go (mk_ite m c0 f0 f1) (mk_or m c0 c1)
+                  else if complemented_ok () then begin
+                    (* f1 agrees with NOT f0 on the shared care space:
+                       rebuild as v ? NOT g : g. *)
+                    let g = go (mk_ite m c0 f0 (mk_not m f1)) (mk_or m c0 c1) in
+                    mk m v g (mk_not m g)
+                  end
+                  else mk m v (go f0 c0) (go f1 c1)
+            end
+          in
+          Hashtbl.add memo (f, care) result;
+          result
+  in
+  go f care
+
+let to_aig m f ~num_inputs =
+  if num_inputs < m.nv then invalid_arg "Bdd.to_aig: too few inputs";
+  let g = Aig.Graph.create ~num_inputs in
+  let memo = Hashtbl.create 256 in
+  let rec lit_of f =
+    if f = 0 then Aig.Graph.const_false
+    else if f = 1 then Aig.Graph.const_true
+    else
+      match Hashtbl.find_opt memo f with
+      | Some l -> l
+      | None ->
+          let node = m.nodes.(f) in
+          let l =
+            Aig.Graph.mux g
+              ~sel:(Aig.Graph.input g node.var)
+              ~t1:(lit_of node.hi) ~t0:(lit_of node.lo)
+          in
+          Hashtbl.add memo f l;
+          l
+  in
+  Aig.Graph.set_output g (lit_of f);
+  g
+
+let accuracy m f d =
+  let n = Data.Dataset.num_samples d in
+  if n = 0 then 1.0
+  else begin
+    let correct = ref 0 in
+    for j = 0 to n - 1 do
+      if eval m f (Data.Dataset.row d j) = Data.Dataset.output_bit d j then
+        incr correct
+    done;
+    float_of_int !correct /. float_of_int n
+  end

@@ -1,0 +1,63 @@
+(** Reduced ordered binary decision diagrams with don't-care minimization.
+
+    This substrate reproduces Team 1's post-contest exploration (paper
+    appendix I.D.2): build the BDD of the sampled on-set and of the care
+    set, then minimize the on-set BDD against the don't-care space using
+
+    - one-sided matching ([restrict], Shiple et al.): skip to a child when
+      the other child's care space is empty;
+    - two-sided matching ([minimize ~style:Two_sided]): eliminate a
+      variable entirely when the two cofactors agree wherever both are
+      cared about;
+    - complemented two-sided matching: when a cofactor agrees with the
+      complement of the other, rebuild the node as [v ? NOT g : g].
+
+    The manager owns the unique table; node handles are only meaningful
+    with their manager.  Variables are tested in index order (index 0 at
+    the top), so callers choose the variable order by permuting inputs —
+    the appendix's MSB-first interleaving is applied by the experiment
+    driver, not here. *)
+
+type man
+type t
+(** A node handle (terminals included). *)
+
+val create : num_vars:int -> man
+val num_vars : man -> int
+
+val bfalse : man -> t
+val btrue : man -> t
+val var : man -> int -> t
+
+val mk_not : man -> t -> t
+val mk_and : man -> t -> t -> t
+val mk_or : man -> t -> t -> t
+val mk_xor : man -> t -> t -> t
+val mk_ite : man -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+
+val eval : man -> t -> bool array -> bool
+
+val size : man -> t -> int
+(** Internal (decision) nodes reachable from the handle. *)
+
+val of_cube : man -> bool array -> t
+(** BDD of one fully specified minterm. *)
+
+val on_set_of_dataset : man -> Data.Dataset.t -> t
+(** OR of the positive samples' minterms. *)
+
+val care_set_of_dataset : man -> Data.Dataset.t -> t
+(** OR of all samples' minterms. *)
+
+type style = One_sided | Two_sided | Complemented_two_sided
+
+val minimize : man -> style -> f:t -> care:t -> t
+(** A function agreeing with [f] everywhere [care] holds, heuristically
+    smaller; [One_sided] is the classical restrict. *)
+
+val to_aig : man -> t -> num_inputs:int -> Aig.Graph.t
+(** One MUX per node. *)
+
+val accuracy : man -> t -> Data.Dataset.t -> float

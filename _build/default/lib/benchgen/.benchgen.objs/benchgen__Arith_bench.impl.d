@@ -1,0 +1,1 @@
+lib/benchgen/arith_bench.ml: Array Bitvec String

@@ -1,0 +1,1 @@
+lib/benchgen/image_bench.ml: Array List Random

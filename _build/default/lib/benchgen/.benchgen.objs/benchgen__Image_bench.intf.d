@@ -1,0 +1,1 @@
+lib/benchgen/image_bench.mli: Random

@@ -1,0 +1,1 @@
+lib/benchgen/logic_bench.ml: Aig Array Random Words

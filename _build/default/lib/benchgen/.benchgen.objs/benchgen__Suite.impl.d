@@ -1,0 +1,1 @@
+lib/benchgen/suite.ml: Aig Arith_bench Array Data Hashtbl Image_bench List Logic_bench Printf Random String

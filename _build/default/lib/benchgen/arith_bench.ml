@@ -1,0 +1,39 @@
+let split_words ~k bits =
+  if Array.length bits <> 2 * k then invalid_arg "Arith_bench: expected 2k inputs";
+  ( Bitvec.of_bits (Array.sub bits 0 k),
+    Bitvec.of_bits (Array.sub bits k k) )
+
+let adder_bit ~k ~bit bits =
+  let a, b = split_words ~k bits in
+  let wide_a = Bitvec.zero_extend a (k + 1) and wide_b = Bitvec.zero_extend b (k + 1) in
+  Bitvec.get (Bitvec.add wide_a wide_b) bit
+
+let divider_msb ~k bits =
+  let a, b = split_words ~k bits in
+  if Bitvec.is_zero b then true
+  else Bitvec.get (fst (Bitvec.divmod a b)) (k - 1)
+
+let remainder_msb ~k bits =
+  let a, b = split_words ~k bits in
+  if Bitvec.is_zero b then Bitvec.get a (k - 1)
+  else Bitvec.get (snd (Bitvec.divmod a b)) (k - 1)
+
+let multiplier_bit ~k ~bit bits =
+  let a, b = split_words ~k bits in
+  Bitvec.get (Bitvec.mul a b) bit
+
+let comparator ~k bits =
+  let a, b = split_words ~k bits in
+  Bitvec.compare a b < 0
+
+let sqrt_bit ~k ~bit bits =
+  if Array.length bits <> k then invalid_arg "Arith_bench.sqrt_bit: expected k inputs";
+  Bitvec.get (Bitvec.isqrt (Bitvec.of_bits bits)) bit
+
+let symmetric ~signature bits =
+  if String.length signature <> Array.length bits + 1 then
+    invalid_arg "Arith_bench.symmetric: signature length must be n + 1";
+  let ones = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 bits in
+  signature.[ones] = '1'
+
+let parity bits = Array.fold_left ( <> ) false bits

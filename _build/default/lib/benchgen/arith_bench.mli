@@ -1,0 +1,31 @@
+(** Arithmetic benchmark functions (contest categories ex00-ex49).
+
+    Each function is an oracle over a flat input-bit array.  Word operands
+    are laid out LSB-first, first operand in the low indices — the
+    "regular ordering from LSB to MSB for each word" that Team 1 exploited
+    for standard-function matching. *)
+
+val adder_bit : k:int -> bit:int -> bool array -> bool
+(** Bit [bit] of the (k+1)-bit sum of two k-bit words ([2k] inputs).
+    [bit = k] is the carry-out MSB, [bit = k - 1] the second MSB. *)
+
+val divider_msb : k:int -> bool array -> bool
+(** MSB (bit k-1) of the quotient a / b of two k-bit words; when [b] is
+    zero the quotient is defined as all-ones (hardware convention). *)
+
+val remainder_msb : k:int -> bool array -> bool
+(** MSB of a mod b; a when [b] is zero. *)
+
+val multiplier_bit : k:int -> bit:int -> bool array -> bool
+(** Bit of the 2k-bit product of two k-bit words. *)
+
+val comparator : k:int -> bool array -> bool
+(** Unsigned a < b over two k-bit words. *)
+
+val sqrt_bit : k:int -> bit:int -> bool array -> bool
+(** Bit of the integer square root of a k-bit word ([k] inputs). *)
+
+val symmetric : signature:string -> bool array -> bool
+(** Symmetric function given by an (n+1)-character 0/1 signature. *)
+
+val parity : bool array -> bool

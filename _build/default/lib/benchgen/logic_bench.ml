@@ -1,0 +1,60 @@
+module G = Aig.Graph
+
+(* One random multi-level network: combine literals drawn with a recency
+   bias so the cone is deep rather than a flat shrub. *)
+let random_network st ~num_inputs ~num_nodes =
+  let g = G.create ~num_inputs in
+  let pool = Array.make (num_inputs + num_nodes) G.const_false in
+  for i = 0 to num_inputs - 1 do
+    pool.(i) <- G.input g i
+  done;
+  let filled = ref num_inputs in
+  let pick () =
+    (* Half the time pick among the most recent quarter, otherwise anywhere:
+       keeps depth growing while still mixing all inputs in. *)
+    let n = !filled in
+    let idx =
+      if Random.State.bool st && n > 4 then n - 1 - Random.State.int st (max 1 (n / 4))
+      else Random.State.int st n
+    in
+    G.lit_notif pool.(idx) (Random.State.bool st)
+  in
+  let last = ref G.const_false in
+  while !filled < num_inputs + num_nodes do
+    let l = G.and_ g (pick ()) (pick ()) in
+    pool.(!filled) <- l;
+    incr filled;
+    last := l
+  done;
+  G.set_output g (G.lit_notif !last (Random.State.bool st));
+  g
+
+let onset_ratio st g =
+  let patterns = 512 in
+  let columns =
+    Aig.Sim.random_patterns st ~num_inputs:(G.num_inputs g) ~num_patterns:patterns
+  in
+  let out = Aig.Sim.simulate g columns in
+  float_of_int (Words.popcount out) /. float_of_int patterns
+
+let cone ~seed ~num_inputs ?num_nodes ?(balance = (0.25, 0.75)) () =
+  let num_nodes = match num_nodes with Some n -> n | None -> 3 * num_inputs in
+  let lo, hi = balance in
+  (* Try a run of derived seeds; keep the best-balanced network seen. *)
+  let best = ref None in
+  let rec search attempt =
+    let st = Random.State.make [| 0x10c1c; seed; attempt |] in
+    let g = random_network st ~num_inputs ~num_nodes in
+    let r = onset_ratio st g in
+    let distance = abs_float (r -. 0.5) in
+    (match !best with
+    | Some (d, _) when d <= distance -> ()
+    | _ -> best := Some (distance, g));
+    if r >= lo && r <= hi then g
+    else if attempt >= 50 then
+      match !best with Some (_, g) -> g | None -> g
+    else search (attempt + 1)
+  in
+  search 0
+
+let oracle g bits = G.eval g bits

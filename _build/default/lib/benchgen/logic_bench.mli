@@ -1,0 +1,15 @@
+(** Random multi-level logic cones.
+
+    Stand-ins for the PicoJava and MCNC i10 cones of the contest
+    (ex50-ex74): seeded random AIGs with a given input count whose output
+    is roughly balanced between onset and offset.  The generator retries
+    seeds until the sampled onset ratio lands within the requested band,
+    mirroring the contest's "roughly balanced onset & offset" selection. *)
+
+val cone :
+  seed:int -> num_inputs:int -> ?num_nodes:int -> ?balance:float * float ->
+  unit -> Aig.Graph.t
+(** Defaults: [num_nodes = 3 x num_inputs], [balance = (0.25, 0.75)]. *)
+
+val oracle : Aig.Graph.t -> bool array -> bool
+(** Evaluate the cone (convenience wrapper over [Graph.eval]). *)

@@ -1,0 +1,198 @@
+type category =
+  | Adder
+  | Divider
+  | Multiplier
+  | Comparator
+  | Square_root
+  | Logic_cone
+  | Symmetric
+  | Mnist_like
+  | Cifar_like
+
+let category_name = function
+  | Adder -> "adder"
+  | Divider -> "divider"
+  | Multiplier -> "multiplier"
+  | Comparator -> "comparator"
+  | Square_root -> "sqrt"
+  | Logic_cone -> "logic-cone"
+  | Symmetric -> "symmetric"
+  | Mnist_like -> "mnist"
+  | Cifar_like -> "cifar"
+
+type benchmark = {
+  id : int;
+  name : string;
+  category : category;
+  num_inputs : int;
+  description : string;
+}
+
+(* 17-bit signatures for the five 16-input symmetric functions (the
+   paper's strings normalized to n + 1 = 17 characters). *)
+let symmetric_signatures =
+  [| "00000000111111111";
+     "11111110000011111";
+     "00011110001111000";
+     "00001110101110000";
+     "00000011111000000" |]
+
+let adder_widths = [| 16; 32; 64; 128; 256 |]
+let multiplier_widths = [| 8; 16; 32; 64; 128 |]
+
+(* Input counts for the 25 logic cones, spread over 16..200 as in the
+   contest's "16-200 inputs". *)
+let cone_inputs id =
+  match id with
+  | _ when id >= 50 && id <= 69 -> 16 + (184 * (id - 50) / 19)
+  | 70 -> 23 (* cordic substitute *)
+  | 71 -> 23
+  | 72 -> 38 (* too_large substitute *)
+  | 73 -> 16 (* t481 substitute *)
+  | _ -> invalid_arg "cone_inputs"
+
+let make id =
+  let name = Printf.sprintf "ex%02d" id in
+  let mk category num_inputs description =
+    { id; name; category; num_inputs; description }
+  in
+  match id / 10 with
+  | 0 ->
+      let k = adder_widths.(id / 2) in
+      let bit = if id mod 2 = 0 then k else k - 1 in
+      mk Adder (2 * k) (Printf.sprintf "bit %d of %d-bit adder" bit k)
+  | 1 ->
+      let k = adder_widths.((id - 10) / 2) in
+      if id mod 2 = 0 then mk Divider (2 * k) (Printf.sprintf "MSB of %d-bit divider" k)
+      else mk Divider (2 * k) (Printf.sprintf "MSB of %d-bit remainder" k)
+  | 2 ->
+      let k = multiplier_widths.((id - 20) / 2) in
+      let bit = if id mod 2 = 0 then (2 * k) - 1 else k - 1 in
+      mk Multiplier (2 * k) (Printf.sprintf "bit %d of %d-bit multiplier" bit k)
+  | 3 ->
+      let k = 10 * (id - 30 + 1) in
+      mk Comparator (2 * k) (Printf.sprintf "%d-bit comparator (a < b)" k)
+  | 4 ->
+      let k = adder_widths.((id - 40) / 2) in
+      let bit = if id mod 2 = 0 then 0 else (k + 1) / 4 in
+      mk Square_root k (Printf.sprintf "bit %d of %d-bit square root" bit k)
+  | 5 | 6 ->
+      mk Logic_cone (cone_inputs id)
+        (if id < 60 then "PicoJava-style random cone" else "MCNC i10-style random cone")
+  | 7 ->
+      if id <= 73 then mk Logic_cone (cone_inputs id) "MCNC-style random cone"
+      else if id = 74 then mk Symmetric 16 "16-input parity"
+      else
+        mk Symmetric 16
+          (Printf.sprintf "16-input symmetric %s" symmetric_signatures.(id - 75))
+  | 8 -> mk Mnist_like 196 "synthetic MNIST group comparison"
+  | 9 -> mk Cifar_like 192 "synthetic CIFAR-10 group comparison"
+  | _ -> invalid_arg "Suite.make: id out of range"
+
+let benchmarks = Array.init 100 make
+
+let benchmark id =
+  if id < 0 || id > 99 then invalid_arg "Suite.benchmark: id out of range";
+  benchmarks.(id)
+
+type sizes = { train : int; valid : int; test : int }
+
+let contest_sizes = { train = 6400; valid = 6400; test = 6400 }
+let reduced_sizes = { train = 1500; valid = 1500; test = 1500 }
+
+type instance = {
+  spec : benchmark;
+  train : Data.Dataset.t;
+  valid : Data.Dataset.t;
+  test : Data.Dataset.t;
+}
+
+(* Deterministic oracle for a benchmark, when it has one.  Logic cones are
+   materialized lazily (and cached) because building them costs a few
+   milliseconds. *)
+let cone_cache : (int, Aig.Graph.t) Hashtbl.t = Hashtbl.create 32
+
+let cone_for id =
+  match Hashtbl.find_opt cone_cache id with
+  | Some g -> g
+  | None ->
+      let g =
+        Logic_bench.cone ~seed:(1000 + id) ~num_inputs:(cone_inputs id) ()
+      in
+      Hashtbl.add cone_cache id g;
+      g
+
+let oracle spec : (bool array -> bool) option =
+  let id = spec.id in
+  match spec.category with
+  | Adder ->
+      let k = adder_widths.(id / 2) in
+      let bit = if id mod 2 = 0 then k else k - 1 in
+      Some (Arith_bench.adder_bit ~k ~bit)
+  | Divider ->
+      let k = adder_widths.((id - 10) / 2) in
+      if id mod 2 = 0 then Some (Arith_bench.divider_msb ~k)
+      else Some (Arith_bench.remainder_msb ~k)
+  | Multiplier ->
+      let k = multiplier_widths.((id - 20) / 2) in
+      let bit = if id mod 2 = 0 then (2 * k) - 1 else k - 1 in
+      Some (Arith_bench.multiplier_bit ~k ~bit)
+  | Comparator ->
+      let k = 10 * (id - 30 + 1) in
+      Some (Arith_bench.comparator ~k)
+  | Square_root ->
+      let k = adder_widths.((id - 40) / 2) in
+      let bit = if id mod 2 = 0 then 0 else (k + 1) / 4 in
+      Some (Arith_bench.sqrt_bit ~k ~bit)
+  | Logic_cone -> Some (Logic_bench.oracle (cone_for id))
+  | Symmetric ->
+      if id = 74 then Some Arith_bench.parity
+      else Some (Arith_bench.symmetric ~signature:symmetric_signatures.(id - 75))
+  | Mnist_like | Cifar_like -> None
+
+let image_source spec =
+  match spec.category with
+  | Mnist_like -> Some (Image_bench.create Image_bench.Mnist ~seed:77, spec.id - 80)
+  | Cifar_like -> Some (Image_bench.create Image_bench.Cifar ~seed:78, spec.id - 90)
+  | Adder | Divider | Multiplier | Comparator | Square_root | Logic_cone
+  | Symmetric ->
+      None
+
+let random_bits st n = Array.init n (fun _ -> Random.State.bool st)
+
+(* Key for duplicate detection across the three sets. *)
+let key_of_bits bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let instantiate ?(sizes = contest_sizes) ~seed spec =
+  let st = Random.State.make [| 0xbe7c; seed; spec.id |] in
+  let total = sizes.train + sizes.valid + sizes.test in
+  let rows =
+    match oracle spec with
+    | Some f ->
+        let seen = Hashtbl.create (2 * total) in
+        let rec draw acc remaining guard =
+          if remaining = 0 || guard = 0 then acc
+          else begin
+            let bits = random_bits st spec.num_inputs in
+            let key = key_of_bits bits in
+            if Hashtbl.mem seen key then draw acc remaining (guard - 1)
+            else begin
+              Hashtbl.add seen key ();
+              draw ((bits, f bits) :: acc) (remaining - 1) (guard - 1)
+            end
+          end
+        in
+        draw [] total (20 * total)
+    | None -> (
+        match image_source spec with
+        | Some (images, comparison) ->
+            List.init total (fun _ -> Image_bench.sample images ~comparison st)
+        | None -> assert false)
+  in
+  let d = Data.Dataset.create ~num_inputs:spec.num_inputs rows in
+  let train, rest = Data.Dataset.split_at d (min sizes.train (Data.Dataset.num_samples d)) in
+  let valid, test =
+    Data.Dataset.split_at rest (min sizes.valid (Data.Dataset.num_samples rest))
+  in
+  { spec; train; valid; test }

@@ -1,0 +1,56 @@
+(** The 100-benchmark contest suite.
+
+    Benchmarks ex00-ex99 follow the paper's Table I: arithmetic bit
+    functions, random-logic cones (substituting the PicoJava/MCNC
+    originals), symmetric functions, and synthetic MNIST/CIFAR group
+    comparisons (Table II).  Instantiating a benchmark deterministically
+    samples disjoint train/validation/test datasets, the train and
+    validation sets playing the role of the files given to contestants and
+    the test set the hidden one. *)
+
+type category =
+  | Adder
+  | Divider
+  | Multiplier
+  | Comparator
+  | Square_root
+  | Logic_cone  (** PicoJava / MCNC substitutes *)
+  | Symmetric
+  | Mnist_like
+  | Cifar_like
+
+val category_name : category -> string
+
+type benchmark = {
+  id : int;  (** 0..99 *)
+  name : string;  (** "ex07" *)
+  category : category;
+  num_inputs : int;
+  description : string;
+}
+
+val benchmarks : benchmark array
+(** All 100, in id order. *)
+
+val benchmark : int -> benchmark
+
+type sizes = { train : int; valid : int; test : int }
+
+val contest_sizes : sizes
+(** 6400 / 6400 / 6400, as in the paper. *)
+
+val reduced_sizes : sizes
+(** 1500 / 1500 / 1500 — default for the bench harness. *)
+
+type instance = {
+  spec : benchmark;
+  train : Data.Dataset.t;
+  valid : Data.Dataset.t;
+  test : Data.Dataset.t;
+}
+
+val instantiate : ?sizes:sizes -> seed:int -> benchmark -> instance
+(** Deterministic in [(seed, benchmark, sizes)].  For deterministic
+    oracles the three sets have disjoint input vectors; for the image
+    benchmarks samples are drawn independently (duplicates across sets are
+    as unlikely as in the originals). *)

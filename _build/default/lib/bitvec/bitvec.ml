@@ -1,0 +1,286 @@
+(* Unsigned bit vectors stored LSB-first in an int array, 62 value bits per
+   word so that word-level arithmetic never overflows a native int. *)
+
+let bits_per_word = 62
+let word_mask = (1 lsl bits_per_word) - 1
+
+type t = { width : int; words : int array }
+
+let num_words width = (width + bits_per_word - 1) / bits_per_word
+
+(* Clear any bits above [width] in the top word so that equality and
+   comparison can work word-wise. *)
+let normalize v =
+  let r = v.width mod bits_per_word in
+  if r <> 0 && Array.length v.words > 0 then begin
+    let top = Array.length v.words - 1 in
+    v.words.(top) <- v.words.(top) land ((1 lsl r) - 1)
+  end;
+  v
+
+let width v = v.width
+
+let zero w =
+  if w < 0 then invalid_arg "Bitvec.zero: negative width";
+  { width = w; words = Array.make (num_words w) 0 }
+
+let get v i =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec.get: index out of range";
+  v.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+
+let set v i b =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec.set: index out of range";
+  let words = Array.copy v.words in
+  let w = i / bits_per_word and r = i mod bits_per_word in
+  if b then words.(w) <- words.(w) lor (1 lsl r)
+  else words.(w) <- words.(w) land lnot (1 lsl r);
+  { v with words }
+
+let one w =
+  if w < 1 then invalid_arg "Bitvec.one: width must be >= 1";
+  set (zero w) 0 true
+
+let of_int ~width:w v =
+  if v < 0 then invalid_arg "Bitvec.of_int: negative value";
+  let out = zero w in
+  let rec fill i v =
+    if v <> 0 && i < Array.length out.words then begin
+      out.words.(i) <- v land word_mask;
+      fill (i + 1) (v lsr bits_per_word)
+    end
+  in
+  fill 0 v;
+  normalize out
+
+let to_int v =
+  let acc = ref 0 in
+  for i = v.width - 1 downto 0 do
+    if !acc >= 1 lsl (Sys.int_size - 3) then
+      failwith "Bitvec.to_int: value too large";
+    acc := (!acc lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !acc
+
+let of_bits a =
+  let v = zero (Array.length a) in
+  Array.iteri
+    (fun i b ->
+      if b then
+        v.words.(i / bits_per_word) <-
+          v.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+    a;
+  v
+
+let to_bits v = Array.init v.width (get v)
+
+let equal a b =
+  (* Value equality irrespective of width. *)
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go i =
+    if i >= max la lb then true
+    else
+      let wa = if i < la then a.words.(i) else 0
+      and wb = if i < lb then b.words.(i) else 0 in
+      wa = wb && go (i + 1)
+  in
+  go 0
+
+let compare a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let wa = if i < la then a.words.(i) else 0
+      and wb = if i < lb then b.words.(i) else 0 in
+      if wa <> wb then Stdlib.compare wa wb else go (i - 1)
+  in
+  go (max la lb - 1)
+
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+
+let zero_extend v w =
+  if w < v.width then invalid_arg "Bitvec.zero_extend: narrower target";
+  let out = zero w in
+  Array.blit v.words 0 out.words 0 (Array.length v.words);
+  out
+
+let concat ~hi ~lo =
+  let out = zero (hi.width + lo.width) in
+  for i = 0 to lo.width - 1 do
+    if get lo i then
+      out.words.(i / bits_per_word) <-
+        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  for i = 0 to hi.width - 1 do
+    let j = i + lo.width in
+    if get hi i then
+      out.words.(j / bits_per_word) <-
+        out.words.(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
+  done;
+  out
+
+let extract v ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > v.width then
+    invalid_arg "Bitvec.extract: range out of bounds";
+  let out = zero len in
+  for i = 0 to len - 1 do
+    if get v (lo + i) then
+      out.words.(i / bits_per_word) <-
+        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  out
+
+let add_full a b w =
+  let out = zero w in
+  let n = Array.length out.words in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let wa = if i < Array.length a.words then a.words.(i) else 0
+    and wb = if i < Array.length b.words then b.words.(i) else 0 in
+    let s = wa + wb + !carry in
+    out.words.(i) <- s land word_mask;
+    carry := s lsr bits_per_word
+  done;
+  (normalize out, !carry)
+
+let add a b =
+  let w = max a.width b.width in
+  fst (add_full a b w)
+
+let add_carry a b =
+  if a.width <> b.width then invalid_arg "Bitvec.add_carry: width mismatch";
+  let sum, c = add_full a b a.width in
+  (* Carry out of the declared width, not of the word array. *)
+  let r = a.width mod bits_per_word in
+  if r = 0 then (sum, c <> 0)
+  else begin
+    (* Recompute the bit that overflowed past [width]. *)
+    let wide, _ = add_full a b (a.width + 1) in
+    (sum, get wide a.width)
+  end
+
+let sub a b =
+  let w = max a.width b.width in
+  let out = zero w in
+  let n = Array.length out.words in
+  let borrow = ref 0 in
+  for i = 0 to n - 1 do
+    let wa = if i < Array.length a.words then a.words.(i) else 0
+    and wb = if i < Array.length b.words then b.words.(i) else 0 in
+    let d = wa - wb - !borrow in
+    if d < 0 then begin
+      out.words.(i) <- d + (1 lsl bits_per_word);
+      borrow := 1
+    end
+    else begin
+      out.words.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let shift_left v k =
+  if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
+  let out = zero v.width in
+  for i = v.width - 1 downto k do
+    if get v (i - k) then
+      out.words.(i / bits_per_word) <-
+        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  out
+
+let shift_right v k =
+  if k < 0 then invalid_arg "Bitvec.shift_right: negative shift";
+  let out = zero v.width in
+  for i = 0 to v.width - 1 - k do
+    if get v (i + k) then
+      out.words.(i / bits_per_word) <-
+        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  out
+
+let mul a b =
+  (* Schoolbook shift-and-add at the full product width. *)
+  let w = max 1 (a.width + b.width) in
+  let wide_a = zero_extend a w in
+  let acc = ref (zero w) in
+  for i = 0 to b.width - 1 do
+    if get b i then acc := add !acc (shift_left wide_a i)
+  done;
+  !acc
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let q = ref (zero a.width) and r = ref (zero a.width) in
+  let bw = zero_extend b (max a.width b.width) in
+  let bw = extract bw ~lo:0 ~len:a.width in
+  for i = a.width - 1 downto 0 do
+    r := shift_left !r 1;
+    if get a i then r := set !r 0 true;
+    if compare !r bw >= 0 then begin
+      r := sub !r bw;
+      q := set !q i true
+    end
+  done;
+  (!q, !r)
+
+let isqrt v =
+  let out_w = (v.width + 1) / 2 in
+  let root = ref (zero (max 1 out_w)) in
+  (* Binary search bit by bit from the top. *)
+  for i = out_w - 1 downto 0 do
+    let candidate = set !root i true in
+    let c = zero_extend candidate v.width in
+    let sq = mul c c in
+    let sq = extract sq ~lo:0 ~len:(min (width sq) (2 * v.width)) in
+    let target = zero_extend v (width sq) in
+    if compare sq target <= 0 then root := candidate
+  done;
+  !root
+
+let popcount v =
+  Array.fold_left
+    (fun acc w ->
+      let rec pc w acc = if w = 0 then acc else pc (w lsr 1) (acc + (w land 1)) in
+      pc w acc)
+    0 v.words
+
+let lognot v =
+  normalize { v with words = Array.map (fun w -> lnot w land word_mask) v.words }
+
+let binop name f a b =
+  if a.width <> b.width then invalid_arg ("Bitvec." ^ name ^ ": width mismatch");
+  { a with words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let logand a b = binop "logand" ( land ) a b
+let logor a b = binop "logor" ( lor ) a b
+let logxor a b = binop "logxor" ( lxor ) a b
+
+let random st w =
+  let v = zero w in
+  for i = 0 to Array.length v.words - 1 do
+    v.words.(i) <- Random.State.bits st
+                   lor (Random.State.bits st lsl 30)
+                   lor (Random.State.int st 4 lsl 60)
+  done;
+  normalize v
+
+let to_string v =
+  String.init v.width (fun i -> if get v (v.width - 1 - i) then '1' else '0')
+
+let of_string s =
+  let n = String.length s in
+  let v = zero n in
+  String.iteri
+    (fun i c ->
+      let j = n - 1 - i in
+      match c with
+      | '1' ->
+          v.words.(j / bits_per_word) <-
+            v.words.(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
+      | '0' -> ()
+      | _ -> invalid_arg "Bitvec.of_string: non-binary character")
+    s;
+  v
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

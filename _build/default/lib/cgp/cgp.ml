@@ -1,0 +1,286 @@
+type function_set = Aig_ops | Xaig_ops
+
+type params = {
+  num_nodes : int;
+  lambda : int;
+  generations : int;
+  function_set : function_set;
+  batch_size : int option;
+  change_batch_every : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    num_nodes = 500;
+    lambda = 4;
+    generations = 5000;
+    function_set = Aig_ops;
+    batch_size = None;
+    change_batch_every = 1000;
+    seed = 0;
+  }
+
+(* Gate functions: AND with the four polarity combinations, plus XOR in
+   the XAIG basis. *)
+let num_functions = function Aig_ops -> 4 | Xaig_ops -> 5
+
+type gene = { fn : int; a : int; b : int }
+
+type genome = {
+  num_inputs : int;
+  function_set : function_set;
+  genes : gene array;
+  out : int;  (** signal index: inputs are 0..n-1, gate j is n+j *)
+  out_neg : bool;
+}
+
+let active_gates g =
+  let n = g.num_inputs in
+  let active = Array.make (Array.length g.genes) false in
+  let rec mark signal =
+    if signal >= n then begin
+      let j = signal - n in
+      if not active.(j) then begin
+        active.(j) <- true;
+        mark g.genes.(j).a;
+        mark g.genes.(j).b
+      end
+    end
+  in
+  mark g.out;
+  active
+
+let num_active g =
+  Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 (active_gates g)
+
+let random_gene st fs ~position ~num_inputs =
+  let sources = num_inputs + position in
+  {
+    fn = Random.State.int st (num_functions fs);
+    a = Random.State.int st sources;
+    b = Random.State.int st sources;
+  }
+
+let random_genome st params ~num_inputs =
+  let genes =
+    Array.init params.num_nodes (fun j ->
+        random_gene st params.function_set ~position:j ~num_inputs)
+  in
+  {
+    num_inputs;
+    function_set = params.function_set;
+    genes;
+    out = num_inputs + params.num_nodes - 1;
+    out_neg = false;
+  }
+
+let of_aig ?(padding_factor = 2) st aig =
+  let aig = Aig.Opt.cleanup aig in
+  let n = Aig.Graph.num_inputs aig in
+  let num_ands = max 1 (Aig.Graph.num_ands aig) in
+  let total = max 1 (padding_factor * num_ands) in
+  (* AIG variable -> CGP signal index.  Inputs map directly; the constant
+     maps to a dedicated always-false gate built as AND(not x0, x0). *)
+  let const_gate = { fn = 1; a = 0; b = 0 } in
+  let genes = Array.make total const_gate in
+  let map = Array.make (Aig.Graph.num_vars aig) 0 in
+  for i = 0 to n - 1 do
+    map.(1 + i) <- i
+  done;
+  (* Gate 0 is the constant-false; AND gates follow in topological order. *)
+  let next = ref 1 in
+  let signal_of_lit l =
+    let v = Aig.Graph.var_of_lit l in
+    let s = if v = 0 then n (* const gate *) else map.(v) in
+    (s, Aig.Graph.is_complemented l)
+  in
+  ignore
+    (Aig.Graph.fold_ands aig ~init:() ~f:(fun () var f0 f1 ->
+         let sa, na = signal_of_lit f0 in
+         let sb, nb = signal_of_lit f1 in
+         let fn =
+           match (na, nb) with
+           | false, false -> 0
+           | true, false -> 1
+           | false, true -> 2
+           | true, true -> 3
+         in
+         genes.(!next) <- { fn; a = sa; b = sb };
+         map.(var) <- n + !next;
+         incr next));
+  (* Pad with random (inactive) gates. *)
+  for j = !next to total - 1 do
+    genes.(j) <- random_gene st Aig_ops ~position:j ~num_inputs:n
+  done;
+  let out_signal, out_neg = signal_of_lit (Aig.Graph.output aig) in
+  {
+    num_inputs = n;
+    function_set = Aig_ops;
+    genes;
+    out = out_signal;
+    out_neg;
+  }
+
+let predict_mask g columns =
+  let n_samples =
+    if Array.length columns = 0 then 0 else Words.length columns.(0)
+  in
+  let n = g.num_inputs in
+  let active = active_gates g in
+  let values = Array.make (n + Array.length g.genes) (Words.create 0) in
+  for i = 0 to n - 1 do
+    values.(i) <- columns.(i)
+  done;
+  Array.iteri
+    (fun j gene ->
+      if active.(j) then begin
+        let va = values.(gene.a) and vb = values.(gene.b) in
+        let dst = Words.create n_samples in
+        (match gene.fn with
+        | 0 -> Words.and_into ~dst va vb
+        | 1 -> Words.andnot_into ~dst vb va
+        | 2 -> Words.andnot_into ~dst va vb
+        | 3 ->
+            Words.or_into ~dst va vb;
+            Words.not_into ~dst dst
+        | 4 -> Words.xor_into ~dst va vb
+        | _ -> assert false);
+        values.(n + j) <- dst
+      end)
+    g.genes;
+  let out =
+    if g.out < n then Words.copy values.(g.out) else values.(g.out)
+  in
+  if g.out_neg then Words.lognot out else out
+
+let accuracy g d =
+  Data.Dataset.accuracy ~predicted:(predict_mask g (Data.Dataset.columns d)) d
+
+let mutate st rate g =
+  let genes =
+    Array.mapi
+      (fun j gene ->
+        let sources = g.num_inputs + j in
+        let fn =
+          if Random.State.float st 1.0 < rate then
+            Random.State.int st (num_functions g.function_set)
+          else gene.fn
+        in
+        let a =
+          if Random.State.float st 1.0 < rate then Random.State.int st sources
+          else gene.a
+        in
+        let b =
+          if Random.State.float st 1.0 < rate then Random.State.int st sources
+          else gene.b
+        in
+        { fn; a; b })
+      g.genes
+  in
+  let out =
+    if Random.State.float st 1.0 < rate then
+      Random.State.int st (g.num_inputs + Array.length g.genes)
+    else g.out
+  in
+  let out_neg =
+    if Random.State.float st 1.0 < rate then Random.State.bool st else g.out_neg
+  in
+  { g with genes; out; out_neg }
+
+let evolve ?initial params d =
+  let st = Random.State.make [| 0xc69; params.seed |] in
+  let columns = Data.Dataset.columns d in
+  let outputs = Data.Dataset.outputs d in
+  let n_samples = Data.Dataset.num_samples d in
+  let parent =
+    ref
+      (match initial with
+      | Some g ->
+          if g.num_inputs <> Data.Dataset.num_inputs d then
+            invalid_arg "Cgp.evolve: genome arity mismatch";
+          g
+      | None -> random_genome st params ~num_inputs:(Data.Dataset.num_inputs d))
+  in
+  let batch_mask = ref None in
+  let refresh_batch () =
+    match params.batch_size with
+    | None -> batch_mask := None
+    | Some k when k >= n_samples -> batch_mask := None
+    | Some k ->
+        let mask = Words.create n_samples in
+        let filled = ref 0 in
+        while !filled < k do
+          let j = Random.State.int st n_samples in
+          if not (Words.get mask j) then begin
+            Words.set mask j true;
+            incr filled
+          end
+        done;
+        batch_mask := Some mask
+  in
+  refresh_batch ();
+  let fitness g =
+    let predicted = predict_mask g columns in
+    let wrong = Words.logxor predicted outputs in
+    match !batch_mask with
+    | None -> n_samples - Words.popcount wrong
+    | Some mask -> Words.popcount mask - Words.count_and wrong mask
+  in
+  let rate = ref 0.02 in
+  let parent_fit = ref (fitness !parent) in
+  for generation = 1 to params.generations do
+    if
+      params.batch_size <> None
+      && generation mod params.change_batch_every = 0
+    then begin
+      refresh_batch ();
+      parent_fit := fitness !parent
+    end;
+    let improved = ref false in
+    for _ = 1 to params.lambda do
+      let child = mutate st !rate !parent in
+      let fit = fitness child in
+      (* >= with larger-phenotype preference on exact ties. *)
+      if
+        fit > !parent_fit
+        || (fit = !parent_fit && num_active child >= num_active !parent)
+      then begin
+        if fit > !parent_fit then improved := true;
+        parent := child;
+        parent_fit := fit
+      end
+    done;
+    (* 1/5-th rule: grow the rate on success, shrink it gently otherwise. *)
+    if !improved then rate := min 0.25 (!rate *. 1.5)
+    else rate := max 0.002 (!rate *. 0.98)
+  done;
+  let final = !parent in
+  batch_mask := None;
+  (final, accuracy final d)
+
+let to_aig g =
+  let aig = Aig.Graph.create ~num_inputs:g.num_inputs in
+  let n = g.num_inputs in
+  let active = active_gates g in
+  let signals = Array.make (n + Array.length g.genes) Aig.Graph.const_false in
+  for i = 0 to n - 1 do
+    signals.(i) <- Aig.Graph.input aig i
+  done;
+  Array.iteri
+    (fun j gene ->
+      if active.(j) then begin
+        let a = signals.(gene.a) and b = signals.(gene.b) in
+        signals.(n + j) <-
+          (match gene.fn with
+          | 0 -> Aig.Graph.and_ aig a b
+          | 1 -> Aig.Graph.and_ aig (Aig.Graph.lit_not a) b
+          | 2 -> Aig.Graph.and_ aig a (Aig.Graph.lit_not b)
+          | 3 -> Aig.Graph.and_ aig (Aig.Graph.lit_not a) (Aig.Graph.lit_not b)
+          | 4 -> Aig.Graph.xor_ aig a b
+          | _ -> assert false)
+      end)
+    g.genes;
+  Aig.Graph.set_output aig
+    (Aig.Graph.lit_notif signals.(g.out) g.out_neg);
+  Aig.Opt.cleanup aig

@@ -1,0 +1,51 @@
+(** Cartesian Genetic Programming (Team 9).
+
+    Single-row CGP: a genome is a feed-forward array of gates, each
+    referencing two strictly earlier signals (primary inputs or previous
+    gates), plus an output pointer.  The function set is the AIG basis —
+    AND with the four input-polarity combinations — optionally extended
+    with XOR (the paper's XAIG option).  Search uses a (1+lambda)
+    evolution strategy whose mutation rate self-adjusts by the 1/5-th
+    success rule; fitness is training accuracy with ties broken in favour
+    of phenotypically *larger* individuals, and training can run on
+    periodically refreshed mini-batches.  The initial population is either
+    random or bootstrapped from an existing AIG (a solution found by
+    decision trees or espresso) with non-functional padding nodes that
+    double the genome, as in the paper's flow. *)
+
+type function_set = Aig_ops | Xaig_ops
+
+type params = {
+  num_nodes : int;
+  lambda : int;
+  generations : int;
+  function_set : function_set;
+  batch_size : int option;  (** [None] = whole training set *)
+  change_batch_every : int;
+  seed : int;
+}
+
+val default_params : params
+(** 500 nodes, lambda 4, 5000 generations, AIG ops, whole-set fitness. *)
+
+type genome
+
+val num_active : genome -> int
+(** Size of the phenotype (gates reachable from the output). *)
+
+val random_genome : Random.State.t -> params -> num_inputs:int -> genome
+
+val of_aig : ?padding_factor:int -> Random.State.t -> Aig.Graph.t -> genome
+(** Bootstrap: embed the AIG's gates and pad with random inactive gates
+    so the genome has [padding_factor] (default 2) times the AIG's
+    nodes. *)
+
+val evolve :
+  ?initial:genome -> params -> Data.Dataset.t -> genome * float
+(** Run the ES; returns the best genome and its full-training-set
+    accuracy. *)
+
+val predict_mask : genome -> Words.t array -> Words.t
+val accuracy : genome -> Data.Dataset.t -> float
+
+val to_aig : genome -> Aig.Graph.t

@@ -1,0 +1,1 @@
+lib/contest/cv.ml: Data List

@@ -1,0 +1,1 @@
+lib/contest/cv.mli: Data Random

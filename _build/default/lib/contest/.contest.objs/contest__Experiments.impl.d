@@ -1,0 +1,1 @@
+lib/contest/experiments.ml: Aig Array Bdd Benchgen Cgp Data Dtree Featsel Float Forest Fun Hashtbl List Lutnet Nnet Option Printf Random Report Rules Score Solver Sop Synth Teams Unix

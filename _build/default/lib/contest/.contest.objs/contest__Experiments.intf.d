@@ -1,0 +1,1 @@
+lib/contest/experiments.mli: Benchgen Score Solver

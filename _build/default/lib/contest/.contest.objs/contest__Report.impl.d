@@ -1,0 +1,1 @@
+lib/contest/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/contest/score.ml: Aig Benchgen Hashtbl List Solver

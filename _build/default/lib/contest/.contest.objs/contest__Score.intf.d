@@ -1,0 +1,1 @@
+lib/contest/score.mli: Benchgen Solver

@@ -1,0 +1,1 @@
+lib/contest/solver.ml: Aig Benchgen Data Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/contest/solver.mli: Aig Benchgen Data Words

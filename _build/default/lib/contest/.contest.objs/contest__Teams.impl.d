@@ -1,0 +1,1 @@
+lib/contest/teams.ml: Aig Array Benchgen Cgp Cv Data Dtree Featsel Fmatch Forest Fun List Lutnet Nnet Option Printf Random Rules Solver Sop Synth Words

@@ -1,0 +1,1 @@
+lib/contest/teams.mli: Aig Data Solver

@@ -1,0 +1,21 @@
+let accuracy ~rng ~k ~train ~score d =
+  let folds = Data.Dataset.k_folds rng d ~k in
+  let total =
+    List.fold_left
+      (fun acc (train_fold, test_fold) ->
+        let model = train train_fold in
+        acc +. score model test_fold)
+      0.0 folds
+  in
+  total /. float_of_int k
+
+let select ~rng ~k ~candidates d =
+  match candidates with
+  | [] -> invalid_arg "Cv.select: no candidates"
+  | _ ->
+      let scored =
+        List.map
+          (fun (name, train, score) -> (accuracy ~rng ~k ~train ~score d, name))
+          candidates
+      in
+      snd (List.fold_left max (List.hd scored) (List.tl scored))

@@ -1,0 +1,20 @@
+(** k-fold cross-validation, the model-selection statistic most teams used
+    (Weka's CV for Team 2, 10-fold CV for Teams 4 and 7). *)
+
+val accuracy :
+  rng:Random.State.t ->
+  k:int ->
+  train:(Data.Dataset.t -> 'model) ->
+  score:('model -> Data.Dataset.t -> float) ->
+  Data.Dataset.t ->
+  float
+(** Mean held-out-fold accuracy over [k] folds. *)
+
+val select :
+  rng:Random.State.t ->
+  k:int ->
+  candidates:(string * (Data.Dataset.t -> 'model) * ('model -> Data.Dataset.t -> float)) list ->
+  Data.Dataset.t ->
+  string
+(** Name of the candidate with the best cross-validated accuracy.
+    Raises [Invalid_argument] on an empty candidate list. *)

@@ -1,0 +1,99 @@
+(** One driver per table/figure of the paper.
+
+    Every function prints the regenerated rows/series to stdout; shared
+    inputs come from a {!run} of the full team-by-benchmark grid so that
+    Table III and Figures 2, 3, 4, 32 and 33 reuse the same solver
+    executions. *)
+
+type config = {
+  sizes : Benchgen.Suite.sizes;
+  seed : int;
+  ids : int list;  (** benchmark ids to include *)
+}
+
+val default_config : config
+(** Reduced sizes, all 100 benchmarks, seed 1. *)
+
+val config_with : ?full:bool -> ?ids:int list -> ?seed:int -> unit -> config
+
+type run = {
+  config : config;
+  instances : Benchgen.Suite.instance list;
+  per_team : (string * Score.metrics list) list;
+}
+
+val run_suite : ?teams:Solver.t list -> ?progress:bool -> config -> run
+(** Instantiate the benchmarks and run every solver on every benchmark.
+    [progress] (default true) logs one line per (team, benchmark) to
+    stderr. *)
+
+(** {1 Experiments driven by the shared run} *)
+
+val table3 : run -> unit
+(** Team performance: test accuracy, gates, levels, overfit. *)
+
+val fig2 : run -> unit
+(** Accuracy-size trade-off: per-team averages plus the virtual-best
+    Pareto sweep over gate caps. *)
+
+val fig3 : run -> unit
+(** Maximum accuracy achieved for each benchmark. *)
+
+val fig4 : run -> unit
+(** Win rate (best and top-1%) per team. *)
+
+val fig32_33 : run -> unit
+(** Team 10 per-benchmark accuracy and AIG size. *)
+
+(** {1 Standalone experiments} *)
+
+val fig1 : unit -> unit
+(** Technique matrix of the ten teams. *)
+
+val table4_fig16_17 : config -> unit
+(** Team 3's method comparison: DT, fringe DT, NN, LUT-net, ensemble —
+    averages (Table IV) and per-benchmark series (Figs. 16/17). *)
+
+val table5 : config -> unit
+(** NN accuracy before pruning, after pruning, after LUT synthesis. *)
+
+val table6 : config -> unit
+(** Team 5 configuration census: winning decision tool / feature
+    selection / scoring function / split proportion per benchmark. *)
+
+val table7_cgp : config -> unit
+(** Team 9: CGP hyper-parameter table and bootstrap-vs-random study. *)
+
+val fig5_6 : config -> unit
+(** Team 1's per-method accuracy and size (espresso / LUT network /
+    random forest). *)
+
+val fig7 : config -> unit
+(** Approximation effect: oversized LUT-net AIGs before and after the
+    node-budget approximation. *)
+
+val fig11_12 : config -> unit
+(** Team 2: J48-style trees vs PART rules, per-benchmark accuracy and
+    AND counts. *)
+
+val fig21 : config -> unit
+(** Team 4 per-benchmark validation accuracy and node count. *)
+
+val fig26_27 : config -> unit
+(** Team 7's explanatory analysis (paper Figs. 26-27): per-input-bit
+    importance of a boosted-tree model on word-structured benchmarks.
+    Correlation shows no pattern on the multiplier MSB while model-based
+    (permutation) importance exposes the per-word monotone "weight"
+    staircase that the matcher exploits. *)
+
+val ablations : config -> unit
+(** Ablation studies of the design choices this reproduction makes:
+    espresso pass count (Team 1 stops after one irredundant), fringe
+    extraction rounds, the functional-decomposition threshold, and the
+    approximation pass's protected output levels. *)
+
+val appendix_bdd : config -> unit
+(** Team 1's post-contest BDD study: learning the second MSB of adders
+    with don't-care BDD minimization under MSB-first interleaved variable
+    order (one-sided vs two-sided vs complemented matching), and learning
+    large parities, where only complemented matching succeeds. *)

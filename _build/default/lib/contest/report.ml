@@ -1,0 +1,43 @@
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "%-*s" w cell
+        else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let bars ?(width = 50) entries =
+  let maximum =
+    List.fold_left (fun acc (_, v) -> max acc v) epsilon_float entries
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (float_of_int width *. v /. maximum) in
+      Printf.printf "%-*s  %s %.4g\n" label_width label (String.make (max 0 n) '#') v)
+    entries
+
+let fmt_pct v = Printf.sprintf "%.2f" (100.0 *. v)
+let fmt_f1 v = Printf.sprintf "%.1f" v

@@ -1,0 +1,16 @@
+(** Plain-text table and bar-chart rendering for the experiment output. *)
+
+val heading : string -> unit
+(** Print a underlined section heading. *)
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table on stdout. *)
+
+val bars : ?width:int -> (string * float) list -> unit
+(** Horizontal bar chart: label, value (bar scaled to the maximum). *)
+
+val fmt_pct : float -> string
+(** [0.8765] -> ["87.65"]. *)
+
+val fmt_f1 : float -> string
+(** One decimal. *)

@@ -1,0 +1,97 @@
+type metrics = {
+  benchmark : int;
+  technique : string;
+  test_acc : float;
+  valid_acc : float;
+  gates : int;
+  levels : int;
+}
+
+let measure (instance : Benchgen.Suite.instance) (result : Solver.result) =
+  let aig = result.Solver.aig in
+  {
+    benchmark = instance.Benchgen.Suite.spec.Benchgen.Suite.id;
+    technique = result.Solver.technique;
+    test_acc = Solver.evaluate aig instance.Benchgen.Suite.test;
+    valid_acc = Solver.evaluate aig instance.Benchgen.Suite.valid;
+    gates = Aig.Graph.num_ands (Aig.Opt.cleanup aig);
+    levels = Aig.Graph.levels aig;
+  }
+
+type team_row = {
+  team : string;
+  avg_test : float;
+  avg_gates : float;
+  avg_levels : float;
+  overfit : float;
+}
+
+let mean f l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left (fun acc x -> acc +. f x) 0.0 l /. float_of_int (List.length l)
+
+let team_summary ~team metrics =
+  {
+    team;
+    avg_test = 100.0 *. mean (fun m -> m.test_acc) metrics;
+    avg_gates = mean (fun m -> float_of_int m.gates) metrics;
+    avg_levels = mean (fun m -> float_of_int m.levels) metrics;
+    overfit = 100.0 *. mean (fun m -> m.valid_acc -. m.test_acc) metrics;
+  }
+
+let sort_rows rows =
+  List.sort (fun a b -> compare b.avg_test a.avg_test) rows
+
+type win_rate = { team : string; wins : int; top1 : int }
+
+(* Index metrics by benchmark id. *)
+let by_benchmark metrics =
+  let t = Hashtbl.create 128 in
+  List.iter (fun m -> Hashtbl.replace t m.benchmark m) metrics;
+  t
+
+let win_rates teams =
+  let tables = List.map (fun (name, ms) -> (name, by_benchmark ms)) teams in
+  let ids =
+    List.concat_map (fun (_, ms) -> List.map (fun m -> m.benchmark) ms) teams
+    |> List.sort_uniq compare
+  in
+  let best_for id =
+    List.fold_left
+      (fun acc (_, table) ->
+        match Hashtbl.find_opt table id with
+        | Some m -> max acc m.test_acc
+        | None -> acc)
+      neg_infinity tables
+  in
+  let best = List.map (fun id -> (id, best_for id)) ids in
+  List.map
+    (fun (name, table) ->
+      let wins = ref 0 and top1 = ref 0 in
+      List.iter
+        (fun (id, b) ->
+          match Hashtbl.find_opt table id with
+          | None -> ()
+          | Some m ->
+              if m.test_acc >= b -. 1e-9 then incr wins;
+              if m.test_acc >= b -. 0.01 then incr top1)
+        best;
+      { team = name; wins = !wins; top1 = !top1 })
+    tables
+
+let virtual_best teams =
+  let tables = List.map (fun (name, ms) -> (name, by_benchmark ms)) teams in
+  let ids =
+    List.concat_map (fun (_, ms) -> List.map (fun m -> m.benchmark) ms) teams
+    |> List.sort_uniq compare
+  in
+  List.map
+    (fun id ->
+      let candidates =
+        List.filter_map (fun (_, table) -> Hashtbl.find_opt table id) tables
+      in
+      List.fold_left
+        (fun acc m -> if m.test_acc > acc.test_acc then m else acc)
+        (List.hd candidates) (List.tl candidates))
+    ids

@@ -1,0 +1,37 @@
+(** Contest scoring and aggregate statistics (Table III, Figs. 2-4). *)
+
+type metrics = {
+  benchmark : int;
+  technique : string;
+  test_acc : float;
+  valid_acc : float;
+  gates : int;
+  levels : int;
+}
+
+val measure :
+  Benchgen.Suite.instance -> Solver.result -> metrics
+(** Evaluate a solver result on the instance's validation and test sets. *)
+
+type team_row = {
+  team : string;
+  avg_test : float;  (** percent *)
+  avg_gates : float;
+  avg_levels : float;
+  overfit : float;  (** avg (validation - test) accuracy, percent *)
+}
+
+val team_summary : team:string -> metrics list -> team_row
+
+val sort_rows : team_row list -> team_row list
+(** Decreasing average test accuracy (the contest ranking). *)
+
+type win_rate = { team : string; wins : int; top1 : int }
+(** [wins]: benchmarks where the team achieves the (tied) best accuracy;
+    [top1]: benchmarks within 1% of the best. *)
+
+val win_rates : (string * metrics list) list -> win_rate list
+
+val virtual_best : (string * metrics list) list -> metrics list
+(** Per benchmark, the metrics of the best-test-accuracy entry across all
+    teams. *)

@@ -1,0 +1,115 @@
+let gate_budget = 5000
+
+type result = {
+  aig : Aig.Graph.t;
+  technique : string;
+}
+
+type t = {
+  name : string;
+  techniques : string list;
+  solve : Benchgen.Suite.instance -> result;
+}
+
+let evaluate aig d =
+  Aig.Sim.accuracy aig (Data.Dataset.columns d) (Data.Dataset.outputs d)
+
+let enforce_budget ?patterns ~seed aig =
+  let aig = Aig.Opt.cleanup aig in
+  if Aig.Graph.num_ands aig <= gate_budget then aig
+  else
+    let st = Random.State.make [| 0xacc; seed |] in
+    fst (Aig.Approx.approximate ?patterns st aig ~budget:gate_budget)
+
+let pick_best ~valid candidates =
+  if candidates = [] then invalid_arg "Solver.pick_best: no candidates";
+  let scored =
+    List.map
+      (fun (technique, aig) ->
+        let aig =
+          enforce_budget
+            ~patterns:(Data.Dataset.columns valid)
+            ~seed:(Hashtbl.hash technique) aig
+        in
+        let acc = evaluate aig valid in
+        (acc, Aig.Graph.num_ands aig, technique, aig))
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun (ba, bg, bt, baig) (a, gates, t, aig) ->
+        if a > ba || (a = ba && gates < bg) then (a, gates, t, aig)
+        else (ba, bg, bt, baig))
+      (List.hd scored |> fun (a, g, t, aig) -> (a, g, t, aig))
+      (List.tl scored)
+  in
+  let _, _, technique, aig = best in
+  { aig; technique }
+
+let constant_result d =
+  let value, _ = Data.Dataset.constant_accuracy d in
+  let g = Aig.Graph.create ~num_inputs:(Data.Dataset.num_inputs d) in
+  Aig.Graph.set_output g
+    (if value then Aig.Graph.const_true else Aig.Graph.const_false);
+  { aig = g; technique = "constant" }
+
+type pareto_point = {
+  gates : int;
+  accuracy : float;
+  source : string;
+  circuit : Aig.Graph.t;
+}
+
+let pareto_front ?(budgets = [ 30; 60; 125; 250; 500; 1000; 2000; 5000 ])
+    ~valid ~seed candidates =
+  let points =
+    List.concat_map
+      (fun (name, aig) ->
+        let aig = Aig.Opt.cleanup aig in
+        let full =
+          {
+            gates = Aig.Graph.num_ands aig;
+            accuracy = evaluate aig valid;
+            source = name;
+            circuit = aig;
+          }
+        in
+        let shrunk =
+          List.filter_map
+            (fun budget ->
+              if budget >= full.gates then None
+              else begin
+                let st = Random.State.make [| 0x9a2e70; seed; budget |] in
+                let smaller, _ =
+                  Aig.Approx.approximate
+                    ~patterns:(Data.Dataset.columns valid)
+                    st aig ~budget
+                in
+                Some
+                  {
+                    gates = Aig.Graph.num_ands smaller;
+                    accuracy = evaluate smaller valid;
+                    source = Printf.sprintf "%s@%d" name budget;
+                    circuit = smaller;
+                  }
+              end)
+            budgets
+        in
+        full :: shrunk)
+      candidates
+  in
+  (* Keep the non-dominated points: scan by increasing gate count and keep
+     strict accuracy improvements. *)
+  let ordered =
+    List.sort
+      (fun a b -> compare (a.gates, -1.0 *. a.accuracy) (b.gates, -1.0 *. b.accuracy))
+      points
+  in
+  let front, _ =
+    List.fold_left
+      (fun (kept, best_acc) p ->
+        if p.accuracy > best_acc +. 1e-12 then (p :: kept, p.accuracy)
+        else (kept, best_acc))
+      ([], neg_infinity) ordered
+  in
+  List.rev front

@@ -1,0 +1,63 @@
+(** The contest's solver interface.
+
+    A solver sees a benchmark's training and validation sets and must
+    return a single-output AIG over the benchmark's inputs with at most
+    {!gate_budget} AND gates.  The hidden test set is only used by the
+    scoring code. *)
+
+val gate_budget : int
+(** 5000, the contest limit. *)
+
+type result = {
+  aig : Aig.Graph.t;
+  technique : string;  (** which of the solver's techniques produced it *)
+}
+
+type t = {
+  name : string;
+  techniques : string list;
+      (** representation classes used, for the paper's Fig. 1 matrix:
+          subset of ["trees"; "neural-nets"; "lut-network"; "espresso";
+          "standard-functions"] *)
+  solve : Benchgen.Suite.instance -> result;
+}
+
+val evaluate : Aig.Graph.t -> Data.Dataset.t -> float
+(** Simulation accuracy of the AIG on a dataset. *)
+
+val enforce_budget :
+  ?patterns:Words.t array -> seed:int -> Aig.Graph.t -> Aig.Graph.t
+(** Clean up and, if still over {!gate_budget}, apply the simulation-based
+    approximation until it fits.  [patterns] (typically the validation
+    columns) rank node constancy on the data distribution instead of
+    uniform stimuli. *)
+
+val pick_best :
+  valid:Data.Dataset.t ->
+  (string * Aig.Graph.t) list ->
+  result
+(** Choose, among candidates already within budget, the one with the best
+    validation accuracy (ties: fewer gates).  Candidates over budget are
+    approximated first.  Raises [Invalid_argument] on an empty list. *)
+
+val constant_result : Data.Dataset.t -> result
+(** Fallback: the best constant function for the dataset. *)
+
+type pareto_point = {
+  gates : int;
+  accuracy : float;
+  source : string;  (** technique (and budget) the point came from *)
+  circuit : Aig.Graph.t;
+}
+
+val pareto_front :
+  ?budgets:int list ->
+  valid:Data.Dataset.t ->
+  seed:int ->
+  (string * Aig.Graph.t) list ->
+  pareto_point list
+(** The paper's proposed extension ("algorithms generating an optimal
+    trade-off between accuracy and area instead of a single solution"):
+    sweep every candidate circuit through the approximation pass at each
+    budget, score on the validation set, and keep the non-dominated
+    (gates, accuracy) points, sorted by increasing size. *)

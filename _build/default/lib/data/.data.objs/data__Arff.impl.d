@@ -1,0 +1,1 @@
+lib/data/arff.ml: Array Buffer Dataset Fun Printf

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Fun List Random Words

@@ -1,0 +1,1 @@
+lib/data/pla.ml: Array Buffer Dataset Fun List Printf String

@@ -1,0 +1,19 @@
+let of_dataset ?(relation = "lsml") d =
+  let buf = Buffer.create (64 * Dataset.num_samples d) in
+  Buffer.add_string buf (Printf.sprintf "@RELATION %s\n\n" relation);
+  for i = 0 to Dataset.num_inputs d - 1 do
+    Buffer.add_string buf (Printf.sprintf "@ATTRIBUTE x%d {0,1}\n" i)
+  done;
+  Buffer.add_string buf "@ATTRIBUTE class {0,1}\n\n@DATA\n";
+  for j = 0 to Dataset.num_samples d - 1 do
+    let row = Dataset.row d j in
+    Array.iter (fun b -> Buffer.add_string buf (if b then "1," else "0,")) row;
+    Buffer.add_string buf (if Dataset.output_bit d j then "1\n" else "0\n")
+  done;
+  Buffer.contents buf
+
+let write_file path ?relation d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_dataset ?relation d))

@@ -1,0 +1,9 @@
+(** ARFF (Attribute-Relation File Format) export.
+
+    Team 2 fed the contest PLA data to WEKA via ARFF; this writer produces
+    the same nominal {0,1} encoding they describe, one attribute per input
+    bit plus a class attribute. *)
+
+val of_dataset : ?relation:string -> Dataset.t -> string
+
+val write_file : string -> ?relation:string -> Dataset.t -> unit

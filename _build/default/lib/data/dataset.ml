@@ -1,0 +1,153 @@
+type t = {
+  num_inputs : int;
+  num_samples : int;
+  cols : Words.t array;
+  outs : Words.t;
+}
+
+let num_inputs d = d.num_inputs
+let num_samples d = d.num_samples
+let columns d = d.cols
+let outputs d = d.outs
+
+let of_columns cols outs =
+  if Array.length cols = 0 then
+    invalid_arg "Dataset.of_columns: at least one input required";
+  let n = Words.length outs in
+  Array.iter
+    (fun c ->
+      if Words.length c <> n then
+        invalid_arg "Dataset.of_columns: column length mismatch")
+    cols;
+  { num_inputs = Array.length cols; num_samples = n; cols; outs }
+
+let create ~num_inputs rows =
+  let n = List.length rows in
+  let cols = Array.init num_inputs (fun _ -> Words.create n) in
+  let outs = Words.create n in
+  List.iteri
+    (fun j (inputs, y) ->
+      if Array.length inputs <> num_inputs then
+        invalid_arg "Dataset.create: row arity mismatch";
+      Array.iteri (fun i b -> if b then Words.set cols.(i) j true) inputs;
+      if y then Words.set outs j true)
+    rows;
+  { num_inputs; num_samples = n; cols; outs }
+
+let row d j = Array.map (fun c -> Words.get c j) d.cols
+let output_bit d j = Words.get d.outs j
+
+(* Gather the samples listed in [order] (indices into [d]). *)
+let gather d order =
+  let n = Array.length order in
+  let cols = Array.map (fun _ -> Words.create n) d.cols in
+  let outs = Words.create n in
+  Array.iteri
+    (fun j src ->
+      for i = 0 to d.num_inputs - 1 do
+        if Words.get d.cols.(i) src then Words.set cols.(i) j true
+      done;
+      if Words.get d.outs src then Words.set outs j true)
+    order;
+  { d with num_samples = n; cols; outs }
+
+let append a b =
+  if a.num_inputs <> b.num_inputs then
+    invalid_arg "Dataset.append: input arity mismatch";
+  let n = a.num_samples + b.num_samples in
+  let cols = Array.init a.num_inputs (fun _ -> Words.create n) in
+  let outs = Words.create n in
+  let copy src offset =
+    for j = 0 to src.num_samples - 1 do
+      for i = 0 to src.num_inputs - 1 do
+        if Words.get src.cols.(i) j then Words.set cols.(i) (offset + j) true
+      done;
+      if Words.get src.outs j then Words.set outs (offset + j) true
+    done
+  in
+  copy a 0;
+  copy b a.num_samples;
+  { a with num_samples = n; cols; outs }
+
+let select d mask =
+  if Words.length mask <> d.num_samples then
+    invalid_arg "Dataset.select: mask length mismatch";
+  gather d (Array.of_list (Words.to_list mask))
+
+let split_at d k =
+  if k < 0 || k > d.num_samples then invalid_arg "Dataset.split_at";
+  ( gather d (Array.init k Fun.id),
+    gather d (Array.init (d.num_samples - k) (fun j -> k + j)) )
+
+let permutation st n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let shuffle st d = gather d (permutation st d.num_samples)
+
+let split_ratio st d ~ratio =
+  if ratio < 0. || ratio > 1. then invalid_arg "Dataset.split_ratio";
+  let d = shuffle st d in
+  split_at d (int_of_float (ratio *. float_of_int d.num_samples))
+
+let stratified_split st d ~ratio =
+  if ratio < 0. || ratio > 1. then invalid_arg "Dataset.stratified_split";
+  let ones = ref [] and zeros = ref [] in
+  for j = d.num_samples - 1 downto 0 do
+    if output_bit d j then ones := j :: !ones else zeros := j :: !zeros
+  done;
+  let pick l =
+    let a = Array.of_list l in
+    let p = permutation st (Array.length a) in
+    Array.map (fun i -> a.(i)) p
+  in
+  let ones = pick !ones and zeros = pick !zeros in
+  let k1 = int_of_float (ratio *. float_of_int (Array.length ones)) in
+  let k0 = int_of_float (ratio *. float_of_int (Array.length zeros)) in
+  let first =
+    Array.append (Array.sub ones 0 k1) (Array.sub zeros 0 k0)
+  in
+  let second =
+    Array.append
+      (Array.sub ones k1 (Array.length ones - k1))
+      (Array.sub zeros k0 (Array.length zeros - k0))
+  in
+  (gather d first, gather d second)
+
+let accuracy ~predicted d =
+  if Words.length predicted <> d.num_samples then
+    invalid_arg "Dataset.accuracy: prediction length mismatch";
+  if d.num_samples = 0 then 1.0
+  else
+    let wrong = Words.popcount (Words.logxor predicted d.outs) in
+    1.0 -. (float_of_int wrong /. float_of_int d.num_samples)
+
+let count_output_ones d = Words.popcount d.outs
+
+let constant_accuracy d =
+  let ones = count_output_ones d in
+  let zeros = d.num_samples - ones in
+  if d.num_samples = 0 then (false, 1.0)
+  else if ones >= zeros then
+    (true, float_of_int ones /. float_of_int d.num_samples)
+  else (false, float_of_int zeros /. float_of_int d.num_samples)
+
+let bootstrap st d =
+  gather d
+    (Array.init d.num_samples (fun _ -> Random.State.int st d.num_samples))
+
+let k_folds st d ~k =
+  if k < 2 || k > d.num_samples then invalid_arg "Dataset.k_folds";
+  let order = permutation st d.num_samples in
+  let fold_of = Array.make d.num_samples 0 in
+  Array.iteri (fun pos src -> fold_of.(src) <- pos mod k) order;
+  List.init k (fun f ->
+      let test_mask = Words.init d.num_samples (fun j -> fold_of.(j) = f) in
+      let train_mask = Words.lognot test_mask in
+      (select d train_mask, select d test_mask))

@@ -1,0 +1,64 @@
+(** Labelled samples of an (incompletely specified) Boolean function.
+
+    A dataset stores [num_samples] examples of an [n]-input single-output
+    function.  Storage is columnar: one packed bit set per input variable
+    plus one for the output, bit [j] of a column being sample [j]'s value.
+    This makes decision-tree statistics and AIG co-simulation bit-parallel
+    for free. *)
+
+type t
+
+val num_inputs : t -> int
+val num_samples : t -> int
+
+val columns : t -> Words.t array
+(** Per-input value columns.  Do not mutate. *)
+
+val outputs : t -> Words.t
+(** Output column.  Do not mutate. *)
+
+val create : num_inputs:int -> (bool array * bool) list -> t
+(** Build from rows.  Raises [Invalid_argument] on arity mismatch. *)
+
+val of_columns : Words.t array -> Words.t -> t
+(** Adopt columns (no copy).  All lengths must agree and there must be at
+    least one input column. *)
+
+val row : t -> int -> bool array
+val output_bit : t -> int -> bool
+
+val append : t -> t -> t
+(** Concatenate two datasets over the same inputs. *)
+
+val select : t -> Words.t -> t
+(** [select d mask] keeps the samples whose mask bit is set, preserving
+    order. *)
+
+val split_at : t -> int -> t * t
+(** [split_at d k] is (first [k] samples, rest). *)
+
+val shuffle : Random.State.t -> t -> t
+(** Random permutation of the samples. *)
+
+val split_ratio : Random.State.t -> t -> ratio:float -> t * t
+(** Shuffle, then split so the first part holds [ratio] of the samples. *)
+
+val stratified_split : Random.State.t -> t -> ratio:float -> t * t
+(** Like {!split_ratio} but preserving the output distribution in both
+    parts (the paper's teams 5 and 10 split this way). *)
+
+val accuracy : predicted:Words.t -> t -> float
+(** Fraction of samples on which [predicted] (one bit per sample) matches
+    the dataset output.  1.0 on an empty dataset. *)
+
+val constant_accuracy : t -> bool * float
+(** The best constant predictor and its accuracy. *)
+
+val count_output_ones : t -> int
+
+val bootstrap : Random.State.t -> t -> t
+(** Sample with replacement to the same size (bagging). *)
+
+val k_folds : Random.State.t -> t -> k:int -> (t * t) list
+(** Shuffle, partition into [k] folds; element [i] is (train = all but fold
+    [i], test = fold [i]).  Used for cross-validation. *)

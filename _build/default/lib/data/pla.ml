@@ -1,0 +1,101 @@
+type term = { inputs : string; output : char }
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  kind : string;
+  terms : term list;
+}
+
+let parse text =
+  let num_inputs = ref (-1)
+  and num_outputs = ref 1
+  and kind = ref "fr"
+  and terms = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun lineno raw ->
+      let line = String.trim raw in
+      let fail msg = failwith (Printf.sprintf "Pla.parse: line %d: %s" (lineno + 1) msg) in
+      if line = "" || line.[0] = '#' then ()
+      else if line.[0] = '.' then begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ ".i"; n ] -> num_inputs := int_of_string n
+        | [ ".o"; n ] -> num_outputs := int_of_string n
+        | ".type" :: k :: _ -> kind := k
+        | ".p" :: _ | ".e" :: _ | ".ilb" :: _ | ".ob" :: _ -> ()
+        | directive :: _ -> fail ("unknown directive " ^ directive)
+        | [] -> ()
+      end
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ ins; out ] ->
+            if !num_inputs >= 0 && String.length ins <> !num_inputs then
+              fail "wrong input width";
+            String.iter
+              (function '0' | '1' | '-' -> () | c -> fail (Printf.sprintf "bad input char %c" c))
+              ins;
+            if String.length out <> 1 || (out.[0] <> '0' && out.[0] <> '1') then
+              fail "bad output";
+            terms := { inputs = ins; output = out.[0] } :: !terms
+        | _ -> fail "expected <inputs> <output>"
+      end)
+    lines;
+  let terms = List.rev !terms in
+  let num_inputs =
+    if !num_inputs >= 0 then !num_inputs
+    else
+      match terms with
+      | t :: _ -> String.length t.inputs
+      | [] -> failwith "Pla.parse: no .i directive and no terms"
+  in
+  { num_inputs; num_outputs = !num_outputs; kind = !kind; terms }
+
+let print p =
+  let buf = Buffer.create (32 * (List.length p.terms + 4)) in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" p.num_inputs p.num_outputs);
+  Buffer.add_string buf (Printf.sprintf ".type %s\n.p %d\n" p.kind (List.length p.terms));
+  List.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf "%s %c\n" t.inputs t.output))
+    p.terms;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print p))
+
+let to_dataset p =
+  let rows =
+    List.map
+      (fun t ->
+        let inputs =
+          Array.init p.num_inputs (fun i ->
+              match t.inputs.[i] with
+              | '1' -> true
+              | '0' -> false
+              | _ -> failwith "Pla.to_dataset: don't-care input in minterm")
+          (* PLA files list variables left to right; we index them the same
+             way, so inputs.(0) is the first column of the file. *)
+        in
+        (inputs, t.output = '1'))
+      p.terms
+  in
+  Dataset.create ~num_inputs:p.num_inputs rows
+
+let of_dataset d =
+  let terms =
+    List.init (Dataset.num_samples d) (fun j ->
+        let r = Dataset.row d j in
+        {
+          inputs = String.init (Array.length r) (fun i -> if r.(i) then '1' else '0');
+          output = (if Dataset.output_bit d j then '1' else '0');
+        })
+  in
+  { num_inputs = Dataset.num_inputs d; num_outputs = 1; kind = "fr"; terms }

@@ -1,0 +1,30 @@
+(** PLA (Berkeley espresso) file format.
+
+    The contest distributes training/validation/test sets as [.pla] files of
+    type [fr]: one fully specified minterm per line followed by the output
+    bit.  This module also prints covers that contain don't-care input
+    positions ['-'], which the subspace-expansion solver emits. *)
+
+type term = { inputs : string; output : char }
+(** [inputs] over characters '0', '1', '-'; [output] is '0' or '1'. *)
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  kind : string;  (** the [.type] field, e.g. "fr" *)
+  terms : term list;
+}
+
+val parse : string -> t
+(** Raises [Failure] with a line diagnostic on malformed input. *)
+
+val print : t -> string
+
+val read_file : string -> t
+val write_file : string -> t -> unit
+
+val to_dataset : t -> Dataset.t
+(** Requires every term to be fully specified (no '-').
+    Raises [Failure] otherwise. *)
+
+val of_dataset : Dataset.t -> t

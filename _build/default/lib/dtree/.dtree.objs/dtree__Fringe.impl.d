@@ -1,0 +1,1 @@
+lib/dtree/fringe.ml: Array Data List Train Tree Words

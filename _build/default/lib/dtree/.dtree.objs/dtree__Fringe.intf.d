@@ -1,0 +1,1 @@
+lib/dtree/fringe.mli: Data Random Train Tree Words

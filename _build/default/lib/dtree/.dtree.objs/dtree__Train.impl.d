@@ -1,0 +1,1 @@
+lib/dtree/train.ml: Array Data Fun Hashtbl List Random Tree Words

@@ -1,0 +1,1 @@
+lib/dtree/train.mli: Data Random Tree Words

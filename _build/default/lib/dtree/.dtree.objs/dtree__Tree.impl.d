@@ -1,0 +1,1 @@
+lib/dtree/tree.ml: Array Format List Stdlib Words

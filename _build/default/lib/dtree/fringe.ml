@@ -1,0 +1,105 @@
+type op = And | Xor
+
+type feature =
+  | Base of int
+  | Comb of { op : op; neg_a : bool; a : feature; neg_b : bool; b : feature }
+
+let rec feature_equal f g =
+  match (f, g) with
+  | Base i, Base j -> i = j
+  | Comb a, Comb b ->
+      a.op = b.op && a.neg_a = b.neg_a && a.neg_b = b.neg_b
+      && feature_equal a.a b.a && feature_equal a.b b.b
+  | Base _, Comb _ | Comb _, Base _ -> false
+
+let rec eval_feature f inputs =
+  match f with
+  | Base i -> inputs.(i)
+  | Comb { op; neg_a; a; neg_b; b } ->
+      let va = eval_feature a inputs <> neg_a in
+      let vb = eval_feature b inputs <> neg_b in
+      (match op with And -> va && vb | Xor -> va <> vb)
+
+let rec feature_column f columns =
+  match f with
+  | Base i -> columns.(i)
+  | Comb { op; neg_a; a; neg_b; b } ->
+      let ca = feature_column a columns and cb = feature_column b columns in
+      let ca = if neg_a then Words.lognot ca else ca in
+      let cb = if neg_b then Words.lognot cb else cb in
+      (match op with And -> Words.logand ca cb | Xor -> Words.logxor ca cb)
+
+type model = { tree : Tree.t; features : feature array }
+
+let extended_columns features columns =
+  Array.map (fun f -> feature_column f columns) features
+
+let predict m inputs =
+  let row = Array.map (fun f -> eval_feature f inputs) m.features in
+  Tree.predict m.tree row
+
+let predict_mask m columns =
+  Tree.predict_mask m.tree (extended_columns m.features columns)
+
+let accuracy m d =
+  let predicted = predict_mask m (Data.Dataset.columns d) in
+  Data.Dataset.accuracy ~predicted d
+
+(* The 12 fringe patterns of the paper combine the two decision variables
+   nearest a leaf under both polarities; up to complementation they reduce
+   to the polarized conjunction actually observed on the path plus the
+   exclusive-or. *)
+let fringe_candidates features tree =
+  let add acc f =
+    if List.exists (feature_equal f) acc then acc else f :: acc
+  in
+  (* Walk root-to-leaf keeping (feature, polarity) of the last two tests. *)
+  let rec walk acc path = function
+    | Tree.Leaf _ -> (
+        match path with
+        | (fb, pb) :: (fa, pa) :: _ when not (feature_equal features.(fa) features.(fb)) ->
+            let a = features.(fa) and b = features.(fb) in
+            let acc =
+              add acc (Comb { op = And; neg_a = not pa; a; neg_b = not pb; b })
+            in
+            add acc (Comb { op = Xor; neg_a = false; a; neg_b = false; b })
+        | _ -> acc)
+    | Tree.Node { feature; low; high } ->
+        let acc = walk acc ((feature, true) :: path) high in
+        walk acc ((feature, false) :: path) low
+  in
+  List.rev (walk [] [] tree)
+
+let train ?rng ?(max_rounds = 8) ?max_features params d =
+  let base = Data.Dataset.num_inputs d in
+  let max_features =
+    match max_features with Some m -> m | None -> 3 * base
+  in
+  let base_columns = Data.Dataset.columns d in
+  let outputs = Data.Dataset.outputs d in
+  let mask = Words.create (Data.Dataset.num_samples d) in
+  Words.fill mask true;
+  let rec round features columns iteration =
+    let tree = Train.train_on_columns ?rng params ~columns ~outputs ~mask in
+    if iteration >= max_rounds then { tree; features }
+    else begin
+      let candidates = fringe_candidates features tree in
+      let fresh =
+        List.filter
+          (fun f -> not (Array.exists (feature_equal f) features))
+          candidates
+      in
+      let room = max_features - Array.length features in
+      let fresh = List.filteri (fun i _ -> i < room) fresh in
+      if fresh = [] then { tree; features }
+      else begin
+        let features' = Array.append features (Array.of_list fresh) in
+        let new_cols =
+          List.map (fun f -> feature_column f base_columns) fresh
+        in
+        let columns' = Array.append columns (Array.of_list new_cols) in
+        round features' columns' (iteration + 1)
+      end
+    end
+  in
+  round (Array.init base (fun i -> Base i)) (Array.copy base_columns) 1

@@ -1,0 +1,185 @@
+type criterion = Entropy | Gini
+
+type params = {
+  max_depth : int option;
+  min_samples : int;
+  criterion : criterion;
+  feature_subset : int option;
+  decomp_threshold : float option;
+}
+
+let default_params =
+  {
+    max_depth = None;
+    min_samples = 1;
+    criterion = Entropy;
+    feature_subset = None;
+    decomp_threshold = None;
+  }
+
+let log2 x = log x /. log 2.0
+
+(* Impurity of a node with [n] samples of which [pos] are positive. *)
+let impurity criterion n pos =
+  if n = 0 || pos = 0 || pos = n then 0.0
+  else
+    let p = float_of_int pos /. float_of_int n in
+    match criterion with
+    | Entropy -> -.((p *. log2 p) +. ((1. -. p) *. log2 (1. -. p)))
+    | Gini -> 2.0 *. p *. (1. -. p)
+
+(* Information gain of splitting [mask] on [col]. *)
+let split_gain criterion ~mask ~outputs ~col ~n ~pos =
+  let hi = Words.logand mask col in
+  let n_hi = Words.popcount hi in
+  let pos_hi = Words.count_and hi outputs in
+  let n_lo = n - n_hi and pos_lo = pos - pos_hi in
+  if n_hi = 0 || n_lo = 0 then neg_infinity
+  else
+    let f = float_of_int in
+    impurity criterion n pos
+    -. ((f n_hi /. f n *. impurity criterion n_hi pos_hi)
+        +. (f n_lo /. f n *. impurity criterion n_lo pos_lo))
+
+(* Per-sample hashes of the full feature row, used to pair samples that
+   differ in exactly one feature during functional decomposition. *)
+let row_hashes ~columns ~num_samples =
+  let weight_rng = Random.State.make [| 0x5eed; Array.length columns |] in
+  let weights =
+    Array.map (fun _ -> Random.State.bits weight_rng lor (Random.State.bits weight_rng lsl 30))
+      columns
+  in
+  let hashes = Array.make num_samples 0 in
+  Array.iteri
+    (fun i col ->
+      Words.iter_set col (fun j -> hashes.(j) <- hashes.(j) + weights.(i)))
+    columns;
+  (hashes, weights)
+
+(* Team 8 functional decomposition: does splitting [mask] on feature [i]
+   leave one branch constant, or make the branches complementary?  The
+   complement test is aggressive: it passes unless two samples that agree on
+   everything but feature [i] have equal outputs. *)
+let decomposition_ok ~columns ~outputs ~mask ~hashes ~weights i =
+  let col = columns.(i) in
+  let hi = Words.logand mask col in
+  let n = Words.popcount mask in
+  let n_hi = Words.popcount hi in
+  let n_lo = n - n_hi in
+  if n_hi = 0 || n_lo = 0 then false
+  else begin
+    let pos_hi = Words.count_and hi outputs in
+    let lo = Words.andnot mask col in
+    let pos_lo = Words.count_and lo outputs in
+    if pos_hi = 0 || pos_hi = n_hi || pos_lo = 0 || pos_lo = n_lo then true
+    else begin
+      (* Complement check via hashed pairing. *)
+      let table = Hashtbl.create 64 in
+      let counterexample = ref false in
+      Words.iter_set mask (fun j ->
+          let bit = Words.get col j in
+          let key = hashes.(j) - (if bit then weights.(i) else 0) in
+          let out = Words.get outputs j in
+          match Hashtbl.find_opt table key with
+          | None -> Hashtbl.add table key (bit, out)
+          | Some (bit', out') ->
+              if bit <> bit' && out = out' then counterexample := true);
+      not !counterexample
+    end
+  end
+
+let train_on_columns ?rng params ~columns ~outputs ~mask =
+  let num_features = Array.length columns in
+  let decomp_data =
+    match params.decomp_threshold with
+    | None -> None
+    | Some _ ->
+        let num_samples = Words.length outputs in
+        Some (row_hashes ~columns ~num_samples)
+  in
+  let candidate_features st =
+    match (params.feature_subset, st) with
+    | Some k, Some st when k < num_features ->
+        (* Sample k distinct features. *)
+        let chosen = Hashtbl.create k in
+        while Hashtbl.length chosen < k do
+          Hashtbl.replace chosen (Random.State.int st num_features) ()
+        done;
+        Hashtbl.fold (fun f () acc -> f :: acc) chosen []
+    | _ -> List.init num_features Fun.id
+  in
+  let rec grow mask depth used =
+    let n = Words.popcount mask in
+    let pos = Words.count_and mask outputs in
+    let leaf = Tree.Leaf (2 * pos >= n) in
+    let depth_ok =
+      match params.max_depth with None -> true | Some d -> depth < d
+    in
+    if n < params.min_samples || pos = 0 || pos = n || not depth_ok then leaf
+    else begin
+      let best_over candidates =
+        List.fold_left
+          (fun (best_gain, best_f) f ->
+            let gain =
+              split_gain params.criterion ~mask ~outputs ~col:columns.(f) ~n ~pos
+            in
+            if gain > best_gain then (gain, Some f) else (best_gain, best_f))
+          (neg_infinity, None) candidates
+      in
+      let best =
+        match best_over (candidate_features rng) with
+        | _, None when params.feature_subset <> None ->
+            (* The sampled subset was constant on this node; fall back to
+               the full feature set rather than giving up on an impure
+               node. *)
+            best_over (List.init num_features Fun.id)
+        | found -> found
+      in
+      let chosen =
+        match (best, params.decomp_threshold, decomp_data) with
+        | (gain, Some f), Some tau, Some (hashes, weights) when gain < tau ->
+            (* Low gain: look for a decomposable unused feature; keep the
+               last qualifying one, as in the paper. *)
+            let pick =
+              List.fold_left
+                (fun acc i ->
+                  if List.mem i used then acc
+                  else if
+                    decomposition_ok ~columns ~outputs ~mask ~hashes ~weights i
+                  then Some i
+                  else acc)
+                None
+                (List.init num_features Fun.id)
+            in
+            (match pick with Some i -> Some i | None -> Some f)
+        | (_, f), _, _ -> f
+      in
+      match chosen with
+      | None -> leaf
+      | Some f ->
+          let hi = Words.logand mask columns.(f) in
+          let lo = Words.andnot mask columns.(f) in
+          if Words.is_empty hi || Words.is_empty lo then leaf
+          else
+            Tree.Node
+              {
+                feature = f;
+                low = grow lo (depth + 1) (f :: used);
+                high = grow hi (depth + 1) (f :: used);
+              }
+    end
+  in
+  let all = Words.copy mask in
+  grow all 0 []
+
+let train ?rng params d =
+  let mask = Words.create (Data.Dataset.num_samples d) in
+  Words.fill mask true;
+  train_on_columns ?rng params
+    ~columns:(Data.Dataset.columns d)
+    ~outputs:(Data.Dataset.outputs d)
+    ~mask
+
+let accuracy t d =
+  let predicted = Tree.predict_mask t (Data.Dataset.columns d) in
+  Data.Dataset.accuracy ~predicted d

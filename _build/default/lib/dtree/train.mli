@@ -1,0 +1,44 @@
+(** Decision-tree induction (C4.5-flavoured) on Boolean datasets.
+
+    All statistics are computed bit-parallel from dataset columns and a
+    subset mask, so one split evaluation costs O(features x words).
+
+    Two optional behaviours from the paper:
+    - [feature_subset]: evaluate only a random subset of the features at
+      each node (random-forest style decorrelation);
+    - [decomp_threshold]: when the best gain falls below the threshold,
+      apply Team 8's single-variable functional decomposition — prefer an
+      unused feature for which one branch is constant, or for which all
+      sample pairs differing only in that feature have complementary
+      outputs (checked aggressively: satisfied unless a counter-example is
+      present; the *last* qualifying feature is selected, reproducing the
+      implementation detail the paper reports). *)
+
+type criterion = Entropy | Gini
+
+type params = {
+  max_depth : int option;
+  min_samples : int;  (** stop splitting nodes with fewer samples *)
+  criterion : criterion;
+  feature_subset : int option;
+  decomp_threshold : float option;
+}
+
+val default_params : params
+(** No depth limit, [min_samples = 1], entropy, no subset, no
+    decomposition. *)
+
+val train : ?rng:Random.State.t -> params -> Data.Dataset.t -> Tree.t
+(** [rng] is only consulted when [feature_subset] is set. *)
+
+val train_on_columns :
+  ?rng:Random.State.t ->
+  params ->
+  columns:Words.t array ->
+  outputs:Words.t ->
+  mask:Words.t ->
+  Tree.t
+(** Train on the samples selected by [mask]; columns may include extended
+    (fringe) features. *)
+
+val accuracy : Tree.t -> Data.Dataset.t -> float

@@ -1,0 +1,52 @@
+type t =
+  | Leaf of bool
+  | Node of { feature : int; low : t; high : t }
+
+let rec predict t inputs =
+  match t with
+  | Leaf v -> v
+  | Node { feature; low; high } ->
+      predict (if inputs.(feature) then high else low) inputs
+
+let predict_mask t columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  (* Evaluate the tree once per region: recurse with the mask of samples
+     reaching each node. *)
+  let result = Words.create n in
+  let rec go t mask =
+    if not (Words.is_empty mask) then
+      match t with
+      | Leaf true -> Words.or_into ~dst:result result mask
+      | Leaf false -> ()
+      | Node { feature; low; high } ->
+          go high (Words.logand mask columns.(feature));
+          go low (Words.andnot mask columns.(feature))
+  in
+  let all = Words.create n in
+  Words.fill all true;
+  go t all;
+  result
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { low; high; _ } -> 1 + max (depth low) (depth high)
+
+let rec num_nodes = function
+  | Leaf _ -> 0
+  | Node { low; high; _ } -> 1 + num_nodes low + num_nodes high
+
+let rec num_leaves = function
+  | Leaf _ -> 1
+  | Node { low; high; _ } -> num_leaves low + num_leaves high
+
+let features_used t =
+  let rec collect acc = function
+    | Leaf _ -> acc
+    | Node { feature; low; high } -> collect (collect (feature :: acc) low) high
+  in
+  List.sort_uniq Stdlib.compare (collect [] t)
+
+let rec pp fmt = function
+  | Leaf v -> Format.fprintf fmt "%b" v
+  | Node { feature; low; high } ->
+      Format.fprintf fmt "@[<hv 2>(x%d ?@ %a :@ %a)@]" feature pp high pp low

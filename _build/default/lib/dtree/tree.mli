@@ -1,0 +1,25 @@
+(** Binary classification trees over Boolean features.
+
+    Internal nodes test one feature; [low] is taken when the feature is 0,
+    [high] when it is 1.  Feature indices refer to dataset columns (or to
+    extended columns when fringe features are in play, see {!Fringe}). *)
+
+type t =
+  | Leaf of bool
+  | Node of { feature : int; low : t; high : t }
+
+val predict : t -> bool array -> bool
+
+val predict_mask : t -> Words.t array -> Words.t
+(** Bit-parallel prediction over columnar inputs. *)
+
+val depth : t -> int
+val num_nodes : t -> int
+(** Internal (decision) nodes. *)
+
+val num_leaves : t -> int
+
+val features_used : t -> int list
+(** Sorted, deduplicated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+type score_fn = Mutual_info | Chi2 | Correlation
+
+let score_name = function
+  | Mutual_info -> "mutual_info"
+  | Chi2 -> "chi2"
+  | Correlation -> "correlation"
+
+(* 2x2 contingency counts of (feature, output). *)
+let contingency col outputs n =
+  let n11 = Words.count_and col outputs in
+  let n1_ = Words.popcount col in
+  let n_1 = Words.popcount outputs in
+  let n10 = n1_ - n11 in
+  let n01 = n_1 - n11 in
+  let n00 = n - n11 - n10 - n01 in
+  (n00, n01, n10, n11)
+
+let mutual_info col outputs n =
+  let n00, n01, n10, n11 = contingency col outputs n in
+  let fn = float_of_int n in
+  let term nxy nx ny =
+    if nxy = 0 then 0.0
+    else
+      let p = float_of_int nxy /. fn in
+      p *. log (p /. (float_of_int nx /. fn *. (float_of_int ny /. fn)))
+  in
+  let nx0 = n00 + n01 and nx1 = n10 + n11 in
+  let ny0 = n00 + n10 and ny1 = n01 + n11 in
+  term n00 nx0 ny0 +. term n01 nx0 ny1 +. term n10 nx1 ny0 +. term n11 nx1 ny1
+
+let chi2 col outputs n =
+  let n00, n01, n10, n11 = contingency col outputs n in
+  let fn = float_of_int n in
+  let nx0 = n00 + n01 and nx1 = n10 + n11 in
+  let ny0 = n00 + n10 and ny1 = n01 + n11 in
+  let cell nxy nx ny =
+    let e = float_of_int nx *. float_of_int ny /. fn in
+    if e <= 0.0 then 0.0
+    else
+      let d = float_of_int nxy -. e in
+      d *. d /. e
+  in
+  cell n00 nx0 ny0 +. cell n01 nx0 ny1 +. cell n10 nx1 ny0 +. cell n11 nx1 ny1
+
+let correlation col outputs n =
+  let _, _, _, n11 = contingency col outputs n in
+  let fn = float_of_int n in
+  let px = float_of_int (Words.popcount col) /. fn in
+  let py = float_of_int (Words.popcount outputs) /. fn in
+  let pxy = float_of_int n11 /. fn in
+  let sx = sqrt (px *. (1.0 -. px)) and sy = sqrt (py *. (1.0 -. py)) in
+  if sx = 0.0 || sy = 0.0 then 0.0
+  else abs_float ((pxy -. (px *. py)) /. (sx *. sy))
+
+let scores fn d =
+  let n = Data.Dataset.num_samples d in
+  let outputs = Data.Dataset.outputs d in
+  let score =
+    match fn with
+    | Mutual_info -> mutual_info
+    | Chi2 -> chi2
+    | Correlation -> correlation
+  in
+  Array.map (fun col -> score col outputs n) (Data.Dataset.columns d)
+
+let ranked fn d =
+  let s = scores fn d in
+  let idx = Array.init (Array.length s) Fun.id in
+  Array.sort (fun a b -> compare s.(b) s.(a)) idx;
+  idx
+
+let select_k_best fn ~k d =
+  if k < 1 then invalid_arg "Featsel.select_k_best: k must be positive";
+  let idx = ranked fn d in
+  Array.sub idx 0 (min k (Array.length idx))
+
+let select_percentile fn ~percentile d =
+  if percentile <= 0.0 || percentile > 100.0 then
+    invalid_arg "Featsel.select_percentile: percentile in (0, 100]";
+  let idx = ranked fn d in
+  let k = max 1 (int_of_float (percentile /. 100.0 *. float_of_int (Array.length idx))) in
+  Array.sub idx 0 k
+
+let shuffle_column rng col =
+  let n = Words.length col in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Words.init n (fun j -> Words.get col perm.(j))
+
+let permutation_importance ~rng ~predict ~repeats d =
+  let columns = Data.Dataset.columns d in
+  let baseline = Data.Dataset.accuracy ~predicted:(predict columns) d in
+  Array.mapi
+    (fun i _ ->
+      let total = ref 0.0 in
+      for _ = 1 to repeats do
+        let shuffled = Array.copy columns in
+        shuffled.(i) <- shuffle_column rng columns.(i);
+        let acc = Data.Dataset.accuracy ~predicted:(predict shuffled) d in
+        total := !total +. (baseline -. acc)
+      done;
+      !total /. float_of_int repeats)
+    columns
+
+let project d selection =
+  let columns = Data.Dataset.columns d in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= Array.length columns then
+        invalid_arg "Featsel.project: feature index out of range")
+    selection;
+  Data.Dataset.of_columns
+    (Array.map (fun i -> columns.(i)) selection)
+    (Data.Dataset.outputs d)

@@ -1,0 +1,31 @@
+(** Feature scoring and selection (Teams 4 and 5).
+
+    Univariate scores over Boolean features — mutual information, chi²,
+    absolute correlation — plus scikit-learn-style SelectKBest /
+    SelectPercentile and model-based permutation importance. *)
+
+type score_fn = Mutual_info | Chi2 | Correlation
+
+val score_name : score_fn -> string
+
+val scores : score_fn -> Data.Dataset.t -> float array
+(** One score per input feature (higher = more informative). *)
+
+val select_k_best : score_fn -> k:int -> Data.Dataset.t -> int array
+(** Indices of the k best features, in decreasing score order. *)
+
+val select_percentile : score_fn -> percentile:float -> Data.Dataset.t -> int array
+(** Keep the top [percentile] (in (0, 100]) of features. *)
+
+val permutation_importance :
+  rng:Random.State.t ->
+  predict:(Words.t array -> Words.t) ->
+  repeats:int ->
+  Data.Dataset.t ->
+  float array
+(** Mean accuracy drop when each feature column is shuffled (Team 4's
+    ranking pass). *)
+
+val project : Data.Dataset.t -> int array -> Data.Dataset.t
+(** Dataset restricted to the chosen features, in the given order.
+    Feature [i] of the result is original feature [selection.(i)]. *)

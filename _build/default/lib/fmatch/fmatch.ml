@@ -1,0 +1,176 @@
+module D = Data.Dataset
+module G = Aig.Graph
+
+type matched = { name : string; build : unit -> Aig.Graph.t }
+
+let matches_symmetric d =
+  let n = D.num_inputs d in
+  (* seen.(c): None = unobserved, Some v = all popcount-c samples map to v. *)
+  let seen = Array.make (n + 1) None in
+  let consistent = ref true in
+  (try
+     for j = 0 to D.num_samples d - 1 do
+       let c =
+         Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 (D.row d j)
+       in
+       let y = D.output_bit d j in
+       match seen.(c) with
+       | None -> seen.(c) <- Some y
+       | Some v -> if v <> y then begin consistent := false; raise Exit end
+     done
+   with Exit -> ());
+  if not !consistent then None
+  else begin
+    (* Fill unobserved counts from the nearest observed count. *)
+    let value_at c =
+      let rec nearest delta =
+        if delta > n then false
+        else
+          match
+            ( (if c - delta >= 0 then seen.(c - delta) else None),
+              if c + delta <= n then seen.(c + delta) else None )
+          with
+          | Some v, _ | None, Some v -> v
+          | None, None -> nearest (delta + 1)
+      in
+      match seen.(c) with Some v -> v | None -> nearest 1
+    in
+    if Array.for_all (fun s -> s = None) seen then None
+    else Some (Array.init (n + 1) value_at)
+  end
+
+(* Check a candidate oracle against every sample. *)
+let oracle_matches d oracle =
+  let n = D.num_samples d in
+  let rec go j =
+    j >= n || (oracle (D.row d j) = D.output_bit d j && go (j + 1))
+  in
+  go 0
+
+(* Word-structured candidates for 2k inputs: (name, oracle, builder, cost
+   estimate in AND gates). *)
+let word_candidates d =
+  let n = D.num_inputs d in
+  if n mod 2 <> 0 || n < 4 then []
+  else begin
+    let k = n / 2 in
+    let operands g =
+      ( Array.init k (fun i -> G.input g i),
+        Array.init k (fun i -> G.input g (k + i)) )
+    in
+    let build_adder_bit bit () =
+      let g = G.create ~num_inputs:n in
+      let a, b = operands g in
+      let sums, carry = Synth.Arith.adder g a b in
+      G.set_output g (if bit = k then carry else sums.(bit));
+      Aig.Opt.cleanup g
+    in
+    let build_comparator swap () =
+      let g = G.create ~num_inputs:n in
+      let a, b = operands g in
+      let a, b = if swap then (b, a) else (a, b) in
+      G.set_output g (Synth.Arith.less_than g a b);
+      Aig.Opt.cleanup g
+    in
+    let build_multiplier_bit bit () =
+      let g = G.create ~num_inputs:n in
+      let a, b = operands g in
+      let product = Synth.Arith.multiplier g a b in
+      G.set_output g product.(bit);
+      Aig.Opt.cleanup g
+    in
+    let adder_cost = 5 * k in
+    let mult_cost = 6 * k * k in
+    [ ( Printf.sprintf "adder-msb-%d" k,
+        Benchgen.Arith_bench.adder_bit ~k ~bit:k,
+        build_adder_bit k, adder_cost );
+      ( Printf.sprintf "adder-bit%d-%d" (k - 1) k,
+        Benchgen.Arith_bench.adder_bit ~k ~bit:(k - 1),
+        build_adder_bit (k - 1), adder_cost );
+      ( Printf.sprintf "less-than-%d" k,
+        Benchgen.Arith_bench.comparator ~k,
+        build_comparator false, adder_cost );
+      ( Printf.sprintf "greater-than-%d" k,
+        (fun bits ->
+          let a = Array.sub bits 0 k and b = Array.sub bits k k in
+          Benchgen.Arith_bench.comparator ~k (Array.append b a)),
+        build_comparator true, adder_cost );
+      ( Printf.sprintf "mult-msb-%d" k,
+        Benchgen.Arith_bench.multiplier_bit ~k ~bit:((2 * k) - 1),
+        build_multiplier_bit ((2 * k) - 1), mult_cost );
+      ( Printf.sprintf "mult-mid-%d" k,
+        Benchgen.Arith_bench.multiplier_bit ~k ~bit:(k - 1),
+        build_multiplier_bit (k - 1), mult_cost ) ]
+  end
+
+let find ?(max_gates = 5000) d =
+  if D.num_samples d = 0 then None
+  else begin
+    let symmetric =
+      match matches_symmetric d with
+      | Some signature when D.num_inputs d <= 64 ->
+          (* Popcount-based circuits are linear; symmetric matching on very
+             wide inputs is likely coincidental, so cap the width. *)
+          Some
+            {
+              name = "symmetric";
+              build =
+                (fun () ->
+                  let g = G.create ~num_inputs:(D.num_inputs d) in
+                  let inputs = Array.init (D.num_inputs d) (G.input g) in
+                  G.set_output g
+                    (Synth.Symmetric.lit_of_signature g inputs signature);
+                  Aig.Opt.cleanup g);
+            }
+      | _ -> None
+    in
+    match symmetric with
+    | Some m -> Some m
+    | None ->
+        let rec try_candidates = function
+          | [] -> None
+          | (name, oracle, build, cost) :: rest ->
+              if cost <= max_gates && oracle_matches d oracle then
+                Some { name; build }
+              else try_candidates rest
+        in
+        try_candidates (word_candidates d)
+  end
+
+let popcount_tree d =
+  let n = D.num_inputs d in
+  let samples = D.num_samples d in
+  if samples = 0 then None
+  else begin
+    (* Width of the binary count. *)
+    let rec width_for k = if 1 lsl k > n then k else width_for (k + 1) in
+    let w = max 1 (width_for 0) in
+    (* Count bits as feature columns. *)
+    let counts =
+      Array.init samples (fun j ->
+          Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 (D.row d j))
+    in
+    let columns =
+      Array.init w (fun bit ->
+          Words.init samples (fun j -> counts.(j) lsr bit land 1 = 1))
+    in
+    let tree =
+      Dtree.Train.train_on_columns
+        { Dtree.Train.default_params with Dtree.Train.min_samples = 8 }
+        ~columns ~outputs:(D.outputs d)
+        ~mask:(Words.init samples (fun _ -> true))
+    in
+    let predicted = Dtree.Tree.predict_mask tree columns in
+    let train_acc = D.accuracy ~predicted d in
+    let _, const_acc = D.constant_accuracy d in
+    if train_acc <= max (const_acc +. 0.15) 0.75 then None
+    else begin
+      let g = G.create ~num_inputs:n in
+      let count_lits = Synth.Arith.popcount g (Array.init n (G.input g)) in
+      G.set_output g
+        (Synth.Tree_synth.lit_of_tree g
+           ~feature_lit:(fun f -> count_lits.(f))
+           tree);
+      Some ("popcount-tree", Aig.Opt.cleanup g)
+    end
+  end

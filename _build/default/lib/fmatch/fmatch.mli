@@ -1,0 +1,38 @@
+(** Pre-defined standard-function matching (Teams 1 and 7).
+
+    Before any learning, check whether the training data is consistent
+    with a known function family and, if so, construct its exact circuit
+    directly:
+
+    - symmetric functions: all samples with equal popcount must agree;
+      unobserved popcounts take the value of the nearest observed one;
+    - word-structured functions over two k-bit operands laid out
+      LSB-first (the contest's input ordering): adder MSB / second MSB,
+      unsigned comparators both ways, and small multipliers (the circuit
+      is only emitted when it fits the gate budget — large multipliers
+      are unrealizable within 5000 nodes, as the paper notes).
+
+    Matching requires every sample of the dataset to agree with the
+    candidate (zero tolerance), so random logic or noisy image data is
+    never matched. *)
+
+type matched = {
+  name : string;
+  build : unit -> Aig.Graph.t;
+      (** Construct the circuit (cost is deferred: multiplier circuits are
+          quadratic). *)
+}
+
+val find : ?max_gates:int -> Data.Dataset.t -> matched option
+(** First match found, or [None].  [max_gates] (default 5000) suppresses
+    candidates whose exact circuit would exceed the budget. *)
+
+val matches_symmetric : Data.Dataset.t -> bool array option
+(** The inferred (n+1)-bit signature when the dataset is consistent with a
+    symmetric function. *)
+
+val popcount_tree : Data.Dataset.t -> (string * Aig.Graph.t) option
+(** Team 7's side circuit for *nearly* symmetric functions: a population
+    counter feeding a decision tree over the count bits.  Returns [None]
+    when the count-only model does not beat the best constant on the
+    training data. *)

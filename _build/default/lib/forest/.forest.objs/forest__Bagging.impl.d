@@ -1,0 +1,1 @@
+lib/forest/bagging.ml: Aig Array Data Dtree Synth Words

@@ -1,0 +1,1 @@
+lib/forest/bagging.mli: Aig Data Dtree Random Words

@@ -1,0 +1,1 @@
+lib/forest/boosting.ml: Aig Array Data Dtree Fun Hashtbl List Random Synth Words

@@ -1,0 +1,1 @@
+lib/forest/boosting.mli: Aig Data Words

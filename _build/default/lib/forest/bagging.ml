@@ -1,0 +1,76 @@
+type params = {
+  num_trees : int;
+  tree : Dtree.Train.params;
+  bootstrap : bool;
+}
+
+let default_params =
+  {
+    num_trees = 17;
+    tree =
+      {
+        Dtree.Train.default_params with
+        Dtree.Train.max_depth = Some 8;
+        feature_subset = None (* filled per-dataset at train time *);
+      };
+    bootstrap = true;
+  }
+
+type t = { trees : Dtree.Tree.t array }
+
+let train ~rng params d =
+  if params.num_trees < 1 || params.num_trees mod 2 = 0 then
+    invalid_arg "Bagging.train: num_trees must be odd";
+  let tree_params =
+    match params.tree.Dtree.Train.feature_subset with
+    | Some _ -> params.tree
+    | None ->
+        (* sqrt(features), the usual forest default. *)
+        let k =
+          max 1
+            (int_of_float
+               (sqrt (float_of_int (Data.Dataset.num_inputs d)) +. 0.5))
+        in
+        { params.tree with Dtree.Train.feature_subset = Some k }
+  in
+  let trees =
+    Array.init params.num_trees (fun _ ->
+        let sample =
+          if params.bootstrap then Data.Dataset.bootstrap rng d else d
+        in
+        Dtree.Train.train ~rng tree_params sample)
+  in
+  { trees }
+
+let predict f inputs =
+  let votes =
+    Array.fold_left
+      (fun acc t -> acc + if Dtree.Tree.predict t inputs then 1 else 0)
+      0 f.trees
+  in
+  2 * votes > Array.length f.trees
+
+let predict_mask f columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  let votes = Array.make n 0 in
+  Array.iter
+    (fun t ->
+      Words.iter_set (Dtree.Tree.predict_mask t columns) (fun j ->
+          votes.(j) <- votes.(j) + 1))
+    f.trees;
+  let half = Array.length f.trees in
+  Words.init n (fun j -> 2 * votes.(j) > half)
+
+let accuracy f d =
+  Data.Dataset.accuracy ~predicted:(predict_mask f (Data.Dataset.columns d)) d
+
+let to_aig ~num_inputs f =
+  let g = Aig.Graph.create ~num_inputs in
+  let lits =
+    Array.to_list
+      (Array.map
+         (fun t -> Synth.Tree_synth.lit_of_tree g ~feature_lit:(Aig.Graph.input g) t)
+         f.trees)
+  in
+  Aig.Graph.set_output g (Synth.Majority.majority g lits);
+  Aig.Opt.cleanup g

@@ -1,0 +1,28 @@
+(** Random forests: bagged decision trees with a majority-vote output.
+
+    Each tree trains on a bootstrap resample with a random feature subset
+    per split.  The vote is an exact odd-input majority, synthesized as a
+    population-count comparator — the teams avoided scikit-learn's
+    weighted averaging precisely because a plain majority is cheap in
+    gates. *)
+
+type params = {
+  num_trees : int;  (** must be odd so the vote is decisive *)
+  tree : Dtree.Train.params;
+  bootstrap : bool;
+}
+
+val default_params : params
+(** 17 trees of depth <= 8 (Team 8's configuration), sqrt-feature subset,
+    bootstrap on. *)
+
+type t = { trees : Dtree.Tree.t array }
+
+val train : rng:Random.State.t -> params -> Data.Dataset.t -> t
+
+val predict : t -> bool array -> bool
+val predict_mask : t -> Words.t array -> Words.t
+val accuracy : t -> Data.Dataset.t -> float
+
+val to_aig : num_inputs:int -> t -> Aig.Graph.t
+(** MUX trees joined by an exact majority gate. *)

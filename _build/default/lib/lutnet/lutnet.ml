@@ -1,0 +1,169 @@
+type scheme = Random_inputs | Unique_random
+
+type params = {
+  lut_size : int;
+  layer_width : int;
+  num_layers : int;
+  scheme : scheme;
+  seed : int;
+}
+
+let default_params =
+  { lut_size = 4; layer_width = 32; num_layers = 4; scheme = Random_inputs; seed = 0 }
+
+type lut = { wires : int array; table : bool array }
+(** [wires] index the previous layer's outputs (or primary inputs);
+    [table] has 2^k entries, LSB-first in wire order. *)
+
+type t = {
+  num_inputs : int;
+  layers : lut array array;  (** hidden layers then the 1-LUT output layer *)
+}
+
+(* Wiring of one layer: [fan] wires per LUT into [source_width] signals. *)
+let wire_layer st scheme ~num_luts ~fan ~source_width =
+  match scheme with
+  | Random_inputs ->
+      Array.init num_luts (fun _ ->
+          Array.init fan (fun _ -> Random.State.int st source_width))
+  | Unique_random ->
+      (* Deal shuffled decks of the source indices until every LUT input is
+         assigned; each deck uses each source exactly once. *)
+      let deck () =
+        let a = Array.init source_width Fun.id in
+        for i = source_width - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t
+        done;
+        a
+      in
+      let current = ref (deck ()) and pos = ref 0 in
+      let next () =
+        if !pos >= Array.length !current then begin
+          current := deck ();
+          pos := 0
+        end;
+        let v = (!current).(!pos) in
+        incr pos;
+        v
+      in
+      Array.init num_luts (fun _ -> Array.init fan (fun _ -> next ()))
+
+(* Fill one LUT's table by memorization: majority label per local
+   pattern. *)
+let memorize ~wires ~source_columns ~outputs ~default =
+  let k = Array.length wires in
+  let entries = 1 lsl k in
+  let ones = Array.make entries 0 and totals = Array.make entries 0 in
+  let n = Words.length outputs in
+  for j = 0 to n - 1 do
+    let idx = ref 0 in
+    for b = 0 to k - 1 do
+      if Words.get source_columns.(wires.(b)) j then idx := !idx lor (1 lsl b)
+    done;
+    totals.(!idx) <- totals.(!idx) + 1;
+    if Words.get outputs j then ones.(!idx) <- ones.(!idx) + 1
+  done;
+  Array.init entries (fun e ->
+      if totals.(e) = 0 then default else 2 * ones.(e) >= totals.(e))
+
+(* Evaluate one LUT bit-parallel over source columns. *)
+let lut_column lut source_columns n =
+  let k = Array.length lut.wires in
+  let out = Words.create n in
+  (* For each table entry that is 1, add the mask of samples hitting it. *)
+  for e = 0 to (1 lsl k) - 1 do
+    if lut.table.(e) then begin
+      let mask = Words.create n in
+      Words.fill mask true;
+      for b = 0 to k - 1 do
+        let col = source_columns.(lut.wires.(b)) in
+        if e lsr b land 1 = 1 then Words.and_into ~dst:mask mask col
+        else Words.andnot_into ~dst:mask mask col
+      done;
+      Words.or_into ~dst:out out mask
+    end
+  done;
+  out
+
+let train params d =
+  if params.lut_size < 1 || params.lut_size > 16 then
+    invalid_arg "Lutnet.train: lut_size out of range";
+  let st = Random.State.make [| 0x107; params.seed |] in
+  let outputs = Data.Dataset.outputs d in
+  let default = fst (Data.Dataset.constant_accuracy d) in
+  let rec build layers source_columns source_width remaining =
+    let last = remaining = 0 in
+    let num_luts = if last then 1 else params.layer_width in
+    let fan = min params.lut_size source_width in
+    let wiring =
+      wire_layer st params.scheme ~num_luts ~fan ~source_width
+    in
+    let luts =
+      Array.map
+        (fun wires ->
+          { wires; table = memorize ~wires ~source_columns ~outputs ~default })
+        wiring
+    in
+    if last then List.rev (luts :: layers)
+    else begin
+      let n = Words.length outputs in
+      let next_columns = Array.map (fun l -> lut_column l source_columns n) luts in
+      build (luts :: layers) next_columns num_luts (remaining - 1)
+    end
+  in
+  let layers =
+    build [] (Data.Dataset.columns d) (Data.Dataset.num_inputs d)
+      params.num_layers
+  in
+  { num_inputs = Data.Dataset.num_inputs d; layers = Array.of_list layers }
+
+let predict_mask net columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  let final =
+    Array.fold_left
+      (fun source layer -> Array.map (fun l -> lut_column l source n) layer)
+      columns net.layers
+  in
+  final.(0)
+
+let predict net inputs =
+  let values = Array.map (fun b -> b) inputs in
+  let final =
+    Array.fold_left
+      (fun source layer ->
+        Array.map
+          (fun l ->
+            let idx = ref 0 in
+            Array.iteri
+              (fun b w -> if source.(w) then idx := !idx lor (1 lsl b))
+              l.wires;
+            l.table.(!idx))
+          layer)
+      values net.layers
+  in
+  final.(0)
+
+let accuracy net d =
+  Data.Dataset.accuracy ~predicted:(predict_mask net (Data.Dataset.columns d)) d
+
+let to_aig net =
+  let g = Aig.Graph.create ~num_inputs:net.num_inputs in
+  let final =
+    Array.fold_left
+      (fun source layer ->
+        Array.map
+          (fun l ->
+            Synth.Lut_synth.lit_of_lut g
+              ~inputs:(Array.map (fun w -> source.(w)) l.wires)
+              ~truth:l.table)
+          layer)
+      (Array.init net.num_inputs (Aig.Graph.input g))
+      net.layers
+  in
+  Aig.Graph.set_output g final.(0);
+  Aig.Opt.cleanup g
+
+let num_luts net = Array.fold_left (fun acc l -> acc + Array.length l) 0 net.layers

@@ -1,0 +1,40 @@
+(** Memorization LUT networks (Chatterjee's "learning and memorization";
+    Teams 1 and 6).
+
+    A network of [num_layers] layers, each of [layer_width] k-input LUTs,
+    wired at random to the previous layer (or to the primary inputs for
+    the first layer), with a final single-LUT output stage.  There is no
+    gradient or search: each LUT's truth table simply *memorizes*, for
+    every one of its 2^k local input patterns, the majority of the global
+    training label among the samples reaching that pattern.  Entries never
+    exercised by training data default to the global majority label.
+
+    Two wiring schemes are implemented, following Team 6: [Random_inputs]
+    draws every connection independently; [Unique_random] deals out each
+    previous layer's outputs exhaustively before reusing any, so no wire
+    is forgotten. *)
+
+type scheme = Random_inputs | Unique_random
+
+type params = {
+  lut_size : int;
+  layer_width : int;
+  num_layers : int;  (** hidden layers, excluding the output LUT *)
+  scheme : scheme;
+  seed : int;
+}
+
+val default_params : params
+(** 4-input LUTs (the size Team 6 found best), 32 per layer, 4 layers. *)
+
+type t
+
+val train : params -> Data.Dataset.t -> t
+
+val predict : t -> bool array -> bool
+val predict_mask : t -> Words.t array -> Words.t
+val accuracy : t -> Data.Dataset.t -> float
+
+val to_aig : t -> Aig.Graph.t
+
+val num_luts : t -> int

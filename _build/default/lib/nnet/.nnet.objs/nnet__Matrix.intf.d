@@ -1,0 +1,1 @@
+lib/nnet/matrix.mli:

@@ -1,0 +1,1 @@
+lib/nnet/mlp.ml: Array Data Fun List Matrix Random Words

@@ -1,0 +1,1 @@
+lib/nnet/mlp.mli: Data Matrix Words

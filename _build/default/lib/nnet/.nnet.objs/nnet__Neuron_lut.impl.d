@@ -1,0 +1,1 @@
+lib/nnet/neuron_lut.ml: Aig Array Data Matrix Mlp Printf Synth

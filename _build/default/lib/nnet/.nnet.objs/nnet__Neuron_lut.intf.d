@@ -1,0 +1,1 @@
+lib/nnet/neuron_lut.mli: Aig Data Mlp

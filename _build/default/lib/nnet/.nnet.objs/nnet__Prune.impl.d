@@ -1,0 +1,1 @@
+lib/nnet/prune.ml: Array List Matrix Mlp

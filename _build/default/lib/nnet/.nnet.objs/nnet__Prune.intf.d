@@ -1,0 +1,1 @@
+lib/nnet/prune.mli: Data Mlp

@@ -1,0 +1,44 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      m.data.((r * cols) + c) <- f r c
+    done
+  done;
+  m
+
+let get m r c = m.data.((r * m.cols) + c)
+let set m r c v = m.data.((r * m.cols) + c) <- v
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: dimension";
+  Array.init m.rows (fun r ->
+      let acc = ref 0.0 in
+      let base = r * m.cols in
+      for c = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + c) *. v.(c))
+      done;
+      !acc)
+
+let mul_vec_transposed m v =
+  if Array.length v <> m.rows then
+    invalid_arg "Matrix.mul_vec_transposed: dimension";
+  let out = Array.make m.cols 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    let vr = v.(r) in
+    if vr <> 0.0 then
+      for c = 0 to m.cols - 1 do
+        out.(c) <- out.(c) +. (m.data.(base + c) *. vr)
+      done
+  done;
+  out
+
+let map f m = { m with data = Array.map f m.data }
+let copy m = { m with data = Array.copy m.data }

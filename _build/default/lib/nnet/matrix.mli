@@ -1,0 +1,17 @@
+(** Dense row-major float matrices — just enough for small MLPs. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : rows:int -> cols:int -> t
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m v] with [Array.length v = m.cols]. *)
+
+val mul_vec_transposed : t -> float array -> float array
+(** [m^T v] with [Array.length v = m.rows]. *)
+
+val map : (float -> float) -> t -> t
+val copy : t -> t

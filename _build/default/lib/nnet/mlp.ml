@@ -1,0 +1,268 @@
+type activation = Sigmoid | Relu | Sine
+
+type layer = {
+  weights : Matrix.t;
+  bias : float array;
+  activation : activation;
+}
+
+type t = { layers : layer array }
+
+type params = {
+  hidden : int list;
+  activation : activation;
+  epochs : int;
+  learning_rate : float;
+  momentum : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    hidden = [ 32; 16 ];
+    activation = Sigmoid;
+    epochs = 30;
+    learning_rate = 0.15;
+    momentum = 0.9;
+    seed = 0;
+  }
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let activate = function
+  | Sigmoid -> sigmoid
+  | Relu -> fun x -> if x > 0.0 then x else 0.0
+  | Sine -> sin
+
+(* Derivative expressed in terms of the pre-activation [x] and the
+   activation value [y]. *)
+let activate' kind x y =
+  match kind with
+  | Sigmoid -> y *. (1.0 -. y)
+  | Relu -> if x > 0.0 then 1.0 else 0.0
+  | Sine -> cos x
+
+let layer_forward layer v =
+  let pre = Matrix.mul_vec layer.weights v in
+  Array.iteri (fun i b -> pre.(i) <- pre.(i) +. b) layer.bias;
+  let post = Array.map (activate layer.activation) pre in
+  (pre, post)
+
+let forward_probability net v =
+  let out =
+    Array.fold_left (fun x layer -> snd (layer_forward layer x)) v net.layers
+  in
+  (* The last layer of [net.layers] already applied its activation; the
+     read-out is the sigmoid of the last pre-activation, so build nets with
+     a Sigmoid final layer. *)
+  out.(0)
+
+let probability = forward_probability
+
+let predict net inputs =
+  let v = Array.map (fun b -> if b then 1.0 else 0.0) inputs in
+  probability net v >= 0.5
+
+let predict_mask net columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  Words.init n (fun j ->
+      let v =
+        Array.map (fun c -> if Words.get c j then 1.0 else 0.0) columns
+      in
+      probability net v >= 0.5)
+
+let accuracy net d =
+  Data.Dataset.accuracy ~predicted:(predict_mask net (Data.Dataset.columns d)) d
+
+let fanin layer r =
+  let count = ref 0 in
+  for c = 0 to layer.weights.Matrix.cols - 1 do
+    if Matrix.get layer.weights r c <> 0.0 then incr count
+  done;
+  !count
+
+let copy net =
+  {
+    layers =
+      Array.map
+        (fun l -> { l with weights = Matrix.copy l.weights; bias = Array.copy l.bias })
+        net.layers;
+  }
+
+let fresh_network st params num_inputs =
+  let sizes = (num_inputs :: params.hidden) @ [ 1 ] in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  let num_layers = List.length sizes - 1 in
+  let layers =
+    List.mapi
+      (fun idx (fan_in, fan_out) ->
+        let scale = sqrt (2.0 /. float_of_int fan_in) in
+        let weights =
+          Matrix.init ~rows:fan_out ~cols:fan_in (fun _ _ ->
+              scale *. (Random.State.float st 2.0 -. 1.0))
+        in
+        let activation =
+          if idx = num_layers - 1 then Sigmoid else params.activation
+        in
+        { weights; bias = Array.make fan_out 0.0; activation })
+      (pairs sizes)
+  in
+  { layers = Array.of_list layers }
+
+(* One SGD step on a single sample, updating velocity buffers. *)
+let backprop params net velocities x y =
+  (* Forward pass, remembering pre/post activations. *)
+  let inputs = Array.make (Array.length net.layers) x in
+  let pres = Array.make (Array.length net.layers) [||] in
+  let posts = Array.make (Array.length net.layers) [||] in
+  let _ =
+    Array.fold_left
+      (fun (i, v) layer ->
+        inputs.(i) <- v;
+        let pre, post = layer_forward layer v in
+        pres.(i) <- pre;
+        posts.(i) <- post;
+        (i + 1, post))
+      (0, x) net.layers
+  in
+  let last = Array.length net.layers - 1 in
+  (* BCE with sigmoid output: delta = p - y. *)
+  let delta = ref [| posts.(last).(0) -. y |] in
+  for i = last downto 0 do
+    let layer = net.layers.(i) in
+    let d = !delta in
+    (* Gradient wrt inputs, before overwriting weights. *)
+    let grad_input = Matrix.mul_vec_transposed layer.weights d in
+    let w_velocity, b_velocity = velocities.(i) in
+    for r = 0 to layer.weights.Matrix.rows - 1 do
+      let dr = d.(r) in
+      if dr <> 0.0 then begin
+        for c = 0 to layer.weights.Matrix.cols - 1 do
+          let g = dr *. inputs.(i).(c) in
+          let idx = (r * layer.weights.Matrix.cols) + c in
+          w_velocity.(idx) <-
+            (params.momentum *. w_velocity.(idx)) -. (params.learning_rate *. g)
+        done;
+        b_velocity.(r) <-
+          (params.momentum *. b_velocity.(r)) -. (params.learning_rate *. dr)
+      end
+      else begin
+        for c = 0 to layer.weights.Matrix.cols - 1 do
+          let idx = (r * layer.weights.Matrix.cols) + c in
+          w_velocity.(idx) <- params.momentum *. w_velocity.(idx)
+        done;
+        b_velocity.(r) <- params.momentum *. b_velocity.(r)
+      end
+    done;
+    (* Propagate delta to the previous layer. *)
+    if i > 0 then begin
+      let prev = net.layers.(i - 1) in
+      delta :=
+        Array.mapi
+          (fun c gi ->
+            gi *. activate' prev.activation pres.(i - 1).(c) posts.(i - 1).(c))
+          grad_input
+    end
+  done;
+  (* Apply velocities. *)
+  Array.iteri
+    (fun i layer ->
+      let w_velocity, b_velocity = velocities.(i) in
+      Array.iteri
+        (fun idx v -> layer.weights.Matrix.data.(idx) <- layer.weights.Matrix.data.(idx) +. v)
+        w_velocity;
+      Array.iteri (fun r v -> layer.bias.(r) <- layer.bias.(r) +. v) b_velocity)
+    net.layers
+
+let train ?validation params d =
+  let st = Random.State.make [| 0x0e7; params.seed |] in
+  let num_inputs = Data.Dataset.num_inputs d in
+  let net = fresh_network st params num_inputs in
+  let n = Data.Dataset.num_samples d in
+  let rows =
+    Array.init n (fun j ->
+        ( Array.map (fun b -> if b then 1.0 else 0.0) (Data.Dataset.row d j),
+          if Data.Dataset.output_bit d j then 1.0 else 0.0 ))
+  in
+  let velocities =
+    Array.map
+      (fun layer ->
+        ( Array.make (Array.length layer.weights.Matrix.data) 0.0,
+          Array.make (Array.length layer.bias) 0.0 ))
+      net.layers
+  in
+  let order = Array.init n Fun.id in
+  let best = ref (net, neg_infinity) in
+  for _epoch = 1 to params.epochs do
+    (* Shuffle sample order. *)
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    Array.iter
+      (fun j ->
+        let x, y = rows.(j) in
+        backprop params net velocities x y)
+      order;
+    match validation with
+    | None -> ()
+    | Some v ->
+        let acc = accuracy net v in
+        if acc > snd !best then best := (copy net, acc)
+  done;
+  match validation with None -> net | Some _ -> fst !best
+
+let fine_tune ?(freeze_zero = false) params net d =
+  let st = Random.State.make [| 0xf1e; params.seed |] in
+  let masks =
+    if not freeze_zero then None
+    else
+      Some
+        (Array.map
+           (fun layer -> Array.map (fun w -> w = 0.0) layer.weights.Matrix.data)
+           net.layers)
+  in
+  let apply_mask () =
+    match masks with
+    | None -> ()
+    | Some masks ->
+        Array.iteri
+          (fun i layer ->
+            Array.iteri
+              (fun idx zero -> if zero then layer.weights.Matrix.data.(idx) <- 0.0)
+              masks.(i))
+          net.layers
+  in
+  let n = Data.Dataset.num_samples d in
+  let rows =
+    Array.init n (fun j ->
+        ( Array.map (fun b -> if b then 1.0 else 0.0) (Data.Dataset.row d j),
+          if Data.Dataset.output_bit d j then 1.0 else 0.0 ))
+  in
+  let velocities =
+    Array.map
+      (fun layer ->
+        ( Array.make (Array.length layer.weights.Matrix.data) 0.0,
+          Array.make (Array.length layer.bias) 0.0 ))
+      net.layers
+  in
+  let order = Array.init n Fun.id in
+  for _epoch = 1 to params.epochs do
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    Array.iter
+      (fun j ->
+        let x, y = rows.(j) in
+        backprop params net velocities x y;
+        apply_mask ())
+      order
+  done

@@ -1,0 +1,55 @@
+(** Multi-layer perceptrons on Boolean inputs.
+
+    Fully connected layers with sigmoid, ReLU or sine activations (the
+    sine variant is Team 8's periodic-feature network), a sigmoid output
+    unit, binary cross-entropy loss, and mini-batch SGD with momentum.
+    Sizes here are tiny (the contest favours networks that synthesize
+    small), so everything is plain float arrays. *)
+
+type activation = Sigmoid | Relu | Sine
+
+type layer = {
+  weights : Matrix.t;  (** rows = outputs, cols = inputs *)
+  bias : float array;
+  activation : activation;
+}
+
+type t = { layers : layer array }
+(** The last layer has one row and is always followed by a sigmoid
+    read-out for the class probability. *)
+
+type params = {
+  hidden : int list;  (** hidden layer widths *)
+  activation : activation;
+  epochs : int;
+  learning_rate : float;
+  momentum : float;
+  seed : int;
+}
+
+val default_params : params
+(** hidden [32; 16], sigmoid, 30 epochs, lr 0.15, momentum 0.9 (an
+    effective step of ~1.5; larger rates diverge on many benchmarks). *)
+
+val train : ?validation:Data.Dataset.t -> params -> Data.Dataset.t -> t
+(** When [validation] is given, the parameters snapshot with the best
+    validation accuracy across epochs is returned. *)
+
+val probability : t -> float array -> float
+(** Class-1 probability for a (0/1-encoded) input row. *)
+
+val predict : t -> bool array -> bool
+val predict_mask : t -> Words.t array -> Words.t
+val accuracy : t -> Data.Dataset.t -> float
+
+val fanin : layer -> int -> int
+(** Number of non-zero weights of a neuron. *)
+
+val copy : t -> t
+
+val fine_tune :
+  ?freeze_zero:bool -> params -> t -> Data.Dataset.t -> unit
+(** Continue SGD in place for [params.epochs] more epochs.  With
+    [freeze_zero] (default false), weights that are exactly zero at entry
+    stay zero — used to retrain pruned networks without regrowing
+    connections. *)

@@ -1,0 +1,60 @@
+(* Zero the smallest-magnitude weights of neuron [r] until its fan-in is at
+   most [target]. *)
+let trim_neuron weights r target =
+  let cols = weights.Matrix.cols in
+  let live = ref [] in
+  for c = 0 to cols - 1 do
+    let w = Matrix.get weights r c in
+    if w <> 0.0 then live := (abs_float w, c) :: !live
+  done;
+  let excess = List.length !live - target in
+  if excess > 0 then begin
+    let ordered = List.sort compare !live in
+    List.iteri
+      (fun i (_, c) -> if i < excess then Matrix.set weights r c 0.0)
+      ordered
+  end
+
+let prune_to_fanin ?(rounds = 3) ~retrain ~max_fanin net d =
+  if max_fanin < 1 then invalid_arg "Prune.prune_to_fanin: max_fanin";
+  let net = Mlp.copy net in
+  (* Per-round intermediate fan-in targets, geometrically approaching the
+     final one so the network can adapt between cuts. *)
+  let max_current =
+    Array.fold_left
+      (fun acc (layer : Mlp.layer) ->
+        let m = ref acc in
+        for r = 0 to layer.weights.Matrix.rows - 1 do
+          m := max !m (Mlp.fanin layer r)
+        done;
+        !m)
+      max_fanin net.Mlp.layers
+  in
+  for round = 1 to rounds do
+    let target =
+      if round = rounds then max_fanin
+      else begin
+        let frac = float_of_int round /. float_of_int rounds in
+        let t =
+          float_of_int max_current
+          *. ((float_of_int max_fanin /. float_of_int max_current) ** frac)
+        in
+        max max_fanin (int_of_float t)
+      end
+    in
+    Array.iter
+      (fun (layer : Mlp.layer) ->
+        for r = 0 to layer.weights.Matrix.rows - 1 do
+          trim_neuron layer.weights r target
+        done)
+      net.Mlp.layers;
+    Mlp.fine_tune ~freeze_zero:true retrain net d
+  done;
+  (* fine_tune cannot regrow weights, but make the invariant explicit. *)
+  Array.iter
+    (fun (layer : Mlp.layer) ->
+      for r = 0 to layer.weights.Matrix.rows - 1 do
+        assert (Mlp.fanin layer r <= max_fanin)
+      done)
+    net.Mlp.layers;
+  net

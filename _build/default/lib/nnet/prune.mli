@@ -1,0 +1,17 @@
+(** Iterative magnitude pruning (Han et al., used by Team 3).
+
+    Each round zeroes the smallest-magnitude surviving weights of every
+    neuron whose fan-in still exceeds the target, then retrains with the
+    pruned connections frozen.  Terminates when every neuron (in every
+    layer) has at most [max_fanin] incoming non-zero weights, which bounds
+    the cost of the subsequent neuron-to-LUT enumeration. *)
+
+val prune_to_fanin :
+  ?rounds:int ->
+  retrain:Mlp.params ->
+  max_fanin:int ->
+  Mlp.t ->
+  Data.Dataset.t ->
+  Mlp.t
+(** [rounds] (default 3) spreads the pruning over that many prune/retrain
+    cycles.  The input network is not mutated. *)

@@ -1,0 +1,1 @@
+lib/rules/part.ml: Aig Array Data Dtree List Words

@@ -1,0 +1,1 @@
+lib/rules/part.mli: Aig Data Dtree Words

@@ -1,0 +1,138 @@
+type rule = { literals : (int * bool) list; label : bool }
+type t = { rules : rule list; default : bool }
+
+type params = {
+  tree : Dtree.Train.params;
+  max_rules : int;
+  min_coverage : int;
+}
+
+let default_params =
+  {
+    tree = { Dtree.Train.default_params with Dtree.Train.max_depth = Some 10 };
+    max_rules = 200;
+    min_coverage = 2;
+  }
+
+(* Mask of samples matching a rule's condition. *)
+let condition_mask literals columns n =
+  let mask = Words.create n in
+  Words.fill mask true;
+  List.iter
+    (fun (f, v) ->
+      if v then Words.and_into ~dst:mask mask columns.(f)
+      else Words.andnot_into ~dst:mask mask columns.(f))
+    literals;
+  mask
+
+(* Best leaf of a tree restricted to [remaining]: maximize coverage, then
+   purity.  Returns (path literals, label, coverage). *)
+let best_leaf tree ~columns ~outputs ~remaining =
+  let best = ref None in
+  let consider path mask label =
+    let coverage = Words.popcount mask in
+    if coverage > 0 then begin
+      let agree =
+        if label then Words.count_and mask outputs
+        else coverage - Words.count_and mask outputs
+      in
+      let purity = float_of_int agree /. float_of_int coverage in
+      let key = (coverage, purity) in
+      match !best with
+      | Some (k, _, _, _) when k >= key -> ()
+      | _ -> best := Some (key, List.rev path, label, coverage)
+    end
+  in
+  let rec walk tree path mask =
+    if not (Words.is_empty mask) then
+      match tree with
+      | Dtree.Tree.Leaf label -> consider path mask label
+      | Dtree.Tree.Node { feature; low; high } ->
+          walk high ((feature, true) :: path) (Words.logand mask columns.(feature));
+          walk low ((feature, false) :: path) (Words.andnot mask columns.(feature))
+  in
+  walk tree [] remaining;
+  !best
+
+let train params d =
+  let n = Data.Dataset.num_samples d in
+  let columns = Data.Dataset.columns d in
+  let outputs = Data.Dataset.outputs d in
+  let remaining = Words.create n in
+  Words.fill remaining true;
+  let rec extract acc count =
+    let left = Words.popcount remaining in
+    if left = 0 || count >= params.max_rules then List.rev acc
+    else begin
+      let tree =
+        Dtree.Train.train_on_columns params.tree ~columns ~outputs
+          ~mask:remaining
+      in
+      match best_leaf tree ~columns ~outputs ~remaining with
+      | None -> List.rev acc
+      | Some (_, literals, label, coverage) ->
+          if coverage < params.min_coverage || literals = [] then List.rev acc
+          else begin
+            let cond = condition_mask literals columns n in
+            Words.andnot_into ~dst:remaining remaining cond;
+            extract ({ literals; label } :: acc) (count + 1)
+          end
+    end
+  in
+  let rules = extract [] 0 in
+  (* Default: majority class of the still-uncovered samples, or of the
+     whole dataset when everything is covered. *)
+  let default =
+    let left = Words.popcount remaining in
+    if left > 0 then 2 * Words.count_and remaining outputs >= left
+    else fst (Data.Dataset.constant_accuracy d)
+  in
+  { rules; default }
+
+let predict m inputs =
+  let matches r = List.for_all (fun (f, v) -> inputs.(f) = v) r.literals in
+  match List.find_opt matches m.rules with
+  | Some r -> r.label
+  | None -> m.default
+
+let predict_mask m columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  let result = Words.create n in
+  let remaining = Words.create n in
+  Words.fill remaining true;
+  List.iter
+    (fun r ->
+      let cond = condition_mask r.literals columns n in
+      Words.and_into ~dst:cond cond remaining;
+      if r.label then Words.or_into ~dst:result result cond;
+      Words.andnot_into ~dst:remaining remaining cond)
+    m.rules;
+  if m.default then Words.or_into ~dst:result result remaining;
+  result
+
+let accuracy m d =
+  Data.Dataset.accuracy ~predicted:(predict_mask m (Data.Dataset.columns d)) d
+
+let num_rules m = List.length m.rules
+let total_literals m =
+  List.fold_left (fun acc r -> acc + List.length r.literals) 0 m.rules
+
+let to_aig ~num_inputs m =
+  let g = Aig.Graph.create ~num_inputs in
+  let rule_lit r =
+    Aig.Graph.and_list g
+      (List.map
+         (fun (f, v) -> Aig.Graph.lit_notif (Aig.Graph.input g f) (not v))
+         r.literals)
+  in
+  (* Priority chain, last rule first: out = c1 ? l1 : (c2 ? l2 : ... default) *)
+  let rec chain = function
+    | [] -> if m.default then Aig.Graph.const_true else Aig.Graph.const_false
+    | r :: rest ->
+        let rest_lit = chain rest in
+        Aig.Graph.mux g ~sel:(rule_lit r)
+          ~t1:(if r.label then Aig.Graph.const_true else Aig.Graph.const_false)
+          ~t0:rest_lit
+  in
+  Aig.Graph.set_output g (chain m.rules);
+  Aig.Opt.cleanup g

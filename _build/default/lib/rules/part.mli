@@ -1,0 +1,36 @@
+(** PART-style rule learning (Team 2).
+
+    Separate-and-conquer: train a (partial) decision tree on the samples
+    not yet covered, turn the best leaf — largest coverage, ties broken by
+    purity — into a rule, discard the samples it covers, repeat.  The
+    result is an *ordered* rule list; prediction takes the first matching
+    rule, falling back to a default class.
+
+    The circuit construction follows the paper: each rule is an AND of its
+    literals, and rules are chained by priority (a rule only fires when no
+    earlier rule matched), which yields the alternating OR/AND ladder of
+    Team 2's figure. *)
+
+type rule = { literals : (int * bool) list; label : bool }
+(** Conjunction of [feature = value] tests. *)
+
+type t = { rules : rule list; default : bool }
+
+type params = {
+  tree : Dtree.Train.params;
+  max_rules : int;
+  min_coverage : int;  (** stop extracting when the best leaf covers fewer samples *)
+}
+
+val default_params : params
+
+val train : params -> Data.Dataset.t -> t
+
+val predict : t -> bool array -> bool
+val predict_mask : t -> Words.t array -> Words.t
+val accuracy : t -> Data.Dataset.t -> float
+
+val num_rules : t -> int
+val total_literals : t -> int
+
+val to_aig : num_inputs:int -> t -> Aig.Graph.t

@@ -1,0 +1,1 @@
+lib/sop/cover.ml: Array Cube Data Format List String Words

@@ -1,0 +1,1 @@
+lib/sop/cover.mli: Cube Data Format Words

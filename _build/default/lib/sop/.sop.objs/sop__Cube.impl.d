@@ -1,0 +1,1 @@
+lib/sop/cube.ml: Array Stdlib String Words

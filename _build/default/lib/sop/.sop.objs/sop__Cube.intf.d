@@ -1,0 +1,1 @@
+lib/sop/cube.mli: Words

@@ -1,0 +1,1 @@
+lib/sop/espresso.ml: Array Cover Cube Data Fun List Words

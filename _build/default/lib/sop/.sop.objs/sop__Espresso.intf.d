@@ -1,0 +1,1 @@
+lib/sop/espresso.mli: Cover Data

@@ -1,0 +1,57 @@
+type t = { num_vars : int; cubes : Cube.t list }
+
+let of_cubes ~num_vars cubes =
+  List.iter
+    (fun c ->
+      if Cube.num_vars c <> num_vars then
+        invalid_arg "Cover.of_cubes: cube arity mismatch")
+    cubes;
+  { num_vars; cubes }
+
+let empty ~num_vars = { num_vars; cubes = [] }
+
+let of_strings = function
+  | [] -> invalid_arg "Cover.of_strings: empty list"
+  | first :: _ as l ->
+      of_cubes ~num_vars:(String.length first) (List.map Cube.of_string l)
+
+let num_cubes t = List.length t.cubes
+
+let total_literals t =
+  List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
+
+let covers_minterm t bits = List.exists (fun c -> Cube.covers_minterm c bits) t.cubes
+
+let sample_mask t columns =
+  let n = if Array.length columns = 0 then 0 else Words.length columns.(0) in
+  let acc = Words.create n in
+  List.iter
+    (fun c -> Words.or_into ~dst:acc acc (Cube.sample_mask c columns))
+    t.cubes;
+  acc
+
+let accuracy t d =
+  let predicted = sample_mask t (Data.Dataset.columns d) in
+  Data.Dataset.accuracy ~predicted d
+
+let single_cube_containment t =
+  let keep c others =
+    not (List.exists (fun o -> (not (Cube.equal o c)) && Cube.contains o c) others)
+  in
+  (* Deduplicate first so identical cubes do not protect each other. *)
+  let deduped = List.sort_uniq Cube.compare t.cubes in
+  { t with cubes = List.filter (fun c -> keep c deduped) deduped }
+
+let of_on_set d =
+  let cubes = ref [] in
+  for j = Data.Dataset.num_samples d - 1 downto 0 do
+    if Data.Dataset.output_bit d j then
+      cubes := Cube.of_minterm (Data.Dataset.row d j) :: !cubes
+  done;
+  let cubes = List.sort_uniq Cube.compare !cubes in
+  { num_vars = Data.Dataset.num_inputs d; cubes }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun c -> Format.fprintf fmt "%s@," (Cube.to_string c)) t.cubes;
+  Format.fprintf fmt "@]"

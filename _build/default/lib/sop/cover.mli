@@ -1,0 +1,29 @@
+(** Covers: sums of cubes representing a single-output function. *)
+
+type t = { num_vars : int; cubes : Cube.t list }
+
+val of_cubes : num_vars:int -> Cube.t list -> t
+val empty : num_vars:int -> t
+
+val of_strings : string list -> t
+(** From ["01-"]-style cube strings (at least one). *)
+
+val num_cubes : t -> int
+
+val total_literals : t -> int
+
+val covers_minterm : t -> bool array -> bool
+
+val sample_mask : t -> Words.t array -> Words.t
+(** Samples covered by any cube (bit-parallel OR of cube masks). *)
+
+val accuracy : t -> Data.Dataset.t -> float
+(** Fraction of dataset samples whose output equals cover membership. *)
+
+val single_cube_containment : t -> t
+(** Drop every cube contained in another cube of the cover. *)
+
+val of_on_set : Data.Dataset.t -> t
+(** One fully specified cube per positive sample (deduplicated). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+(* Positional notation, two bits per variable packed 31 to a word:
+   bit pair 01 = Pos, 10 = Neg, 11 = Free.  The pair 00 (empty) is never
+   stored; emptiness is handled at the operation level by returning
+   options. *)
+
+type literal = Pos | Neg | Free
+
+type t = { n : int; words : int array }
+
+let vars_per_word = 31
+
+let num_vars c = c.n
+
+let pair_of_literal = function Pos -> 0b01 | Neg -> 0b10 | Free -> 0b11
+
+let literal_of_pair = function
+  | 0b01 -> Pos
+  | 0b10 -> Neg
+  | 0b11 -> Free
+  | _ -> invalid_arg "Cube: empty literal pair"
+
+let full n =
+  if n <= 0 then invalid_arg "Cube.full: need at least one variable";
+  let nw = (n + vars_per_word - 1) / vars_per_word in
+  let words = Array.make nw 0 in
+  for i = 0 to n - 1 do
+    words.(i / vars_per_word) <-
+      words.(i / vars_per_word) lor (0b11 lsl (2 * (i mod vars_per_word)))
+  done;
+  { n; words }
+
+let lit c i =
+  if i < 0 || i >= c.n then invalid_arg "Cube.lit: variable out of range";
+  literal_of_pair
+    (c.words.(i / vars_per_word) lsr (2 * (i mod vars_per_word)) land 0b11)
+
+let with_lit c i v =
+  if i < 0 || i >= c.n then invalid_arg "Cube.with_lit: variable out of range";
+  let words = Array.copy c.words in
+  let w = i / vars_per_word and r = 2 * (i mod vars_per_word) in
+  words.(w) <- (words.(w) land lnot (0b11 lsl r)) lor (pair_of_literal v lsl r);
+  { c with words }
+
+let of_minterm bits =
+  let c = full (Array.length bits) in
+  let words = Array.copy c.words in
+  Array.iteri
+    (fun i b ->
+      let w = i / vars_per_word and r = 2 * (i mod vars_per_word) in
+      words.(w) <-
+        (words.(w) land lnot (0b11 lsl r)) lor (pair_of_literal (if b then Pos else Neg) lsl r))
+    bits;
+  { c with words }
+
+let of_string s =
+  let n = String.length s in
+  let c = full n in
+  let words = Array.copy c.words in
+  String.iteri
+    (fun i ch ->
+      let v =
+        match ch with
+        | '1' -> Pos
+        | '0' -> Neg
+        | '-' -> Free
+        | _ -> invalid_arg "Cube.of_string: expected 0, 1 or -"
+      in
+      let w = i / vars_per_word and r = 2 * (i mod vars_per_word) in
+      words.(w) <- (words.(w) land lnot (0b11 lsl r)) lor (pair_of_literal v lsl r))
+    s;
+  { c with words }
+
+let to_string c =
+  String.init c.n (fun i ->
+      match lit c i with Pos -> '1' | Neg -> '0' | Free -> '-')
+
+let num_literals c =
+  let count = ref 0 in
+  for i = 0 to c.n - 1 do
+    if lit c i <> Free then incr count
+  done;
+  !count
+
+let equal a b = a.n = b.n && Array.for_all2 ( = ) a.words b.words
+let compare a b = Stdlib.compare (a.n, a.words) (b.n, b.words)
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Cube: variable count mismatch"
+
+(* [contains a b] iff b's pairs are bitwise included in a's: a OR b = a. *)
+let contains a b =
+  check_same a b;
+  Array.for_all2 (fun wa wb -> wa lor wb = wa) a.words b.words
+
+(* Intersection is the pairwise AND; empty iff some pair becomes 00. *)
+let intersect a b =
+  check_same a b;
+  let words = Array.init (Array.length a.words) (fun i -> a.words.(i) land b.words.(i)) in
+  let c = { a with words } in
+  let empty = ref false in
+  for i = 0 to c.n - 1 do
+    let w = i / vars_per_word and r = 2 * (i mod vars_per_word) in
+    if words.(w) lsr r land 0b11 = 0 then empty := true
+  done;
+  if !empty then None else Some c
+
+let distance a b =
+  check_same a b;
+  let d = ref 0 in
+  for i = 0 to a.n - 1 do
+    let wa = a.words.(i / vars_per_word) lsr (2 * (i mod vars_per_word)) land 0b11
+    and wb = b.words.(i / vars_per_word) lsr (2 * (i mod vars_per_word)) land 0b11 in
+    if wa land wb = 0 then incr d
+  done;
+  !d
+
+let supercube a b =
+  check_same a b;
+  { a with words = Array.init (Array.length a.words) (fun i -> a.words.(i) lor b.words.(i)) }
+
+let consensus a b =
+  if distance a b <> 1 then None
+  else begin
+    (* Free the single conflicting variable, intersect the rest. *)
+    let conflict = ref (-1) in
+    for i = 0 to a.n - 1 do
+      let la = lit a i and lb = lit b i in
+      if pair_of_literal la land pair_of_literal lb = 0 then conflict := i
+    done;
+    let a' = with_lit a !conflict Free and b' = with_lit b !conflict Free in
+    intersect a' b'
+  end
+
+let covers_minterm c bits =
+  if Array.length bits <> c.n then invalid_arg "Cube.covers_minterm: arity";
+  let ok = ref true in
+  for i = 0 to c.n - 1 do
+    (match (lit c i, bits.(i)) with
+    | Pos, false | Neg, true -> ok := false
+    | Pos, true | Neg, false | Free, _ -> ())
+  done;
+  !ok
+
+let cofactor c ~var ~value =
+  match (lit c var, value) with
+  | Pos, false | Neg, true -> None
+  | (Pos | Neg | Free), _ -> Some (with_lit c var Free)
+
+let sample_mask c columns =
+  if Array.length columns <> c.n then invalid_arg "Cube.sample_mask: arity";
+  let n = if c.n = 0 then 0 else Words.length columns.(0) in
+  let mask = Words.create n in
+  Words.fill mask true;
+  for i = 0 to c.n - 1 do
+    match lit c i with
+    | Free -> ()
+    | Pos -> Words.and_into ~dst:mask mask columns.(i)
+    | Neg -> Words.andnot_into ~dst:mask mask columns.(i)
+  done;
+  mask

@@ -1,0 +1,62 @@
+(** Cubes (product terms) in positional notation.
+
+    A cube over [n] Boolean variables assigns each variable one of three
+    literal states: positive (the variable must be 1), negative (must be 0)
+    or free (don't care).  A cube denotes the set of minterms compatible
+    with its literals; the empty cube (some variable constrained both ways)
+    denotes the empty set and only arises transiently inside algorithms. *)
+
+type t
+
+type literal = Pos | Neg | Free
+
+val num_vars : t -> int
+
+val full : int -> t
+(** The tautology cube: every variable free. *)
+
+val of_minterm : bool array -> t
+(** Fully specified cube. *)
+
+val of_string : string -> t
+(** From ['0' '1' '-'] characters, e.g. ["01-"].  Position [i] in the
+    string is variable [i]. *)
+
+val to_string : t -> string
+
+val lit : t -> int -> literal
+val with_lit : t -> int -> literal -> t
+(** Functional update. *)
+
+val num_literals : t -> int
+(** Number of non-free variables. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val contains : t -> t -> bool
+(** [contains a b]: every minterm of [b] is a minterm of [a]
+    (single-cube containment). *)
+
+val intersect : t -> t -> t option
+(** Largest cube contained in both, or [None] when disjoint. *)
+
+val distance : t -> t -> int
+(** Number of variables on which the cubes conflict (0 iff they
+    intersect). *)
+
+val consensus : t -> t -> t option
+(** The consensus cube when the distance is exactly 1. *)
+
+val covers_minterm : t -> bool array -> bool
+
+val supercube : t -> t -> t
+(** Smallest cube containing both. *)
+
+val cofactor : t -> var:int -> value:bool -> t option
+(** Cube restricted to [var = value]: [None] if incompatible, otherwise the
+    cube with [var] freed. *)
+
+val sample_mask : t -> Words.t array -> Words.t
+(** [sample_mask c columns] marks the samples (rows of a columnar dataset)
+    whose input bits satisfy [c]. *)

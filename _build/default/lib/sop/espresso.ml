@@ -1,0 +1,153 @@
+type config = {
+  max_passes : int;
+  literal_order_by_gain : bool;
+}
+
+let default_config = { max_passes = 3; literal_order_by_gain = true }
+
+(* EXPAND one cube against the off-set: free bound literals greedily while
+   the cube keeps covering zero off-set samples.  [on_cols]/[off_cols] are
+   the columns of the positive/negative samples. *)
+let expand_cube config ~on_cols ~off_cols cube =
+  let n = Cube.num_vars cube in
+  let bound =
+    List.filter (fun i -> Cube.lit cube i <> Cube.Free) (List.init n Fun.id)
+  in
+  let order =
+    if not config.literal_order_by_gain then bound
+    else begin
+      (* Prefer freeing literals that add many on-set samples. *)
+      let gain i =
+        let freed = Cube.with_lit cube i Cube.Free in
+        Words.popcount (Cube.sample_mask freed on_cols)
+      in
+      let scored = List.map (fun i -> (gain i, i)) bound in
+      List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) scored)
+    end
+  in
+  List.fold_left
+    (fun c i ->
+      let freed = Cube.with_lit c i Cube.Free in
+      if Words.is_empty (Cube.sample_mask freed off_cols) then freed else c)
+    cube order
+
+(* Greedy irredundant: remove cubes whose on-set samples are all covered at
+   least twice.  Returns the kept cubes with their on-set masks. *)
+let irredundant ~num_on cubes_with_masks =
+  let counts = Array.make num_on 0 in
+  List.iter
+    (fun (_, mask) -> Words.iter_set mask (fun j -> counts.(j) <- counts.(j) + 1))
+    cubes_with_masks;
+  (* Try to drop the most specific cubes first. *)
+  let ordered =
+    List.sort
+      (fun ((a : Cube.t), am) (b, bm) ->
+        compare
+          (Words.popcount am, Cube.num_literals b)
+          (Words.popcount bm, Cube.num_literals a))
+      cubes_with_masks
+  in
+  let kept =
+    List.filter
+      (fun (_, mask) ->
+        let removable = ref true in
+        Words.iter_set mask (fun j -> if counts.(j) < 2 then removable := false);
+        if !removable && not (Words.is_empty mask) then begin
+          Words.iter_set mask (fun j -> counts.(j) <- counts.(j) - 1);
+          false
+        end
+        else not (Words.is_empty mask))
+      ordered
+  in
+  kept
+
+(* REDUCE: shrink each cube, in turn, to the supercube of the on-set
+   samples that no *other* current cube covers.  Processing is sequential
+   with live coverage counts — reducing two overlapping cubes at once
+   could strand their shared samples — so exactness is an invariant: a
+   cube's uniquely covered samples stay inside its replacement, and a cube
+   with no unique samples is dropped (its samples are covered at least
+   twice). *)
+let reduce ~on ~num_on cubes_with_masks =
+  let counts = Array.make num_on 0 in
+  List.iter
+    (fun (_, mask) -> Words.iter_set mask (fun j -> counts.(j) <- counts.(j) + 1))
+    cubes_with_masks;
+  let on_cols = Data.Dataset.columns on in
+  List.filter_map
+    (fun (_, mask) ->
+      let unique = ref [] in
+      Words.iter_set mask (fun j -> if counts.(j) = 1 then unique := j :: !unique);
+      (* Retire the old cube from the counts. *)
+      Words.iter_set mask (fun j -> counts.(j) <- counts.(j) - 1);
+      match !unique with
+      | [] -> None
+      | js ->
+          let reduced =
+            List.fold_left
+              (fun acc j -> Cube.supercube acc (Cube.of_minterm (Data.Dataset.row on j)))
+              (Cube.of_minterm (Data.Dataset.row on (List.hd js)))
+              (List.tl js)
+          in
+          let new_mask = Cube.sample_mask reduced on_cols in
+          Words.iter_set new_mask (fun j -> counts.(j) <- counts.(j) + 1);
+          Some reduced)
+    cubes_with_masks
+
+let cost cover = (Cover.num_cubes cover, Cover.total_literals cover)
+
+let minimize ?(config = default_config) d =
+  let num_vars = Data.Dataset.num_inputs d in
+  let on = Data.Dataset.select d (Data.Dataset.outputs d) in
+  let off = Data.Dataset.select d (Words.lognot (Data.Dataset.outputs d)) in
+  let num_on = Data.Dataset.num_samples on in
+  if num_on = 0 then Cover.empty ~num_vars
+  else if Data.Dataset.num_samples off = 0 then
+    Cover.of_cubes ~num_vars [ Cube.full num_vars ]
+  else begin
+    let on_cols = Data.Dataset.columns on in
+    let off_cols = Data.Dataset.columns off in
+    let initial = (Cover.of_on_set d).Cover.cubes in
+    let pass cubes =
+      (* EXPAND + single-cube containment *)
+      let expanded =
+        List.fold_left
+          (fun acc cube ->
+            let e = expand_cube config ~on_cols ~off_cols cube in
+            if List.exists (fun kept -> Cube.contains kept e) acc then acc
+            else e :: List.filter (fun kept -> not (Cube.contains e kept)) acc)
+          []
+          (List.sort
+             (fun a b -> compare (Cube.num_literals a) (Cube.num_literals b))
+             cubes)
+      in
+      (* IRREDUNDANT *)
+      let with_masks = List.map (fun c -> (c, Cube.sample_mask c on_cols)) expanded in
+      irredundant ~num_on with_masks
+    in
+    let rec loop cubes best iteration =
+      let kept = pass cubes in
+      let cover = Cover.of_cubes ~num_vars (List.map fst kept) in
+      let improved = cost cover < cost best in
+      let best = if improved then cover else best in
+      if iteration >= config.max_passes || not improved then best
+      else loop (reduce ~on ~num_on kept) best (iteration + 1)
+    in
+    let first = pass initial in
+    let first_cover = Cover.of_cubes ~num_vars (List.map fst first) in
+    if config.max_passes <= 1 then first_cover
+    else loop (reduce ~on ~num_on first) first_cover 2
+  end
+
+let complement_dataset d =
+  Data.Dataset.of_columns (Data.Dataset.columns d)
+    (Words.lognot (Data.Dataset.outputs d))
+
+let minimize_best_polarity ?(config = default_config) d =
+  let pos = minimize ~config d in
+  let neg = minimize ~config (complement_dataset d) in
+  if cost neg < cost pos then (neg, true) else (pos, false)
+
+let check_exact cover d =
+  let predicted = Cover.sample_mask cover (Data.Dataset.columns d) in
+  Words.equal predicted (Data.Dataset.outputs d)

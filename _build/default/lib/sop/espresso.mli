@@ -1,0 +1,33 @@
+(** Heuristic two-level minimization in the style of ESPRESSO.
+
+    The care set is given by a dataset: samples labelled 1 form the on-set,
+    samples labelled 0 the off-set, and every minterm not present is a
+    don't-care.  Minimization starts from the on-set minterms and iterates
+    EXPAND (grow cubes as long as they hit no off-set sample),
+    IRREDUNDANT (drop cubes whose on-set samples are covered elsewhere) and
+    REDUCE (shrink cubes to the supercube of their uniquely covered
+    samples).  The resulting cover is exact on the care set — trained
+    accuracy is 100% — and generalizes through cube expansion into the
+    don't-care space. *)
+
+type config = {
+  max_passes : int;
+      (** EXPAND/IRREDUNDANT/REDUCE iterations; 1 reproduces Team 1's
+          "stop after the first irredundant". *)
+  literal_order_by_gain : bool;
+      (** Expand literals in decreasing order of newly covered on-set
+          samples (cheaper: file order when false). *)
+}
+
+val default_config : config
+
+val minimize : ?config:config -> Data.Dataset.t -> Cover.t
+(** Cover of the on-set.  Exact on all samples of the dataset. *)
+
+val minimize_best_polarity : ?config:config -> Data.Dataset.t -> Cover.t * bool
+(** Minimize both the function and its complement, keep the smaller cover.
+    The flag is [true] when the returned cover represents the
+    complement. *)
+
+val check_exact : Cover.t -> Data.Dataset.t -> bool
+(** The cover agrees with every sample (used by tests and assertions). *)

@@ -1,0 +1,1 @@
+lib/synth/arith.ml: Aig Array List Option

@@ -1,0 +1,1 @@
+lib/synth/arith.mli: Aig

@@ -1,0 +1,1 @@
+lib/synth/lut_synth.ml: Aig Array

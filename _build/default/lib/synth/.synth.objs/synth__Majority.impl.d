@@ -1,0 +1,1 @@
+lib/synth/majority.ml: Aig Arith Array List

@@ -1,0 +1,1 @@
+lib/synth/majority.mli: Aig

@@ -1,0 +1,1 @@
+lib/synth/sop_synth.ml: Aig Array List Sop

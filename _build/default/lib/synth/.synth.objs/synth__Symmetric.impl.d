@@ -1,0 +1,1 @@
+lib/synth/symmetric.ml: Aig Arith Array String

@@ -1,0 +1,1 @@
+lib/synth/symmetric.mli: Aig

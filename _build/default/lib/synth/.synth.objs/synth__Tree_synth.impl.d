@@ -1,0 +1,1 @@
+lib/synth/tree_synth.ml: Aig Array Dtree

@@ -1,0 +1,156 @@
+module G = Aig.Graph
+
+let check_same_width a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Arith: operand width mismatch"
+
+let full_adder g a b cin =
+  let axb = G.xor_ g a b in
+  let sum = G.xor_ g axb cin in
+  let carry = G.or_ g (G.and_ g a b) (G.and_ g axb cin) in
+  (sum, carry)
+
+let adder g a b =
+  check_same_width a b;
+  let n = Array.length a in
+  let sums = Array.make n G.const_false in
+  let carry = ref G.const_false in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let subtractor g a b =
+  check_same_width a b;
+  (* a - b = a + NOT b + 1; borrow = NOT carry. *)
+  let n = Array.length a in
+  let sums = Array.make n G.const_false in
+  let carry = ref G.const_true in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g a.(i) (G.lit_not b.(i)) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, G.lit_not !carry)
+
+let less_than g a b =
+  let _, borrow = subtractor g a b in
+  borrow
+
+let equals_const g word value =
+  let bits =
+    Array.to_list
+      (Array.mapi
+         (fun i l -> if value lsr i land 1 = 1 then l else G.lit_not l)
+         word)
+  in
+  if value lsr Array.length word <> 0 then G.const_false
+  else G.and_list g bits
+
+let parity g word = Array.fold_left (G.xor_ g) G.const_false word
+
+let popcount g word =
+  (* Recursive halving: count = count(lo half) + count(hi half). *)
+  let rec count bits =
+    match bits with
+    | [] -> [ G.const_false ]
+    | [ b ] -> [ b ]
+    | _ ->
+        let n = List.length bits in
+        let rec take k = function
+          | x :: rest when k > 0 ->
+              let a, b = take (k - 1) rest in
+              (x :: a, b)
+          | rest -> ([], rest)
+        in
+        let lo, hi = take (n / 2) bits in
+        add_words (count lo) (count hi)
+  and add_words a b =
+    (* Ripple add words of possibly different widths, growing by one bit. *)
+    let w = max (List.length a) (List.length b) in
+    let pad l = Array.init w (fun i -> Option.value ~default:G.const_false (List.nth_opt l i)) in
+    let sums, carry = adder g (pad a) (pad b) in
+    Array.to_list sums @ [ carry ]
+  in
+  let bits = count (Array.to_list word) in
+  (* Trim to the minimal width that can hold the count. *)
+  let needed =
+    let n = Array.length word in
+    let rec w k = if 1 lsl k > n then k else w (k + 1) in
+    max 1 (w 0)
+  in
+  Array.init needed (fun i -> Option.value ~default:G.const_false (List.nth_opt bits i))
+
+let multiplier g a b =
+  let wa = Array.length a and wb = Array.length b in
+  let width = wa + wb in
+  if width = 0 then [||]
+  else begin
+    let acc = ref (Array.make width G.const_false) in
+    for i = 0 to wb - 1 do
+      (* Partial product a * b_i shifted by i. *)
+      let partial =
+        Array.init width (fun k ->
+            if k >= i && k - i < wa then G.and_ g a.(k - i) b.(i)
+            else G.const_false)
+      in
+      let sums, _ = adder g !acc partial in
+      acc := sums
+    done;
+    !acc
+  end
+
+let divider g a b =
+  check_same_width a b;
+  let k = Array.length a in
+  if k = 0 then ([||], [||])
+  else begin
+    (* Restoring long division with a (k+1)-bit remainder register. *)
+    let wide_b = Array.append b [| G.const_false |] in
+    let remainder = ref (Array.make (k + 1) G.const_false) in
+    let quotient = Array.make k G.const_false in
+    for i = k - 1 downto 0 do
+      (* remainder := (remainder << 1) | a.(i) *)
+      let shifted =
+        Array.init (k + 1) (fun j ->
+            if j = 0 then a.(i) else !remainder.(j - 1))
+      in
+      let diff, borrow = subtractor g shifted wide_b in
+      let fits = G.lit_not borrow in
+      quotient.(i) <- fits;
+      remainder :=
+        Array.init (k + 1) (fun j ->
+            G.mux g ~sel:fits ~t1:diff.(j) ~t0:shifted.(j))
+    done;
+    (quotient, Array.sub !remainder 0 k)
+  end
+
+let square_root g x =
+  let k = Array.length x in
+  let w = (k + 1) / 2 in
+  if k = 0 then [||]
+  else begin
+    let root = ref (Array.make w G.const_false) in
+    for i = w - 1 downto 0 do
+      let candidate =
+        Array.mapi (fun j l -> if j = i then G.const_true else l) !root
+      in
+      let square = multiplier g candidate candidate in
+      (* candidate fits iff candidate^2 <= x, i.e. NOT (x < square). *)
+      let width = max (Array.length square) k in
+      let pad word =
+        Array.init width (fun j ->
+            if j < Array.length word then word.(j) else G.const_false)
+      in
+      let fits = G.lit_not (less_than g (pad x) (pad square)) in
+      root :=
+        Array.mapi
+          (fun j l -> if j = i then fits else G.mux g ~sel:fits ~t1:candidate.(j) ~t0:l)
+          !root
+      (* Note: when [fits], the other bits are unchanged (candidate only
+         differs at bit i), so the mux collapses via strashing. *)
+    done;
+    !root
+  end

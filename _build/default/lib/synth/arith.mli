@@ -1,0 +1,48 @@
+(** Reference arithmetic circuits as AIG builders.
+
+    All word operands are little-endian literal arrays (index 0 = LSB).
+    These are used by the standard-function matcher (Team 7 / Team 1) to
+    emit exact circuits for recognized functions, and by tests as circuit
+    oracles against {!Bitvec} semantics. *)
+
+val adder :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array * Aig.Graph.lit
+(** Ripple-carry addition of equal-width words: (sum bits, carry out). *)
+
+val subtractor :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array * Aig.Graph.lit
+(** [a - b]; the second component is the borrow-out ([a < b]). *)
+
+val less_than :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array -> Aig.Graph.lit
+(** Unsigned [a < b] for equal-width words. *)
+
+val equals_const : Aig.Graph.t -> Aig.Graph.lit array -> int -> Aig.Graph.lit
+(** Word equals the given constant. *)
+
+val parity : Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit
+(** XOR of all bits (1 when an odd number are set).  Parity of the empty
+    word is [const_false]. *)
+
+val popcount : Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array
+(** Binary population count, width [ceil(log2 (n+1))] (at least 1). *)
+
+val multiplier :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array
+(** Array multiplier; result width = sum of operand widths.  Quadratic in
+    the operand widths — too large for the contest budget beyond ~32 bits,
+    which reproduces the paper's observation. *)
+
+val divider :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array * Aig.Graph.lit array
+(** Restoring divider over equal-width words: (quotient, remainder), with
+    the all-ones quotient and remainder [a] when the divisor is zero (the
+    convention of {!Benchgen.Arith_bench}).  Quadratic in the width. *)
+
+val square_root : Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array
+(** Digit-recurrence integer square root of a k-bit word; the result has
+    [(k + 1) / 2] bits.  Quadratic in the width. *)

@@ -1,0 +1,23 @@
+module G = Aig.Graph
+
+let lit_of_lut g ~inputs ~truth =
+  let k = Array.length inputs in
+  if Array.length truth <> 1 lsl k then
+    invalid_arg "Lut_synth: truth table size must be 2^k";
+  (* Shannon expansion on the highest input first; [lo, hi) delimits the
+     truth-table slice for the current subcube. *)
+  let rec build var lo hi =
+    let all_equal =
+      let rec go i = i >= hi || (truth.(i) = truth.(lo) && go (i + 1)) in
+      go (lo + 1)
+    in
+    if all_equal then if truth.(lo) then G.const_true else G.const_false
+    else begin
+      let mid = (lo + hi) / 2 in
+      let t0 = build (var - 1) lo mid in
+      let t1 = build (var - 1) mid hi in
+      if t0 = t1 then t0 else G.mux g ~sel:inputs.(var) ~t1 ~t0
+    end
+  in
+  if k = 0 then if truth.(0) then G.const_true else G.const_false
+  else build (k - 1) 0 (1 lsl k)

@@ -1,0 +1,9 @@
+(** k-input look-up tables to AIGs by Shannon expansion.
+
+    Truth tables are given LSB-first: entry [i] is the output when input
+    [j] carries bit [j] of [i].  Structural hashing in the target graph
+    deduplicates shared subfunctions across LUTs for free. *)
+
+val lit_of_lut :
+  Aig.Graph.t -> inputs:Aig.Graph.lit array -> truth:bool array -> Aig.Graph.lit
+(** [Array.length truth] must be [2^(Array.length inputs)]. *)

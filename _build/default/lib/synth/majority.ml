@@ -1,0 +1,37 @@
+module G = Aig.Graph
+
+let majority g lits =
+  let n = List.length lits in
+  if n = 0 || n mod 2 = 0 then
+    invalid_arg "Majority.majority: need an odd number of inputs";
+  match lits with
+  | [ l ] -> l
+  | [ a; b; c ] ->
+      G.or_list g [ G.and_ g a b; G.and_ g b c; G.and_ g a c ]
+  | _ ->
+      (* count > n/2  <=>  NOT (count < (n+1)/2) is awkward with unsigned
+         compare; use count >= (n+1)/2, i.e. NOT (count < threshold). *)
+      let count = Arith.popcount g (Array.of_list lits) in
+      let threshold_value = (n + 1) / 2 in
+      let threshold =
+        Array.init (Array.length count) (fun i ->
+            if threshold_value lsr i land 1 = 1 then G.const_true
+            else G.const_false)
+      in
+      G.lit_not (Arith.less_than g count threshold)
+
+let majority5 g a b c d e =
+  majority g [ a; b; c; d; e ]
+
+let majority5_tree g lits =
+  if Array.length lits <> 125 then
+    invalid_arg "Majority.majority5_tree: need exactly 125 inputs";
+  let layer input =
+    Array.init
+      (Array.length input / 5)
+      (fun i ->
+        majority5 g input.(5 * i) input.((5 * i) + 1) input.((5 * i) + 2)
+          input.((5 * i) + 3)
+          input.((5 * i) + 4))
+  in
+  (layer (layer (layer lits))).(0)

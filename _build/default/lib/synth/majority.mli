@@ -1,0 +1,14 @@
+(** Majority gates.
+
+    Exact majority is built from a population count and a threshold
+    comparison.  The 3-layer tree of 5-input majority gates approximating a
+    125-input majority reproduces Team 7's aggregation of quantized
+    XGBoost leaves. *)
+
+val majority : Aig.Graph.t -> Aig.Graph.lit list -> Aig.Graph.lit
+(** Strict majority: 1 when more than half of the (odd number of) inputs
+    are 1.  Raises [Invalid_argument] on an even count. *)
+
+val majority5_tree : Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit
+(** Approximate 125-input majority: three layers of 5-input majority
+    gates.  Requires exactly 125 literals. *)

@@ -1,0 +1,27 @@
+module G = Aig.Graph
+
+let lit_of_signature g inputs signature =
+  let n = Array.length inputs in
+  if Array.length signature <> n + 1 then
+    invalid_arg "Symmetric: signature must have n + 1 bits";
+  let count = Arith.popcount g inputs in
+  let cases = ref [] in
+  for c = 0 to n do
+    if signature.(c) then cases := Arith.equals_const g count c :: !cases
+  done;
+  G.or_list g !cases
+
+let of_signature s =
+  let n = String.length s - 1 in
+  if n < 1 then invalid_arg "Symmetric.of_signature: signature too short";
+  let signature =
+    Array.init (n + 1) (fun c ->
+        match s.[c] with
+        | '1' -> true
+        | '0' -> false
+        | _ -> invalid_arg "Symmetric.of_signature: expected 0/1")
+  in
+  let g = G.create ~num_inputs:n in
+  let inputs = Array.init n (G.input g) in
+  G.set_output g (lit_of_signature g inputs signature);
+  g

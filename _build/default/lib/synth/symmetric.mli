@@ -1,0 +1,15 @@
+(** Symmetric functions.
+
+    A symmetric function of [n] inputs depends only on how many inputs are
+    1; it is described by a signature of [n + 1] bits, bit [c] giving the
+    output when exactly [c] inputs are set (the ABC [symfun] convention
+    used by the contest benchmarks ex75-ex79). *)
+
+val lit_of_signature :
+  Aig.Graph.t -> Aig.Graph.lit array -> bool array -> Aig.Graph.lit
+(** [lit_of_signature g inputs signature] with
+    [Array.length signature = Array.length inputs + 1]. *)
+
+val of_signature : string -> Aig.Graph.t
+(** Build a fresh AIG from a ['0'/'1'] signature string of length
+    [n + 1]. *)

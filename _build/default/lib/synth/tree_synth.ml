@@ -1,0 +1,32 @@
+module G = Aig.Graph
+
+let rec lit_of_tree g ~feature_lit tree =
+  match tree with
+  | Dtree.Tree.Leaf true -> G.const_true
+  | Dtree.Tree.Leaf false -> G.const_false
+  | Dtree.Tree.Node { feature; low; high } ->
+      G.mux g ~sel:(feature_lit feature)
+        ~t1:(lit_of_tree g ~feature_lit high)
+        ~t0:(lit_of_tree g ~feature_lit low)
+
+let aig_of_tree ~num_inputs tree =
+  let g = G.create ~num_inputs in
+  G.set_output g (lit_of_tree g ~feature_lit:(G.input g) tree);
+  g
+
+let rec lit_of_feature g inputs feature =
+  match feature with
+  | Dtree.Fringe.Base i -> inputs.(i)
+  | Dtree.Fringe.Comb { op; neg_a; a; neg_b; b } ->
+      let la = G.lit_notif (lit_of_feature g inputs a) neg_a in
+      let lb = G.lit_notif (lit_of_feature g inputs b) neg_b in
+      (match op with
+      | Dtree.Fringe.And -> G.and_ g la lb
+      | Dtree.Fringe.Xor -> G.xor_ g la lb)
+
+let aig_of_fringe_model ~num_inputs (m : Dtree.Fringe.model) =
+  let g = G.create ~num_inputs in
+  let inputs = Array.init num_inputs (G.input g) in
+  let feature_lit f = lit_of_feature g inputs m.Dtree.Fringe.features.(f) in
+  G.set_output g (lit_of_tree g ~feature_lit m.Dtree.Fringe.tree);
+  g

@@ -1,0 +1,59 @@
+(** Packed bit sets over a fixed universe of [length] elements.
+
+    Used throughout for bit-parallel work: one bit per data sample (dataset
+    columns, subset masks during tree training) and one bit per simulation
+    pattern (AIG simulation).  Bits are stored 62 per native word; all
+    binary operations require equal lengths.  Mutable. *)
+
+type t
+
+val bits_per_word : int
+
+val create : int -> t
+(** [create n] is an all-zero set over [n] elements. *)
+
+val length : t -> int
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val fill : t -> bool -> unit
+(** Set all bits. *)
+
+val popcount : t -> int
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val and_into : dst:t -> t -> t -> unit
+(** [and_into ~dst a b] stores [a AND b] in [dst] (aliasing allowed). *)
+
+val or_into : dst:t -> t -> t -> unit
+val xor_into : dst:t -> t -> t -> unit
+val andnot_into : dst:t -> t -> t -> unit
+(** [andnot_into ~dst a b] stores [a AND NOT b]. *)
+
+val not_into : dst:t -> t -> unit
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val andnot : t -> t -> t
+val lognot : t -> t
+
+val count_and : t -> t -> int
+(** [count_and a b] is [popcount (logand a b)] without allocating. *)
+
+val count_andnot : t -> t -> int
+
+val iter_set : t -> (int -> unit) -> unit
+(** Call the function on every index whose bit is 1, in increasing order. *)
+
+val to_list : t -> int list
+
+val random : Random.State.t -> int -> t
+(** Uniform random bits. *)
+
+val init : int -> (int -> bool) -> t

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Fun List Printf QCheck QCheck_alcotest Random Words

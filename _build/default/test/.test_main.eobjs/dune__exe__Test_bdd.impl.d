@@ -1,0 +1,1 @@
+test/test_bdd.ml: Aig Alcotest Array Bdd Data Hashtbl List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Benchgen Bitvec Data Fun Hashtbl List Printf String Words

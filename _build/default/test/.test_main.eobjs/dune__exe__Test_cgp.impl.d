@@ -1,0 +1,1 @@
+test/test_cgp.ml: Aig Alcotest Array Cgp Data Dtree List Random Synth Words

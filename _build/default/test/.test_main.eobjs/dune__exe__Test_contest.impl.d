@@ -1,0 +1,1 @@
+test/test_contest.ml: Aig Alcotest Array Benchgen Contest Data Dtree Fmatch Forest List Lutnet Printf Random String Synth Words

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Data List Printf QCheck QCheck_alcotest Random String Words

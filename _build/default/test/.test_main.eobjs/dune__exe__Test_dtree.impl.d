@@ -1,0 +1,1 @@
+test/test_dtree.ml: Aig Alcotest Array Data Dtree Fun List QCheck QCheck_alcotest Random Synth Words

@@ -1,0 +1,1 @@
+test/test_featsel.ml: Alcotest Array Data Featsel List Random Words

@@ -1,0 +1,1 @@
+test/test_fmatch.ml: Aig Alcotest Array Benchgen Data Fmatch List Printf Random String

@@ -1,0 +1,1 @@
+test/test_forest.ml: Aig Alcotest Array Data Forest List Random Words

@@ -1,0 +1,1 @@
+test/test_lutnet.ml: Aig Alcotest Array Data List Lutnet Words

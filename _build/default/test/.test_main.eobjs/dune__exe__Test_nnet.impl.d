@@ -1,0 +1,1 @@
+test/test_nnet.ml: Aig Alcotest Array Data List Nnet Words

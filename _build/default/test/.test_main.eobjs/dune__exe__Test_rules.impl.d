@@ -1,0 +1,1 @@
+test/test_rules.ml: Aig Alcotest Array Data List QCheck QCheck_alcotest Random Rules Words

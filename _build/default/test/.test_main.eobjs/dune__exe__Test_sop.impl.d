@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Array Data Fun Hashtbl List QCheck QCheck_alcotest Random Sop String Words

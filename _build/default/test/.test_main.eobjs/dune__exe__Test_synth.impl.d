@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Array Bitvec Data Fun Hashtbl List Printf QCheck QCheck_alcotest Random Sop Synth

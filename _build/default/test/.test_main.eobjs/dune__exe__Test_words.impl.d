@@ -1,0 +1,1 @@
+test/test_words.ml: Alcotest List Printf QCheck QCheck_alcotest String Words

@@ -1,0 +1,161 @@
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bits_of_int n v = Array.init n (fun k -> v lsr k land 1 = 1)
+
+let test_basic_ops () =
+  let m = Bdd.create ~num_vars:3 in
+  let x0 = Bdd.var m 0 and x1 = Bdd.var m 1 and x2 = Bdd.var m 2 in
+  let f = Bdd.mk_or m (Bdd.mk_and m x0 x1) (Bdd.mk_xor m x1 x2) in
+  for v = 0 to 7 do
+    let b = bits_of_int 3 v in
+    check_bool "semantics" ((b.(0) && b.(1)) || b.(1) <> b.(2)) (Bdd.eval m f b)
+  done;
+  check_bool "not involutive" true (Bdd.equal f (Bdd.mk_not m (Bdd.mk_not m f)));
+  check_bool "canonical" true
+    (Bdd.equal (Bdd.mk_and m x0 x1) (Bdd.mk_and m x1 x0))
+
+let test_ite () =
+  let m = Bdd.create ~num_vars:3 in
+  let c = Bdd.var m 0 and t = Bdd.var m 1 and e = Bdd.var m 2 in
+  let f = Bdd.mk_ite m c t e in
+  for v = 0 to 7 do
+    let b = bits_of_int 3 v in
+    check_bool "ite" (if b.(0) then b.(1) else b.(2)) (Bdd.eval m f b)
+  done
+
+let test_xor_chain_size () =
+  (* XOR of n variables has exactly n BDD nodes (linear, unlike SOP). *)
+  let n = 12 in
+  let m = Bdd.create ~num_vars:n in
+  let f = ref (Bdd.bfalse m) in
+  for i = 0 to n - 1 do
+    f := Bdd.mk_xor m !f (Bdd.var m i)
+  done;
+  check_int "linear size (2n-1 without complement edges)" ((2 * n) - 1) (Bdd.size m !f)
+
+let test_of_cube_and_datasets () =
+  let m = Bdd.create ~num_vars:4 in
+  let cube = Bdd.of_cube m [| true; false; true; true |] in
+  check_bool "its minterm" true (Bdd.eval m cube [| true; false; true; true |]);
+  check_bool "other minterm" false (Bdd.eval m cube [| true; true; true; true |]);
+  let d =
+    D.create ~num_inputs:4
+      [ ([| true; false; false; false |], true);
+        ([| false; true; false; false |], false);
+        ([| true; true; false; false |], true) ]
+  in
+  let on = Bdd.on_set_of_dataset m d in
+  let care = Bdd.care_set_of_dataset m d in
+  check_bool "on covers positives" true (Bdd.eval m on [| true; false; false; false |]);
+  check_bool "on excludes negatives" false (Bdd.eval m on [| false; true; false; false |]);
+  check_bool "care covers all" true (Bdd.eval m care [| false; true; false; false |]);
+  Alcotest.(check (float 1e-9)) "accuracy of on-set" 1.0 (Bdd.accuracy m on d)
+
+let random_care_property style =
+  QCheck.Test.make ~count:80
+    ~name:
+      (Printf.sprintf "minimize %s agrees on care set"
+         (match style with
+         | Bdd.One_sided -> "one-sided"
+         | Bdd.Two_sided -> "two-sided"
+         | Bdd.Complemented_two_sided -> "complemented"))
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 4 in
+      let m = Bdd.create ~num_vars:n in
+      (* Random function and random care set over n vars. *)
+      let table = Array.init (1 lsl n) (fun _ -> Random.State.bool st) in
+      let cared = Array.init (1 lsl n) (fun _ -> Random.State.bool st) in
+      let f = ref (Bdd.bfalse m) and care = ref (Bdd.bfalse m) in
+      for v = 0 to (1 lsl n) - 1 do
+        let cube () = Bdd.of_cube m (bits_of_int n v) in
+        if table.(v) then f := Bdd.mk_or m !f (cube ());
+        if cared.(v) then care := Bdd.mk_or m !care (cube ())
+      done;
+      let g = Bdd.minimize m style ~f:!f ~care:!care in
+      let ok = ref true in
+      for v = 0 to (1 lsl n) - 1 do
+        if cared.(v) && Bdd.eval m g (bits_of_int n v) <> table.(v) then ok := false
+      done;
+      !ok && Bdd.size m g <= Bdd.size m !f + (1 lsl n))
+
+let test_minimize_shrinks () =
+  (* A function sampled sparsely from a single literal: minimization should
+     collapse to (nearly) that literal. *)
+  let st = Random.State.make [| 3 |] in
+  let n = 8 in
+  let m = Bdd.create ~num_vars:n in
+  let rows =
+    List.init 60 (fun _ ->
+        let b = Array.init n (fun _ -> Random.State.bool st) in
+        (b, b.(0)))
+  in
+  let d = D.create ~num_inputs:n rows in
+  let f = Bdd.on_set_of_dataset m d in
+  let care = Bdd.care_set_of_dataset m d in
+  let g = Bdd.minimize m Bdd.Two_sided ~f ~care in
+  check_bool "shrinks a lot" true (Bdd.size m g < Bdd.size m f / 2);
+  Alcotest.(check (float 1e-9)) "still exact" 1.0 (Bdd.accuracy m g d)
+
+let test_learns_xor_from_samples () =
+  (* Team 1: "BDD can learn a large XOR because patterns are shared where
+     nodes are shared."  Sample a 10-input parity, minimize, and check
+     generalization on unseen minterms. *)
+  let st = Random.State.make [| 4 |] in
+  let n = 10 in
+  let m = Bdd.create ~num_vars:n in
+  let seen = Hashtbl.create 512 in
+  let rows =
+    List.init 700 (fun _ ->
+        let v = Random.State.int st (1 lsl n) in
+        Hashtbl.replace seen v ();
+        (bits_of_int n v, Array.fold_left ( <> ) false (bits_of_int n v)))
+  in
+  let d = D.create ~num_inputs:n rows in
+  let f = Bdd.on_set_of_dataset m d in
+  let care = Bdd.care_set_of_dataset m d in
+  (* Only the complemented two-sided matching can exploit the
+     f / NOT f sharing that parity exhibits (appendix finding). *)
+  let g = Bdd.minimize m Bdd.Complemented_two_sided ~f ~care in
+  check_bool "collapsed to the parity chain" true (Bdd.size m g <= (2 * n) - 1);
+  let correct = ref 0 and total = ref 0 in
+  for v = 0 to (1 lsl n) - 1 do
+    if not (Hashtbl.mem seen v) then begin
+      incr total;
+      let b = bits_of_int n v in
+      if Bdd.eval m g b = Array.fold_left ( <> ) false b then incr correct
+    end
+  done;
+  let acc = float_of_int !correct /. float_of_int !total in
+  check_bool (Printf.sprintf "parity generalizes (%.2f)" acc) true (acc > 0.9)
+
+let test_to_aig () =
+  let m = Bdd.create ~num_vars:4 in
+  let f =
+    Bdd.mk_or m
+      (Bdd.mk_and m (Bdd.var m 0) (Bdd.var m 2))
+      (Bdd.mk_xor m (Bdd.var m 1) (Bdd.var m 3))
+  in
+  let g = Bdd.to_aig m f ~num_inputs:4 in
+  for v = 0 to 15 do
+    let b = bits_of_int 4 v in
+    check_bool "aig = bdd" (Bdd.eval m f b) (Aig.Graph.eval g b)
+  done
+
+let suites =
+  [ ( "bdd",
+      [ Alcotest.test_case "basic ops" `Quick test_basic_ops;
+        Alcotest.test_case "ite" `Quick test_ite;
+        Alcotest.test_case "xor chain size" `Quick test_xor_chain_size;
+        Alcotest.test_case "cubes and datasets" `Quick test_of_cube_and_datasets;
+        Alcotest.test_case "minimize shrinks" `Quick test_minimize_shrinks;
+        Alcotest.test_case "learns parity" `Quick test_learns_xor_from_samples;
+        Alcotest.test_case "to_aig" `Quick test_to_aig ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ random_care_property Bdd.One_sided;
+            random_care_property Bdd.Two_sided;
+            random_care_property Bdd.Complemented_two_sided ] ) ]

@@ -1,0 +1,152 @@
+(* Unit and property tests for the Bitvec substrate.  Properties compare the
+   bit-vector arithmetic against OCaml native-int arithmetic on widths small
+   enough to be exact. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let bv ~w v = Bitvec.of_int ~width:w v
+
+let test_of_to_int () =
+  for v = 0 to 255 do
+    check_int "roundtrip" v (Bitvec.to_int (bv ~w:8 v))
+  done;
+  check_int "truncation" 0b101 (Bitvec.to_int (bv ~w:3 0b11101))
+
+let test_string_roundtrip () =
+  check_string "to_string" "0110" (Bitvec.to_string (bv ~w:4 6));
+  check_int "of_string" 6 (Bitvec.to_int (Bitvec.of_string "0110"));
+  check_string "roundtrip wide"
+    (String.make 100 '1')
+    (Bitvec.to_string (Bitvec.of_string (String.make 100 '1')))
+
+let test_get_set () =
+  let v = Bitvec.zero 70 in
+  let v = Bitvec.set v 65 true in
+  check_bool "bit set" true (Bitvec.get v 65);
+  check_bool "other clear" false (Bitvec.get v 64);
+  let v = Bitvec.set v 65 false in
+  check_bool "cleared" true (Bitvec.is_zero v)
+
+let test_wide_arithmetic () =
+  (* (2^100 - 1) + 1 = 2^100, truncated to 100 bits = 0. *)
+  let ones = Bitvec.of_string (String.make 100 '1') in
+  let sum, carry = Bitvec.add_carry ones (Bitvec.one 100) in
+  check_bool "wraps to zero" true (Bitvec.is_zero sum);
+  check_bool "carry out" true carry;
+  (* (2^64) * (2^64) = 2^128 at width 130. *)
+  let a = Bitvec.set (Bitvec.zero 65) 64 true in
+  let p = Bitvec.mul a a in
+  check_int "product width" 130 (Bitvec.width p);
+  check_bool "2^128 bit" true (Bitvec.get p 128);
+  check_int "popcount" 1 (Bitvec.popcount p)
+
+let test_divmod_wide () =
+  (* (2^90 + 7) / 2^45. *)
+  let a = Bitvec.set (Bitvec.set (Bitvec.zero 91) 90 true) 0 true in
+  let a = Bitvec.set (Bitvec.set a 1 true) 2 true in
+  let b = Bitvec.set (Bitvec.zero 91) 45 true in
+  let q, r = Bitvec.divmod a b in
+  check_bool "quotient = 2^45" true (Bitvec.get q 45);
+  check_int "quotient popcount" 1 (Bitvec.popcount q);
+  check_int "remainder" 7 (Bitvec.to_int r)
+
+let test_concat_extract () =
+  let hi = bv ~w:4 0b1010 and lo = bv ~w:3 0b011 in
+  let c = Bitvec.concat ~hi ~lo in
+  check_int "concat width" 7 (Bitvec.width c);
+  check_int "concat value" 0b1010011 (Bitvec.to_int c);
+  check_int "extract hi" 0b1010 (Bitvec.to_int (Bitvec.extract c ~lo:3 ~len:4));
+  check_int "extract lo" 0b011 (Bitvec.to_int (Bitvec.extract c ~lo:0 ~len:3))
+
+let test_isqrt_exact () =
+  List.iter
+    (fun (v, r) ->
+      check_int (Printf.sprintf "isqrt %d" v) r
+        (Bitvec.to_int (Bitvec.isqrt (bv ~w:16 v))))
+    [ (0, 0); (1, 1); (2, 1); (3, 1); (4, 2); (15, 3); (16, 4); (17, 4);
+      (65535, 255); (10000, 100) ]
+
+let test_errors () =
+  Alcotest.check_raises "divide by zero" Division_by_zero (fun () ->
+      ignore (Bitvec.divmod (bv ~w:8 5) (Bitvec.zero 8)));
+  Alcotest.check_raises "bad string"
+    (Invalid_argument "Bitvec.of_string: non-binary character") (fun () ->
+      ignore (Bitvec.of_string "01x"))
+
+(* Property tests: agreement with native ints at width 16. *)
+
+let gen16 = QCheck.Gen.int_bound 65535
+let arb16 = QCheck.make ~print:string_of_int gen16
+let pair16 = QCheck.pair arb16 arb16
+
+let prop name = QCheck.Test.make ~count:500 ~name
+
+let properties =
+  [ prop "add matches int" pair16 (fun (a, b) ->
+        Bitvec.to_int (Bitvec.add (bv ~w:16 a) (bv ~w:16 b)) = (a + b) land 0xFFFF);
+    prop "sub matches int" pair16 (fun (a, b) ->
+        Bitvec.to_int (Bitvec.sub (bv ~w:16 a) (bv ~w:16 b)) = (a - b) land 0xFFFF);
+    prop "mul matches int" pair16 (fun (a, b) ->
+        Bitvec.to_int (Bitvec.mul (bv ~w:16 a) (bv ~w:16 b)) = a * b);
+    prop "divmod matches int" pair16 (fun (a, b) ->
+        let b = max b 1 in
+        let q, r = Bitvec.divmod (bv ~w:16 a) (bv ~w:16 b) in
+        Bitvec.to_int q = a / b && Bitvec.to_int r = a mod b);
+    prop "isqrt is floor sqrt" arb16 (fun a ->
+        let r = Bitvec.to_int (Bitvec.isqrt (bv ~w:16 a)) in
+        r * r <= a && (r + 1) * (r + 1) > a);
+    prop "xor/and/or match int" pair16 (fun (a, b) ->
+        Bitvec.to_int (Bitvec.logxor (bv ~w:16 a) (bv ~w:16 b)) = a lxor b
+        && Bitvec.to_int (Bitvec.logand (bv ~w:16 a) (bv ~w:16 b)) = a land b
+        && Bitvec.to_int (Bitvec.logor (bv ~w:16 a) (bv ~w:16 b)) = a lor b);
+    prop "lognot is complement" arb16 (fun a ->
+        Bitvec.to_int (Bitvec.lognot (bv ~w:16 a)) = lnot a land 0xFFFF);
+    prop "shift matches int" (QCheck.pair arb16 (QCheck.int_range 0 15))
+      (fun (a, k) ->
+        Bitvec.to_int (Bitvec.shift_left (bv ~w:16 a) k) = (a lsl k) land 0xFFFF
+        && Bitvec.to_int (Bitvec.shift_right (bv ~w:16 a) k) = a lsr k);
+    prop "popcount matches bits" arb16 (fun a ->
+        let rec pc v = if v = 0 then 0 else (v land 1) + pc (v lsr 1) in
+        Bitvec.popcount (bv ~w:16 a) = pc a);
+    prop "compare is value order" pair16 (fun (a, b) ->
+        Stdlib.compare a b = Bitvec.compare (bv ~w:16 a) (bv ~w:20 b));
+    prop "bits roundtrip" arb16 (fun a ->
+        Bitvec.equal (bv ~w:16 a) (Bitvec.of_bits (Bitvec.to_bits (bv ~w:16 a))));
+  ]
+
+(* Extra structural properties registered separately to keep the main list
+   readable. *)
+let structural_properties =
+  [ prop "concat/extract roundtrip" pair16 (fun (a, b) ->
+        let va = bv ~w:16 a and vb = bv ~w:16 b in
+        let c = Bitvec.concat ~hi:va ~lo:vb in
+        Bitvec.equal (Bitvec.extract c ~lo:16 ~len:16) va
+        && Bitvec.equal (Bitvec.extract c ~lo:0 ~len:16) vb);
+    prop "add_carry matches widened add" pair16 (fun (a, b) ->
+        let va = bv ~w:16 a and vb = bv ~w:16 b in
+        let _, carry = Bitvec.add_carry va vb in
+        carry = (a + b >= 65536));
+    prop "sub then add is identity" pair16 (fun (a, b) ->
+        let va = bv ~w:16 a and vb = bv ~w:16 b in
+        Bitvec.equal va (Bitvec.add (Bitvec.sub va vb) vb));
+    prop "zero_extend preserves value" arb16 (fun a ->
+        let v = bv ~w:16 a in
+        Bitvec.equal v (Bitvec.zero_extend v 80)
+        && Bitvec.to_int (Bitvec.zero_extend v 80) = a);
+  ]
+
+let suites =
+  [ ( "bitvec",
+      [ Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "get/set" `Quick test_get_set;
+        Alcotest.test_case "wide arithmetic" `Quick test_wide_arithmetic;
+        Alcotest.test_case "wide divmod" `Quick test_divmod_wide;
+        Alcotest.test_case "concat/extract" `Quick test_concat_extract;
+        Alcotest.test_case "isqrt exact" `Quick test_isqrt_exact;
+        Alcotest.test_case "errors" `Quick test_errors ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+          (properties @ structural_properties) ) ]
+

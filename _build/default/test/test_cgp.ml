@@ -1,0 +1,88 @@
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+
+let full_table n f =
+  D.create ~num_inputs:n
+    (List.init (1 lsl n) (fun i ->
+         let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+         (bits, f bits)))
+
+let small_params =
+  { Cgp.default_params with Cgp.num_nodes = 60; generations = 800; seed = 2 }
+
+let test_random_evolution_learns_and () =
+  let d = full_table 3 (fun b -> b.(0) && b.(1)) in
+  let _, acc = Cgp.evolve small_params d in
+  check_bool "learns AND" true (acc >= 0.9)
+
+let test_xaig_learns_xor () =
+  let d = full_table 3 (fun b -> b.(0) <> b.(1)) in
+  let _, acc =
+    Cgp.evolve { small_params with Cgp.function_set = Cgp.Xaig_ops } d
+  in
+  check_bool "learns XOR" true (acc >= 0.9)
+
+let test_bootstrap_preserves_seed_function () =
+  (* A genome bootstrapped from an AIG computes the same function before
+     any evolution. *)
+  let g = Aig.Graph.create ~num_inputs:4 in
+  let x = Array.init 4 (Aig.Graph.input g) in
+  Aig.Graph.set_output g
+    (Aig.Graph.or_ g (Aig.Graph.and_ g x.(0) x.(1)) (Aig.Graph.xor_ g x.(2) x.(3)));
+  let st = Random.State.make [| 1 |] in
+  let genome = Cgp.of_aig st g in
+  let d = full_table 4 (fun b -> b.(0) && b.(1) || (b.(2) <> b.(3))) in
+  check_bool "same function" true (Cgp.accuracy genome d = 1.0);
+  (* And converting back gives the same function again. *)
+  let g' = Cgp.to_aig genome in
+  for v = 0 to 15 do
+    let bits = Array.init 4 (fun k -> v lsr k land 1 = 1) in
+    check_bool "roundtrip" (Aig.Graph.eval g bits) (Aig.Graph.eval g' bits)
+  done
+
+let test_bootstrap_never_worse () =
+  (* Elitist (1+lambda): evolving a bootstrapped genome cannot lose
+     training accuracy on the full set. *)
+  let d = full_table 5 (fun b -> (b.(0) && b.(2)) || b.(4)) in
+  let tree = Dtree.Train.train Dtree.Train.default_params d in
+  let seed_aig = Synth.Tree_synth.aig_of_tree ~num_inputs:5 tree in
+  let st = Random.State.make [| 2 |] in
+  let genome = Cgp.of_aig st seed_aig in
+  let before = Cgp.accuracy genome d in
+  let evolved, after =
+    Cgp.evolve ~initial:genome
+      { small_params with Cgp.generations = 200 }
+      d
+  in
+  check_bool "not worse than seed" true (after >= before -. 1e-9);
+  check_bool "active gates positive" true (Cgp.num_active evolved >= 0)
+
+let test_predict_mask_consistent_with_aig () =
+  let d = full_table 4 (fun b -> b.(1) <> (b.(0) && b.(3))) in
+  let genome, _ = Cgp.evolve { small_params with Cgp.generations = 100 } d in
+  let aig = Cgp.to_aig genome in
+  let mask = Cgp.predict_mask genome (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "genome vs circuit" (Aig.Graph.eval aig (D.row d j)) (Words.get mask j)
+  done
+
+let test_minibatch_mode_runs () =
+  let d = full_table 5 (fun b -> b.(0)) in
+  let _, acc =
+    Cgp.evolve
+      { small_params with Cgp.batch_size = Some 8; change_batch_every = 50 }
+      d
+  in
+  check_bool "learns with batches" true (acc >= 0.8)
+
+let suites =
+  [ ( "cgp",
+      [ Alcotest.test_case "random evolution AND" `Quick test_random_evolution_learns_and;
+        Alcotest.test_case "xaig XOR" `Quick test_xaig_learns_xor;
+        Alcotest.test_case "bootstrap preserves function" `Quick
+          test_bootstrap_preserves_seed_function;
+        Alcotest.test_case "bootstrap never worse" `Quick test_bootstrap_never_worse;
+        Alcotest.test_case "genome vs circuit" `Quick
+          test_predict_mask_consistent_with_aig;
+        Alcotest.test_case "mini-batch mode" `Quick test_minibatch_mode_runs ] ) ]

@@ -1,0 +1,246 @@
+module S = Benchgen.Suite
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small = { S.train = 300; valid = 150; test = 150 }
+
+let instance id = S.instantiate ~sizes:small ~seed:11 (S.benchmark id)
+
+let test_enforce_budget () =
+  (* An oversized LUT network must come back under the contest limit. *)
+  let inst = instance 85 in
+  let params =
+    { Lutnet.default_params with Lutnet.layer_width = 256; num_layers = 6 }
+  in
+  let aig = Lutnet.to_aig (Lutnet.train params inst.S.train) in
+  let bounded = Contest.Solver.enforce_budget ~seed:1 aig in
+  check_bool "within budget" true
+    (Aig.Graph.num_ands bounded <= Contest.Solver.gate_budget)
+
+let test_pick_best_prefers_accuracy () =
+  let inst = instance 30 in
+  let good =
+    let m = Fmatch.find inst.S.train in
+    match m with Some m -> m.Fmatch.build () | None -> Alcotest.fail "match"
+  in
+  let bad = Aig.Graph.create ~num_inputs:(D.num_inputs inst.S.train) in
+  Aig.Graph.set_output bad Aig.Graph.const_true;
+  let r = Contest.Solver.pick_best ~valid:inst.S.valid [ ("bad", bad); ("good", good) ] in
+  check_bool "picks comparator" true (r.Contest.Solver.technique = "good")
+
+let test_constant_result () =
+  let inst = instance 10 in
+  let r = Contest.Solver.constant_result inst.S.train in
+  check_int "no gates" 0 (Aig.Graph.num_ands r.Contest.Solver.aig)
+
+let test_all_teams_on_one_benchmark () =
+  (* Every team must return a legal solution on a small comparator
+     benchmark. *)
+  let inst = instance 30 in
+  List.iter
+    (fun (team : Contest.Solver.t) ->
+      let r = team.Contest.Solver.solve inst in
+      let m = Contest.Score.measure inst r in
+      check_bool
+        (team.Contest.Solver.name ^ " within budget")
+        true
+        (m.Contest.Score.gates <= Contest.Solver.gate_budget);
+      check_bool
+        (team.Contest.Solver.name ^ " above chance")
+        true
+        (m.Contest.Score.test_acc > 0.5))
+    Contest.Teams.all
+
+let test_scoring () =
+  let metrics team_acc =
+    List.mapi
+      (fun i acc ->
+        {
+          Contest.Score.benchmark = i;
+          technique = "t";
+          test_acc = acc;
+          valid_acc = acc +. 0.01;
+          gates = 100 * (i + 1);
+          levels = 10;
+        })
+      team_acc
+  in
+  let a = metrics [ 0.9; 0.8 ] and b = metrics [ 0.7; 0.95 ] in
+  let row = Contest.Score.team_summary ~team:"a" a in
+  Alcotest.(check (float 1e-6)) "avg test" 85.0 row.Contest.Score.avg_test;
+  Alcotest.(check (float 1e-6)) "overfit" 1.0 row.Contest.Score.overfit;
+  let rates = Contest.Score.win_rates [ ("a", a); ("b", b) ] in
+  let find t = List.find (fun (w : Contest.Score.win_rate) -> w.Contest.Score.team = t) rates in
+  check_int "a wins benchmark 0" 1 (find "a").Contest.Score.wins;
+  check_int "b wins benchmark 1" 1 (find "b").Contest.Score.wins;
+  let vb = Contest.Score.virtual_best [ ("a", a); ("b", b) ] in
+  check_int "virtual best has both" 2 (List.length vb);
+  check_bool "virtual best picks max" true
+    (List.for_all2
+       (fun (m : Contest.Score.metrics) expected -> m.Contest.Score.test_acc = expected)
+       vb [ 0.9; 0.95 ])
+
+let test_pareto_front () =
+  let inst = instance 85 in
+  let num_inputs = D.num_inputs inst.S.train in
+  let rng = Random.State.make [| 12 |] in
+  let candidates =
+    [ ( "dt",
+        Synth.Tree_synth.aig_of_tree ~num_inputs
+          (Dtree.Train.train
+             { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 }
+             inst.S.train) );
+      ( "forest",
+        Forest.Bagging.to_aig ~num_inputs
+          (Forest.Bagging.train ~rng
+             { Forest.Bagging.default_params with Forest.Bagging.num_trees = 7 }
+             inst.S.train) ) ]
+  in
+  let front =
+    Contest.Solver.pareto_front ~valid:inst.S.valid ~seed:12 candidates
+  in
+  check_bool "non-empty" true (front <> []);
+  (* Strictly increasing in both coordinates: that is what non-dominated
+     sorted by size means. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Contest.Solver.gates < b.Contest.Solver.gates
+        && a.Contest.Solver.accuracy < b.Contest.Solver.accuracy
+        && monotone rest
+    | _ -> true
+  in
+  check_bool "pareto monotone" true (monotone front)
+
+let test_cross_validation () =
+  (* A learnable function: the deep tree must beat the constant model under
+     cross-validation. *)
+  let inst = instance 30 in
+  let rng = Random.State.make [| 77 |] in
+  let tree_train d =
+    `T (Dtree.Train.train { Dtree.Train.default_params with Dtree.Train.max_depth = Some 8 } d)
+  in
+  let score m d =
+    match m with
+    | `T t -> Dtree.Train.accuracy t d
+    | `Const v ->
+        Data.Dataset.accuracy
+          ~predicted:(Words.init (Data.Dataset.num_samples d) (fun _ -> v))
+          d
+  in
+  let chosen =
+    Contest.Cv.select ~rng ~k:4
+      ~candidates:
+        [ ("tree", tree_train, score);
+          ("const", (fun _ -> `Const true), score) ]
+      inst.S.train
+  in
+  Alcotest.(check string) "tree wins" "tree" chosen;
+  let acc =
+    Contest.Cv.accuracy ~rng ~k:4 ~train:tree_train ~score inst.S.train
+  in
+  check_bool "cv accuracy sensible" true (acc > 0.8 && acc <= 1.0)
+
+let test_popcount_tree () =
+  (* A noisy threshold-on-popcount function: near-symmetric, so the side
+     circuit must appear and do well. *)
+  let st = Random.State.make [| 31 |] in
+  let rows =
+    List.init 500 (fun _ ->
+        let bits = Array.init 12 (fun _ -> Random.State.bool st) in
+        let ones = Array.fold_left (fun a b -> a + if b then 1 else 0) 0 bits in
+        let y = ones >= 6 in
+        let y = if Random.State.float st 1.0 < 0.03 then not y else y in
+        (bits, y))
+  in
+  let d = D.create ~num_inputs:12 rows in
+  (match Fmatch.popcount_tree d with
+  | Some (name, aig) ->
+      Alcotest.(check string) "name" "popcount-tree" name;
+      check_bool "fits noisy symmetric" true
+        (Contest.Solver.evaluate aig d > 0.9)
+  | None -> Alcotest.fail "expected a popcount tree");
+  (* A function that ignores popcount entirely must be rejected. *)
+  let rows =
+    List.init 500 (fun _ ->
+        let bits = Array.init 12 (fun _ -> Random.State.bool st) in
+        (bits, bits.(0)))
+  in
+  let d = D.create ~num_inputs:12 rows in
+  check_bool "no spurious popcount model" true (Fmatch.popcount_tree d = None)
+
+let test_sorted_rows () =
+  let rows =
+    [ { Contest.Score.team = "x"; avg_test = 80.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0 };
+      { Contest.Score.team = "y"; avg_test = 90.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0 } ]
+  in
+  match Contest.Score.sort_rows rows with
+  | first :: _ -> Alcotest.(check string) "best first" "y" first.Contest.Score.team
+  | [] -> Alcotest.fail "rows lost"
+
+let test_team7_matches_adder () =
+  (* On an adder-bit benchmark the matcher must fire and be exact. *)
+  let inst = S.instantiate ~sizes:small ~seed:11 (S.benchmark 1) in
+  let r = Contest.Teams.team7.Contest.Solver.solve inst in
+  check_bool "matched an adder" true
+    (String.length r.Contest.Solver.technique >= 5
+    && String.sub r.Contest.Solver.technique 0 5 = "adder");
+  let m = Contest.Score.measure inst r in
+  Alcotest.(check (float 1e-9)) "exact on test" 1.0 m.Contest.Score.test_acc
+
+let test_team8_sine_wins_parity () =
+  (* Parity defeats trees/forests; the sine MLP must carry team8 well above
+     chance. *)
+  let inst =
+    S.instantiate ~sizes:{ S.train = 1200; valid = 600; test = 600 } ~seed:2
+      (S.benchmark 74)
+  in
+  let r = Contest.Teams.team8.Contest.Solver.solve inst in
+  let m = Contest.Score.measure inst r in
+  check_bool
+    (Printf.sprintf "parity learnt (%s, %.2f)" m.Contest.Score.technique
+       m.Contest.Score.test_acc)
+    true
+    (m.Contest.Score.test_acc > 0.9)
+
+let test_experiment_drivers_smoke () =
+  (* The shared-run experiment drivers must execute end to end on a tiny
+     configuration; their stdout is captured by the test harness. *)
+  let config =
+    {
+      Contest.Experiments.sizes = { S.train = 120; valid = 60; test = 60 };
+      seed = 3;
+      ids = [ 30; 74 ];
+    }
+  in
+  let run =
+    Contest.Experiments.run_suite ~progress:false
+      ~teams:[ Contest.Teams.team10; Contest.Teams.team2 ]
+      config
+  in
+  check_int "two teams" 2 (List.length run.Contest.Experiments.per_team);
+  List.iter
+    (fun (_, ms) -> check_int "two benchmarks" 2 (List.length ms))
+    run.Contest.Experiments.per_team;
+  Contest.Experiments.fig1 ();
+  Contest.Experiments.table3 run;
+  Contest.Experiments.fig2 run;
+  Contest.Experiments.fig3 run;
+  Contest.Experiments.fig4 run;
+  Contest.Experiments.fig32_33 run
+
+let suites =
+  [ ( "contest",
+      [ Alcotest.test_case "enforce budget" `Quick test_enforce_budget;
+        Alcotest.test_case "pick best" `Quick test_pick_best_prefers_accuracy;
+        Alcotest.test_case "constant fallback" `Quick test_constant_result;
+        Alcotest.test_case "all teams legal" `Slow test_all_teams_on_one_benchmark;
+        Alcotest.test_case "pareto front" `Quick test_pareto_front;
+        Alcotest.test_case "cross validation" `Quick test_cross_validation;
+        Alcotest.test_case "popcount tree" `Quick test_popcount_tree;
+        Alcotest.test_case "scoring" `Quick test_scoring;
+        Alcotest.test_case "row sorting" `Quick test_sorted_rows;
+        Alcotest.test_case "team7 adder match" `Slow test_team7_matches_adder;
+        Alcotest.test_case "team8 parity" `Slow test_team8_sine_wins_parity;
+        Alcotest.test_case "experiment drivers" `Slow test_experiment_drivers_smoke ] ) ]

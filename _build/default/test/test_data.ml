@@ -1,0 +1,143 @@
+module D = Data.Dataset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let sample_rows =
+  [ ([| true; false; true |], true);
+    ([| false; false; true |], false);
+    ([| true; true; true |], true);
+    ([| false; true; false |], false);
+    ([| true; false; false |], true) ]
+
+let sample () = D.create ~num_inputs:3 sample_rows
+
+let test_create_row () =
+  let d = sample () in
+  check_int "inputs" 3 (D.num_inputs d);
+  check_int "samples" 5 (D.num_samples d);
+  List.iteri
+    (fun j (inputs, y) ->
+      Alcotest.(check (array bool)) (Printf.sprintf "row %d" j) inputs (D.row d j);
+      check_bool (Printf.sprintf "out %d" j) y (D.output_bit d j))
+    sample_rows
+
+let test_select () =
+  let d = sample () in
+  let mask = Words.init 5 (fun j -> j mod 2 = 0) in
+  let s = D.select d mask in
+  check_int "selected" 3 (D.num_samples s);
+  Alcotest.(check (array bool)) "first kept row" [| true; false; true |] (D.row s 0);
+  Alcotest.(check (array bool)) "third kept row" [| true; false; false |] (D.row s 2)
+
+let test_append () =
+  let d = sample () in
+  let e = D.append d d in
+  check_int "doubled" 10 (D.num_samples e);
+  Alcotest.(check (array bool)) "wrapped row" (D.row d 0) (D.row e 5)
+
+let test_accuracy () =
+  let d = sample () in
+  check_float "perfect" 1.0 (D.accuracy ~predicted:(D.outputs d) d);
+  check_float "all wrong" 0.0 (D.accuracy ~predicted:(Words.lognot (D.outputs d)) d);
+  let constant_true = Words.init 5 (fun _ -> true) in
+  check_float "constant true" 0.6 (D.accuracy ~predicted:constant_true d);
+  let pred, acc = D.constant_accuracy d in
+  check_bool "majority is true" true pred;
+  check_float "majority accuracy" 0.6 acc
+
+let test_stratified_split () =
+  let st = Random.State.make [| 3 |] in
+  let rows = List.init 100 (fun i -> (Array.make 4 (i mod 2 = 0), i mod 4 = 0)) in
+  let d = D.create ~num_inputs:4 rows in
+  let a, b = D.stratified_split st d ~ratio:0.8 in
+  check_int "sizes" 100 (D.num_samples a + D.num_samples b);
+  check_int "a ones" 20 (D.count_output_ones a);
+  check_int "b ones" 5 (D.count_output_ones b)
+
+let test_k_folds () =
+  let st = Random.State.make [| 4 |] in
+  let d = sample () in
+  let d = D.append d (D.append d d) in
+  let folds = D.k_folds st d ~k:3 in
+  check_int "three folds" 3 (List.length folds);
+  List.iter
+    (fun (train, test) ->
+      check_int "partition" 15 (D.num_samples train + D.num_samples test))
+    folds
+
+let test_bootstrap_and_shuffle () =
+  let st = Random.State.make [| 5 |] in
+  let d = sample () in
+  check_int "bootstrap size" 5 (D.num_samples (D.bootstrap st d));
+  check_int "shuffle size" 5 (D.num_samples (D.shuffle st d))
+
+let test_pla_roundtrip () =
+  let d = sample () in
+  let p = Data.Pla.of_dataset d in
+  let text = Data.Pla.print p in
+  let p' = Data.Pla.parse text in
+  let d' = Data.Pla.to_dataset p' in
+  check_int "inputs" (D.num_inputs d) (D.num_inputs d');
+  check_int "samples" (D.num_samples d) (D.num_samples d');
+  for j = 0 to D.num_samples d - 1 do
+    Alcotest.(check (array bool)) "row" (D.row d j) (D.row d' j);
+    check_bool "out" (D.output_bit d j) (D.output_bit d' j)
+  done
+
+let test_pla_parse () =
+  let p = Data.Pla.parse ".i 3\n.o 1\n.type fr\n.p 2\n011 1\n10- 0\n.e\n" in
+  check_int "inputs" 3 p.Data.Pla.num_inputs;
+  check_int "terms" 2 (List.length p.Data.Pla.terms);
+  Alcotest.check_raises "dash rejected in dataset"
+    (Failure "Pla.to_dataset: don't-care input in minterm") (fun () ->
+      ignore (Data.Pla.to_dataset p))
+
+let test_pla_errors () =
+  check_bool "bad directive raises" true
+    (try
+       ignore (Data.Pla.parse ".q 3\n");
+       false
+     with Failure _ -> true);
+  check_bool "bad char raises" true
+    (try
+       ignore (Data.Pla.parse "01x 1\n");
+       false
+     with Failure _ -> true)
+
+let test_arff_export () =
+  let d = sample () in
+  let text = Data.Arff.of_dataset ~relation:"unit" d in
+  check_bool "has relation" true
+    (String.length text > 15 && String.sub text 0 15 = "@RELATION unit\n");
+  let lines = String.split_on_char '\n' text in
+  check_int "attribute lines" 4
+    (List.length (List.filter (fun l -> String.length l > 10 && String.sub l 0 10 = "@ATTRIBUTE") lines));
+  check_bool "first data row" true (List.mem "1,0,1,1" lines);
+  check_bool "negative row" true (List.mem "0,0,1,0" lines)
+
+let prop_split_ratio =
+  QCheck.Test.make ~count:100 ~name:"split_ratio partitions samples"
+    QCheck.(pair (int_range 1 200) (int_bound 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let rows = List.init n (fun i -> (Array.make 2 (i mod 3 = 0), i mod 2 = 0)) in
+      let d = D.create ~num_inputs:2 rows in
+      let a, b = D.split_ratio st d ~ratio:0.5 in
+      D.num_samples a + D.num_samples b = n)
+
+let suites =
+  [ ( "data",
+      [ Alcotest.test_case "create/row" `Quick test_create_row;
+        Alcotest.test_case "select" `Quick test_select;
+        Alcotest.test_case "append" `Quick test_append;
+        Alcotest.test_case "accuracy" `Quick test_accuracy;
+        Alcotest.test_case "stratified split" `Quick test_stratified_split;
+        Alcotest.test_case "k folds" `Quick test_k_folds;
+        Alcotest.test_case "bootstrap/shuffle" `Quick test_bootstrap_and_shuffle;
+        Alcotest.test_case "pla roundtrip" `Quick test_pla_roundtrip;
+        Alcotest.test_case "pla parse" `Quick test_pla_parse;
+        Alcotest.test_case "pla errors" `Quick test_pla_errors;
+        Alcotest.test_case "arff export" `Quick test_arff_export ]
+      @ [ QCheck_alcotest.to_alcotest ~long:false prop_split_ratio ] ) ]

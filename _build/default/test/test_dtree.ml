@@ -1,0 +1,209 @@
+module D = Data.Dataset
+module T = Dtree.Tree
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let full_table n f =
+  D.create ~num_inputs:n
+    (List.init (1 lsl n) (fun i ->
+         let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+         (bits, f bits)))
+
+let test_predict () =
+  let t =
+    T.Node
+      { feature = 0;
+        low = T.Leaf false;
+        high = T.Node { feature = 2; low = T.Leaf true; high = T.Leaf false } }
+  in
+  check_bool "path high-low" true (T.predict t [| true; false; false |]);
+  check_bool "path high-high" false (T.predict t [| true; false; true |]);
+  check_bool "path low" false (T.predict t [| false; true; true |]);
+  check_int "nodes" 2 (T.num_nodes t);
+  check_int "leaves" 3 (T.num_leaves t);
+  check_int "depth" 2 (T.depth t);
+  Alcotest.(check (list int)) "features" [ 0; 2 ] (T.features_used t)
+
+let test_predict_mask_matches_predict () =
+  let st = Random.State.make [| 11 |] in
+  let d = full_table 5 (fun b -> (b.(0) && b.(3)) || b.(4)) in
+  let t = Dtree.Train.train Dtree.Train.default_params d in
+  let mask = T.predict_mask t (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "mask vs scalar" (T.predict t (D.row d j)) (Words.get mask j)
+  done;
+  ignore st
+
+let test_learns_exactly () =
+  (* With full truth tables and no stopping constraints, training accuracy
+     must be 100%. *)
+  List.iter
+    (fun f ->
+      let d = full_table 5 f in
+      let t = Dtree.Train.train Dtree.Train.default_params d in
+      Alcotest.(check (float 1e-9)) "exact fit" 1.0 (Dtree.Train.accuracy t d))
+    [ (fun b -> b.(0));
+      (fun b -> b.(1) && not b.(3));
+      (fun b -> b.(0) <> b.(1));
+      (fun _ -> false) ]
+
+let test_max_depth_respected () =
+  let d = full_table 6 (fun b -> Array.fold_left ( <> ) false b) in
+  let t =
+    Dtree.Train.train
+      { Dtree.Train.default_params with Dtree.Train.max_depth = Some 3 }
+      d
+  in
+  check_bool "depth bounded" true (T.depth t <= 3)
+
+let test_min_samples () =
+  let d = full_table 4 (fun b -> Array.fold_left ( <> ) false b) in
+  let t =
+    Dtree.Train.train
+      { Dtree.Train.default_params with Dtree.Train.min_samples = 17 }
+      d
+  in
+  (* min_samples above the sample count: the root cannot split. *)
+  check_int "single leaf" 0 (T.num_nodes t);
+  (* At exactly the sample count the root may split, but the children
+     (8 samples each) may not. *)
+  let t =
+    Dtree.Train.train
+      { Dtree.Train.default_params with Dtree.Train.min_samples = 16 }
+      d
+  in
+  check_bool "at most one split" true (T.num_nodes t <= 1)
+
+let test_gini_also_works () =
+  let d = full_table 4 (fun b -> b.(2)) in
+  let t =
+    Dtree.Train.train
+      { Dtree.Train.default_params with Dtree.Train.criterion = Dtree.Train.Gini }
+      d
+  in
+  check_int "single split suffices" 1 (T.num_nodes t)
+
+let test_decomposition_helps_xor () =
+  (* Two-input XOR plus irrelevant inputs: entropy gain is 0 for all
+     features, so a plain tree may pick an irrelevant variable first; the
+     functional-decomposition variant must pick a relevant one. *)
+  let d = full_table 6 (fun b -> b.(4) <> b.(5)) in
+  let params =
+    { Dtree.Train.default_params with Dtree.Train.decomp_threshold = Some 0.05 }
+  in
+  let t = Dtree.Train.train params d in
+  (match t with
+  | T.Node { feature; _ } ->
+      check_bool "root is an XOR variable" true (feature = 4 || feature = 5)
+  | T.Leaf _ -> Alcotest.fail "expected a split");
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (Dtree.Train.accuracy t d)
+
+let test_feature_subset () =
+  let d = full_table 5 (fun b -> b.(0)) in
+  let rng = Random.State.make [| 3 |] in
+  let t =
+    Dtree.Train.train ~rng
+      { Dtree.Train.default_params with Dtree.Train.feature_subset = Some 2 }
+      d
+  in
+  (* Restricted subsets may need several levels, but training still
+     terminates and fits. *)
+  Alcotest.(check (float 1e-9)) "fits" 1.0 (Dtree.Train.accuracy t d)
+
+let test_fringe_learns_xor_of_pairs () =
+  (* f = (x0 AND x1) XOR (x2 AND x3): fringe features should let a shallow
+     tree nail it. *)
+  let d = full_table 6 (fun b -> b.(0) && b.(1) <> (b.(2) && b.(3))) in
+  let params = { Dtree.Train.default_params with Dtree.Train.min_samples = 1 } in
+  let m = Dtree.Fringe.train ~max_rounds:6 params d in
+  Alcotest.(check (float 1e-9)) "exact with fringe" 1.0 (Dtree.Fringe.accuracy m d)
+
+let test_fringe_predict_consistency () =
+  let d = full_table 5 (fun b -> b.(0) <> b.(2)) in
+  let m = Dtree.Fringe.train Dtree.Train.default_params d in
+  let mask = Dtree.Fringe.predict_mask m (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "mask vs scalar" (Dtree.Fringe.predict m (D.row d j)) (Words.get mask j)
+  done
+
+let prop_fringe_feature_eval_agrees =
+  QCheck.Test.make ~count:100 ~name:"fringe feature column = scalar eval"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 4 in
+      (* A random composite feature over random base features. *)
+      let rec random_feature depth =
+        if depth = 0 || Random.State.bool st then
+          Dtree.Fringe.Base (Random.State.int st n)
+        else
+          Dtree.Fringe.Comb
+            {
+              op = (if Random.State.bool st then Dtree.Fringe.And else Dtree.Fringe.Xor);
+              neg_a = Random.State.bool st;
+              a = random_feature (depth - 1);
+              neg_b = Random.State.bool st;
+              b = random_feature (depth - 1);
+            }
+      in
+      let f = random_feature 3 in
+      let d = full_table n (fun b -> b.(0)) in
+      let col = Dtree.Fringe.feature_column f (D.columns d) in
+      List.for_all
+        (fun j -> Words.get col j = Dtree.Fringe.eval_feature f (D.row d j))
+        (List.init (D.num_samples d) Fun.id))
+
+let prop_train_accuracy_perfect_on_functions =
+  QCheck.Test.make ~count:60 ~name:"unlimited tree fits any function"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 3 in
+      let table = Array.init (1 lsl n) (fun _ -> Random.State.bool st) in
+      let d = full_table n (fun b ->
+          let idx = ref 0 in
+          Array.iteri (fun i v -> if v then idx := !idx lor (1 lsl i)) b;
+          table.(!idx))
+      in
+      let t = Dtree.Train.train Dtree.Train.default_params d in
+      Dtree.Train.accuracy t d = 1.0)
+
+let prop_synth_agrees_with_tree =
+  QCheck.Test.make ~count:60 ~name:"tree synthesis agrees with prediction"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 4 in
+      let d = full_table n (fun _ -> Random.State.bool st) in
+      let t =
+        Dtree.Train.train
+          { Dtree.Train.default_params with Dtree.Train.max_depth = Some 3 }
+          d
+      in
+      let aig = Synth.Tree_synth.aig_of_tree ~num_inputs:n t in
+      List.for_all
+        (fun i ->
+          let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+          Aig.Graph.eval aig bits = T.predict t bits)
+        (List.init (1 lsl n) Fun.id))
+
+let suites =
+  [ ( "dtree",
+      [ Alcotest.test_case "predict" `Quick test_predict;
+        Alcotest.test_case "mask prediction" `Quick test_predict_mask_matches_predict;
+        Alcotest.test_case "learns exactly" `Quick test_learns_exactly;
+        Alcotest.test_case "max depth" `Quick test_max_depth_respected;
+        Alcotest.test_case "min samples" `Quick test_min_samples;
+        Alcotest.test_case "gini criterion" `Quick test_gini_also_works;
+        Alcotest.test_case "functional decomposition on XOR" `Quick
+          test_decomposition_helps_xor;
+        Alcotest.test_case "feature subset" `Quick test_feature_subset;
+        Alcotest.test_case "fringe learns pair XOR" `Quick
+          test_fringe_learns_xor_of_pairs;
+        Alcotest.test_case "fringe predict consistency" `Quick
+          test_fringe_predict_consistency ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_fringe_feature_eval_agrees;
+            prop_train_accuracy_perfect_on_functions; prop_synth_agrees_with_tree ]
+    ) ]

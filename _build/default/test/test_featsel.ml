@@ -1,0 +1,72 @@
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A dataset where feature 2 determines the output, feature 0 is weakly
+   correlated, and the rest are noise. *)
+let informative_dataset () =
+  let st = Random.State.make [| 21 |] in
+  D.create ~num_inputs:6
+    (List.init 400 (fun _ ->
+         let bits = Array.init 6 (fun _ -> Random.State.bool st) in
+         let y = bits.(2) in
+         let bits = Array.copy bits in
+         (* make feature 0 agree with y 75% of the time *)
+         bits.(0) <- (if Random.State.float st 1.0 < 0.75 then y else not y);
+         (bits, y)))
+
+let test_scores_rank_informative_feature () =
+  let d = informative_dataset () in
+  List.iter
+    (fun fn ->
+      let s = Featsel.scores fn d in
+      let best = ref 0 in
+      Array.iteri (fun i v -> if v > s.(!best) then best := i) s;
+      check_int (Featsel.score_name fn ^ " finds feature 2") 2 !best)
+    [ Featsel.Mutual_info; Featsel.Chi2; Featsel.Correlation ]
+
+let test_select_k_best () =
+  let d = informative_dataset () in
+  let top2 = Featsel.select_k_best Featsel.Mutual_info ~k:2 d in
+  check_int "k respected" 2 (Array.length top2);
+  check_int "best first" 2 top2.(0);
+  check_int "second is the correlated one" 0 top2.(1)
+
+let test_select_percentile () =
+  let d = informative_dataset () in
+  let half = Featsel.select_percentile Featsel.Chi2 ~percentile:50.0 d in
+  check_int "half of 6" 3 (Array.length half);
+  Alcotest.check_raises "percentile range"
+    (Invalid_argument "Featsel.select_percentile: percentile in (0, 100]")
+    (fun () -> ignore (Featsel.select_percentile Featsel.Chi2 ~percentile:0.0 d))
+
+let test_project () =
+  let d = informative_dataset () in
+  let p = Featsel.project d [| 2; 0 |] in
+  check_int "projected width" 2 (D.num_inputs p);
+  for j = 0 to 20 do
+    check_bool "column 0 is old column 2" ((D.row d j).(2)) ((D.row p j).(0))
+  done;
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Featsel.project: feature index out of range") (fun () ->
+      ignore (Featsel.project d [| 9 |]))
+
+let test_permutation_importance () =
+  let d = informative_dataset () in
+  let rng = Random.State.make [| 8 |] in
+  (* The "model" simply outputs feature 2. *)
+  let predict columns = Words.copy columns.(2) in
+  let imp = Featsel.permutation_importance ~rng ~predict ~repeats:3 d in
+  check_bool "feature 2 dominant" true
+    (Array.for_all (fun v -> imp.(2) >= v) imp);
+  check_bool "noise features near zero" true (abs_float imp.(4) < 0.1)
+
+let suites =
+  [ ( "featsel",
+      [ Alcotest.test_case "score ranking" `Quick test_scores_rank_informative_feature;
+        Alcotest.test_case "select k best" `Quick test_select_k_best;
+        Alcotest.test_case "select percentile" `Quick test_select_percentile;
+        Alcotest.test_case "project" `Quick test_project;
+        Alcotest.test_case "permutation importance" `Quick
+          test_permutation_importance ] ) ]

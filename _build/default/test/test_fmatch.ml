@@ -1,0 +1,113 @@
+module D = Data.Dataset
+module S = Benchgen.Suite
+
+let check_bool = Alcotest.(check bool)
+
+let sample_oracle st ~num_inputs ~samples oracle =
+  D.create ~num_inputs
+    (List.init samples (fun _ ->
+         let bits = Array.init num_inputs (fun _ -> Random.State.bool st) in
+         (bits, oracle bits)))
+
+let test_matches_adder () =
+  let st = Random.State.make [| 1 |] in
+  let k = 16 in
+  let d =
+    sample_oracle st ~num_inputs:(2 * k) ~samples:800
+      (Benchgen.Arith_bench.adder_bit ~k ~bit:k)
+  in
+  match Fmatch.find d with
+  | Some m ->
+      check_bool "adder name" true
+        (String.length m.Fmatch.name >= 5 && String.sub m.Fmatch.name 0 5 = "adder");
+      let aig = m.Fmatch.build () in
+      (* Exactness on fresh samples. *)
+      for _ = 1 to 200 do
+        let bits = Array.init (2 * k) (fun _ -> Random.State.bool st) in
+        check_bool "exact" (Benchgen.Arith_bench.adder_bit ~k ~bit:k bits)
+          (Aig.Graph.eval aig bits)
+      done
+  | None -> Alcotest.fail "expected adder match"
+
+let test_matches_comparator () =
+  let st = Random.State.make [| 2 |] in
+  let k = 10 in
+  let d =
+    sample_oracle st ~num_inputs:(2 * k) ~samples:800
+      (Benchgen.Arith_bench.comparator ~k)
+  in
+  match Fmatch.find d with
+  | Some m -> check_bool "less-than" true (m.Fmatch.name = "less-than-10")
+  | None -> Alcotest.fail "expected comparator match"
+
+let test_matches_parity_as_symmetric () =
+  let st = Random.State.make [| 3 |] in
+  let d =
+    sample_oracle st ~num_inputs:16 ~samples:800 Benchgen.Arith_bench.parity
+  in
+  match Fmatch.find d with
+  | Some m -> check_bool "symmetric" true (m.Fmatch.name = "symmetric")
+  | None -> Alcotest.fail "expected symmetric match"
+
+let test_symmetric_signature_inference () =
+  let st = Random.State.make [| 4 |] in
+  let signature = "0011100110011001" ^ "0" in
+  let d =
+    sample_oracle st ~num_inputs:16 ~samples:2000
+      (Benchgen.Arith_bench.symmetric ~signature)
+  in
+  match Fmatch.matches_symmetric d with
+  | Some inferred ->
+      (* Every observed popcount must be correct. *)
+      Array.iteri
+        (fun c v ->
+          (* tails may be unobserved; only check mid-range counts *)
+          if c >= 4 && c <= 12 then
+            check_bool
+              (Printf.sprintf "count %d" c)
+              (signature.[c] = '1') v)
+        inferred
+  | None -> Alcotest.fail "expected symmetric signature"
+
+let test_rejects_random_logic () =
+  let st = Random.State.make [| 5 |] in
+  let cone = Benchgen.Logic_bench.cone ~seed:4242 ~num_inputs:24 () in
+  let d =
+    sample_oracle st ~num_inputs:24 ~samples:800 (Benchgen.Logic_bench.oracle cone)
+  in
+  check_bool "no spurious match" true (Fmatch.find d = None)
+
+let test_rejects_noisy_data () =
+  let st = Random.State.make [| 6 |] in
+  let k = 8 in
+  let d =
+    sample_oracle st ~num_inputs:(2 * k) ~samples:800 (fun bits ->
+        let v = Benchgen.Arith_bench.comparator ~k bits in
+        if Random.State.float st 1.0 < 0.05 then not v else v)
+  in
+  check_bool "noise breaks matching" true (Fmatch.find d = None)
+
+let test_multiplier_gate_budget () =
+  let st = Random.State.make [| 7 |] in
+  let k = 8 in
+  let oracle = Benchgen.Arith_bench.multiplier_bit ~k ~bit:(k - 1) in
+  let d = sample_oracle st ~num_inputs:(2 * k) ~samples:600 oracle in
+  (match Fmatch.find d with
+  | Some m ->
+      check_bool "multiplier matched" true
+        (String.length m.Fmatch.name >= 4 && String.sub m.Fmatch.name 0 4 = "mult")
+  | None -> Alcotest.fail "expected multiplier match for k=8");
+  (* With a tiny gate budget, the multiplier candidate must be skipped. *)
+  check_bool "budget suppresses multiplier" true (Fmatch.find ~max_gates:100 d = None)
+
+let suites =
+  [ ( "fmatch",
+      [ Alcotest.test_case "adder" `Quick test_matches_adder;
+        Alcotest.test_case "comparator" `Quick test_matches_comparator;
+        Alcotest.test_case "parity" `Quick test_matches_parity_as_symmetric;
+        Alcotest.test_case "signature inference" `Quick
+          test_symmetric_signature_inference;
+        Alcotest.test_case "rejects random logic" `Quick test_rejects_random_logic;
+        Alcotest.test_case "rejects noise" `Quick test_rejects_noisy_data;
+        Alcotest.test_case "multiplier budget" `Quick test_multiplier_gate_budget ]
+    ) ]

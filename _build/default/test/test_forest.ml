@@ -1,0 +1,132 @@
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let full_table n f =
+  D.create ~num_inputs:n
+    (List.init (1 lsl n) (fun i ->
+         let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+         (bits, f bits)))
+
+let noisy_dataset st n samples f noise =
+  D.create ~num_inputs:n
+    (List.init samples (fun _ ->
+         let bits = Array.init n (fun _ -> Random.State.bool st) in
+         let y = if Random.State.float st 1.0 < noise then not (f bits) else f bits in
+         (bits, y)))
+
+let test_bagging_requires_odd () =
+  Alcotest.check_raises "even trees rejected"
+    (Invalid_argument "Bagging.train: num_trees must be odd") (fun () ->
+      ignore
+        (Forest.Bagging.train
+           ~rng:(Random.State.make [| 1 |])
+           { Forest.Bagging.default_params with Forest.Bagging.num_trees = 4 }
+           (full_table 3 (fun b -> b.(0)))))
+
+let test_bagging_learns () =
+  let st = Random.State.make [| 5 |] in
+  let f bits = (bits.(0) && bits.(1)) || bits.(2) in
+  let d = noisy_dataset st 6 400 f 0.0 in
+  let forest = Forest.Bagging.train ~rng:st Forest.Bagging.default_params d in
+  check_bool "high training accuracy" true (Forest.Bagging.accuracy forest d > 0.95)
+
+let test_bagging_mask_matches_predict () =
+  let st = Random.State.make [| 6 |] in
+  let d = noisy_dataset st 5 120 (fun b -> b.(1) <> b.(3)) 0.05 in
+  let forest =
+    Forest.Bagging.train ~rng:st
+      { Forest.Bagging.default_params with Forest.Bagging.num_trees = 5 }
+      d
+  in
+  let mask = Forest.Bagging.predict_mask forest (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "mask vs scalar" (Forest.Bagging.predict forest (D.row d j))
+      (Words.get mask j)
+  done
+
+let test_bagging_aig_agrees () =
+  let st = Random.State.make [| 7 |] in
+  let d = noisy_dataset st 5 200 (fun b -> b.(0) && not b.(4)) 0.0 in
+  let forest =
+    Forest.Bagging.train ~rng:st
+      { Forest.Bagging.default_params with Forest.Bagging.num_trees = 7 }
+      d
+  in
+  let aig = Forest.Bagging.to_aig ~num_inputs:5 forest in
+  for i = 0 to 31 do
+    let bits = Array.init 5 (fun k -> i lsr k land 1 = 1) in
+    check_bool "circuit = majority vote" (Forest.Bagging.predict forest bits)
+      (Aig.Graph.eval aig bits)
+  done
+
+let test_boosting_learns () =
+  let d = full_table 5 (fun b -> (b.(0) && b.(1)) || (b.(2) && b.(3))) in
+  let model =
+    Forest.Boosting.train
+      { Forest.Boosting.default_params with Forest.Boosting.num_trees = 20 }
+      d
+  in
+  check_float "exact fit" 1.0 (Forest.Boosting.accuracy model d)
+
+let test_boosting_mask_matches_predict () =
+  let st = Random.State.make [| 8 |] in
+  let d = noisy_dataset st 6 150 (fun b -> b.(2)) 0.1 in
+  let model =
+    Forest.Boosting.train
+      { Forest.Boosting.default_params with Forest.Boosting.num_trees = 10 }
+      d
+  in
+  let mask = Forest.Boosting.predict_mask model (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "mask vs scalar" (Forest.Boosting.predict model (D.row d j))
+      (Words.get mask j)
+  done
+
+let test_boosting_aig_is_quantized_prediction () =
+  let st = Random.State.make [| 9 |] in
+  let d = noisy_dataset st 5 200 (fun b -> b.(0) <> b.(1)) 0.0 in
+  let model =
+    Forest.Boosting.train
+      { Forest.Boosting.default_params with Forest.Boosting.num_trees = 11 }
+      d
+  in
+  let aig = Forest.Boosting.to_aig ~num_inputs:5 model in
+  for i = 0 to 31 do
+    let bits = Array.init 5 (fun k -> i lsr k land 1 = 1) in
+    check_bool "circuit = quantized vote"
+      (Forest.Boosting.predict_quantized model bits)
+      (Aig.Graph.eval aig bits)
+  done
+
+let test_boosting_125_majority_tree () =
+  (* The 125-tree configuration goes through the 3-layer 5-majority
+     network; only structural properties are cheap to check. *)
+  let st = Random.State.make [| 10 |] in
+  let d = noisy_dataset st 4 60 (fun b -> b.(0)) 0.0 in
+  let model =
+    Forest.Boosting.train
+      { Forest.Boosting.default_params with
+        Forest.Boosting.num_trees = 125; max_depth = 2 }
+      d
+  in
+  let aig = Forest.Boosting.to_aig ~num_inputs:4 model in
+  (* Quantized majority of a trivially learnable function stays accurate. *)
+  let acc =
+    Aig.Sim.accuracy aig (D.columns d) (D.outputs d)
+  in
+  check_bool "accurate" true (acc > 0.9)
+
+let suites =
+  [ ( "forest",
+      [ Alcotest.test_case "odd trees required" `Quick test_bagging_requires_odd;
+        Alcotest.test_case "bagging learns" `Quick test_bagging_learns;
+        Alcotest.test_case "bagging mask" `Quick test_bagging_mask_matches_predict;
+        Alcotest.test_case "bagging circuit agrees" `Quick test_bagging_aig_agrees;
+        Alcotest.test_case "boosting learns" `Quick test_boosting_learns;
+        Alcotest.test_case "boosting mask" `Quick test_boosting_mask_matches_predict;
+        Alcotest.test_case "boosting circuit quantized" `Quick
+          test_boosting_aig_is_quantized_prediction;
+        Alcotest.test_case "boosting 125-tree majority" `Quick
+          test_boosting_125_majority_tree ] ) ]

@@ -1,0 +1,66 @@
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let full_table n f =
+  D.create ~num_inputs:n
+    (List.init (1 lsl n) (fun i ->
+         let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+         (bits, f bits)))
+
+let params scheme =
+  { Lutnet.default_params with Lutnet.layer_width = 8; num_layers = 2; scheme }
+
+let test_memorizes_simple_function () =
+  let d = full_table 4 (fun b -> b.(0) && b.(2)) in
+  let net = Lutnet.train (params Lutnet.Random_inputs) d in
+  check_bool "good training fit" true (Lutnet.accuracy net d > 0.85)
+
+let test_predict_mask_consistent () =
+  let d = full_table 5 (fun b -> b.(1) || b.(4)) in
+  List.iter
+    (fun scheme ->
+      let net = Lutnet.train (params scheme) d in
+      let mask = Lutnet.predict_mask net (D.columns d) in
+      for j = 0 to D.num_samples d - 1 do
+        check_bool "mask vs scalar" (Lutnet.predict net (D.row d j))
+          (Words.get mask j)
+      done)
+    [ Lutnet.Random_inputs; Lutnet.Unique_random ]
+
+let test_aig_agrees_with_network () =
+  let d = full_table 4 (fun b -> b.(0) <> b.(3)) in
+  let net = Lutnet.train (params Lutnet.Unique_random) d in
+  let aig = Lutnet.to_aig net in
+  for v = 0 to 15 do
+    let bits = Array.init 4 (fun k -> v lsr k land 1 = 1) in
+    check_bool "circuit = network" (Lutnet.predict net bits) (Aig.Graph.eval aig bits)
+  done
+
+let test_num_luts () =
+  let d = full_table 4 (fun b -> b.(0)) in
+  let net = Lutnet.train (params Lutnet.Random_inputs) d in
+  Alcotest.(check int) "2 layers of 8 plus output" 17 (Lutnet.num_luts net)
+
+let test_constant_dataset () =
+  let d = full_table 3 (fun _ -> true) in
+  let net = Lutnet.train (params Lutnet.Random_inputs) d in
+  check_float "memorizes constant" 1.0 (Lutnet.accuracy net d)
+
+let test_default_entries_use_majority () =
+  (* One single sample: all unexercised LUT entries default to its label,
+     so the network is constant. *)
+  let d = D.create ~num_inputs:4 [ ([| true; false; true; false |], true) ] in
+  let net = Lutnet.train (params Lutnet.Random_inputs) d in
+  check_bool "everything true" true (Lutnet.predict net [| false; true; false; true |])
+
+let suites =
+  [ ( "lutnet",
+      [ Alcotest.test_case "memorizes" `Quick test_memorizes_simple_function;
+        Alcotest.test_case "mask prediction" `Quick test_predict_mask_consistent;
+        Alcotest.test_case "circuit agrees" `Quick test_aig_agrees_with_network;
+        Alcotest.test_case "lut count" `Quick test_num_luts;
+        Alcotest.test_case "constant dataset" `Quick test_constant_dataset;
+        Alcotest.test_case "majority default" `Quick test_default_entries_use_majority ]
+    ) ]

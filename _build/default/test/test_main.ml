@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "lsml"
+    (List.concat
+       [ Test_bitvec.suites;
+         Test_words.suites;
+         Test_aig.suites;
+         Test_data.suites;
+         Test_sop.suites;
+         Test_synth.suites;
+         Test_dtree.suites;
+         Test_forest.suites;
+         Test_rules.suites;
+         Test_nnet.suites;
+         Test_lutnet.suites;
+         Test_cgp.suites;
+         Test_featsel.suites;
+         Test_fmatch.suites;
+         Test_benchgen.suites;
+         Test_contest.suites;
+         Test_bdd.suites;
+         Test_report.suites ])

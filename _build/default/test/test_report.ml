@@ -1,0 +1,65 @@
+(* The report renderer only formats text; these tests pin the alignment
+   and scaling rules rather than exact layout. *)
+
+let check_bool = Alcotest.(check bool)
+
+let with_captured_stdout f =
+  let tmp = Filename.temp_file "lsml" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  text
+
+let test_table_alignment () =
+  let text =
+    with_captured_stdout (fun () ->
+        Contest.Report.table ~header:[ "name"; "value" ]
+          [ [ "a"; "1" ]; [ "longer-name"; "23" ] ])
+  in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  check_bool "four lines" true (List.length lines = 4);
+  (* All lines are padded to the same width per column: the separator line
+     is as long as the longest row. *)
+  (match lines with
+  | _ :: sep :: rest ->
+      List.iter
+        (fun l -> check_bool "rows within width" true (String.length l <= String.length sep + 2))
+        rest
+  | _ -> Alcotest.fail "missing separator")
+
+let test_bars_scale () =
+  let text =
+    with_captured_stdout (fun () ->
+        Contest.Report.bars ~width:10 [ ("x", 1.0); ("y", 0.5); ("zero", 0.0) ])
+  in
+  let count_hashes line =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+  in
+  match String.split_on_char '\n' text |> List.filter (fun l -> l <> "") with
+  | [ x; y; zero ] ->
+      check_bool "max gets full width" true (count_hashes x = 10);
+      check_bool "half gets half" true (count_hashes y = 5);
+      check_bool "zero gets none" true (count_hashes zero = 0)
+  | _ -> Alcotest.fail "expected three bars"
+
+let test_formatters () =
+  Alcotest.(check string) "pct" "87.65" (Contest.Report.fmt_pct 0.8765);
+  Alcotest.(check string) "f1" "3.1" (Contest.Report.fmt_f1 3.14)
+
+let suites =
+  [ ( "report",
+      [ Alcotest.test_case "table alignment" `Quick test_table_alignment;
+        Alcotest.test_case "bar scaling" `Quick test_bars_scale;
+        Alcotest.test_case "formatters" `Quick test_formatters ] ) ]

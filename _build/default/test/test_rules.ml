@@ -1,0 +1,79 @@
+module D = Data.Dataset
+module P = Rules.Part
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let full_table n f =
+  D.create ~num_inputs:n
+    (List.init (1 lsl n) (fun i ->
+         let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+         (bits, f bits)))
+
+let test_learns_dnf () =
+  let d = full_table 5 (fun b -> (b.(0) && b.(1)) || (b.(3) && not b.(4))) in
+  let m = P.train P.default_params d in
+  check_float "exact fit" 1.0 (P.accuracy m d);
+  check_bool "has rules" true (P.num_rules m > 0)
+
+let test_ordered_semantics () =
+  (* First matching rule wins: construct a model by hand and check
+     prediction order. *)
+  let m =
+    {
+      P.rules =
+        [ { P.literals = [ (0, true) ]; label = false };
+          { P.literals = [ (1, true) ]; label = true } ];
+      default = false;
+    }
+  in
+  check_bool "rule 1 shadows rule 2" false (P.predict m [| true; true |]);
+  check_bool "rule 2 fires" true (P.predict m [| false; true |]);
+  check_bool "default" false (P.predict m [| false; false |])
+
+let test_mask_matches_predict () =
+  let d = full_table 6 (fun b -> b.(0) <> (b.(2) && b.(5))) in
+  let m = P.train P.default_params d in
+  let mask = P.predict_mask m (D.columns d) in
+  for j = 0 to D.num_samples d - 1 do
+    check_bool "mask vs scalar" (P.predict m (D.row d j)) (Words.get mask j)
+  done
+
+let test_circuit_agrees () =
+  let d = full_table 5 (fun b -> b.(1) || (b.(2) && b.(4))) in
+  let m = P.train P.default_params d in
+  let aig = P.to_aig ~num_inputs:5 m in
+  for v = 0 to 31 do
+    let bits = Array.init 5 (fun k -> v lsr k land 1 = 1) in
+    check_bool "circuit = rules" (P.predict m bits) (Aig.Graph.eval aig bits)
+  done
+
+let test_min_coverage_limits_rules () =
+  let st = Random.State.make [| 4 |] in
+  let d =
+    D.create ~num_inputs:6
+      (List.init 200 (fun _ ->
+           let bits = Array.init 6 (fun _ -> Random.State.bool st) in
+           (bits, Random.State.float st 1.0 < 0.3)))
+  in
+  let strict = P.train { P.default_params with P.min_coverage = 20 } d in
+  let loose = P.train { P.default_params with P.min_coverage = 2 } d in
+  check_bool "stricter coverage, fewer rules" true
+    (P.num_rules strict <= P.num_rules loose)
+
+let prop_default_constant_model =
+  QCheck.Test.make ~count:50 ~name:"constant datasets need no rules"
+    QCheck.bool
+    (fun value ->
+      let d = full_table 3 (fun _ -> value) in
+      let m = Rules.Part.train Rules.Part.default_params d in
+      Rules.Part.num_rules m = 0 && Rules.Part.accuracy m d = 1.0)
+
+let suites =
+  [ ( "rules",
+      [ Alcotest.test_case "learns DNF" `Quick test_learns_dnf;
+        Alcotest.test_case "ordered semantics" `Quick test_ordered_semantics;
+        Alcotest.test_case "mask prediction" `Quick test_mask_matches_predict;
+        Alcotest.test_case "circuit agrees" `Quick test_circuit_agrees;
+        Alcotest.test_case "min coverage" `Quick test_min_coverage_limits_rules ]
+      @ [ QCheck_alcotest.to_alcotest ~long:false prop_default_constant_model ] ) ]

@@ -1,0 +1,211 @@
+module C = Sop.Cube
+module Cov = Sop.Cover
+module D = Data.Dataset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_cube_string () =
+  let c = C.of_string "01-1" in
+  check_string "roundtrip" "01-1" (C.to_string c);
+  check_int "literals" 3 (C.num_literals c);
+  check_bool "lit 0" true (C.lit c 0 = C.Neg);
+  check_bool "lit 2" true (C.lit c 2 = C.Free)
+
+let test_contains () =
+  let big = C.of_string "1--" and small = C.of_string "1-0" in
+  check_bool "big contains small" true (C.contains big small);
+  check_bool "small not contains big" false (C.contains small big);
+  check_bool "self" true (C.contains big big)
+
+let test_intersect_distance () =
+  let a = C.of_string "1-0" and b = C.of_string "10-" in
+  (match C.intersect a b with
+  | Some c -> check_string "intersection" "100" (C.to_string c)
+  | None -> Alcotest.fail "expected intersection");
+  check_int "distance 0" 0 (C.distance a b);
+  let c = C.of_string "0--" in
+  check_bool "disjoint" true (C.intersect a c = None);
+  check_int "distance 1" 1 (C.distance a c)
+
+let test_consensus () =
+  let a = C.of_string "1-1" and b = C.of_string "0-1" in
+  (match C.consensus a b with
+  | Some c -> check_string "consensus" "--1" (C.to_string c)
+  | None -> Alcotest.fail "expected consensus");
+  check_bool "no consensus at distance 2" true
+    (C.consensus (C.of_string "11-") (C.of_string "00-") = None)
+
+let test_supercube_cofactor () =
+  let a = C.of_string "110" and b = C.of_string "100" in
+  check_string "supercube" "1-0" (C.to_string (C.supercube a b));
+  (match C.cofactor a ~var:0 ~value:true with
+  | Some c -> check_string "cofactor" "-10" (C.to_string c)
+  | None -> Alcotest.fail "expected cofactor");
+  check_bool "incompatible cofactor" true (C.cofactor a ~var:0 ~value:false = None)
+
+let test_minterm_cover () =
+  let c = C.of_string "1-0" in
+  check_bool "covers 100" true (C.covers_minterm c [| true; false; false |]);
+  check_bool "covers 110" true (C.covers_minterm c [| true; true; false |]);
+  check_bool "misses 101" false (C.covers_minterm c [| true; false; true |])
+
+let test_cover_scc () =
+  let cov = Cov.of_strings [ "1-0"; "110"; "0-1"; "1-0" ] in
+  let r = Cov.single_cube_containment cov in
+  check_int "kept" 2 (Cov.num_cubes r)
+
+let xor_dataset n =
+  (* Full truth table of n-input XOR. *)
+  let rows =
+    List.init (1 lsl n) (fun i ->
+        let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+        let y = Array.fold_left (fun acc b -> acc <> b) false bits in
+        (bits, y))
+  in
+  D.create ~num_inputs:n rows
+
+let majority_dataset n =
+  let rows =
+    List.init (1 lsl n) (fun i ->
+        let bits = Array.init n (fun k -> i lsr k land 1 = 1) in
+        let ones = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 bits in
+        (bits, 2 * ones > n))
+  in
+  D.create ~num_inputs:n rows
+
+let test_espresso_exact () =
+  List.iter
+    (fun d ->
+      let cover = Sop.Espresso.minimize d in
+      check_bool "exact on care set" true (Sop.Espresso.check_exact cover d))
+    [ xor_dataset 4; majority_dataset 5 ]
+
+let test_espresso_xor_cube_count () =
+  (* XOR of n variables needs exactly 2^(n-1) minterm cubes: espresso must
+     not merge any and must not lose any. *)
+  let d = xor_dataset 4 in
+  let cover = Sop.Espresso.minimize d in
+  check_int "xor cubes" 8 (Cov.num_cubes cover)
+
+let test_espresso_majority_shrinks () =
+  (* Majority-of-5 has 16 on-set minterms but only 10 prime implicants. *)
+  let d = majority_dataset 5 in
+  let cover = Sop.Espresso.minimize d in
+  check_bool "fewer cubes than minterms" true (Cov.num_cubes cover < 16);
+  check_int "majority primes" 10 (Cov.num_cubes cover)
+
+let test_espresso_single_literal () =
+  (* f = x1 with don't cares everywhere else should collapse to one cube. *)
+  let rows =
+    List.init 16 (fun i ->
+        let bits = Array.init 4 (fun k -> i lsr k land 1 = 1) in
+        (bits, bits.(1)))
+  in
+  let d = D.create ~num_inputs:4 rows in
+  let cover = Sop.Espresso.minimize d in
+  check_int "one cube" 1 (Cov.num_cubes cover);
+  check_string "the literal" "-1--" (C.to_string (List.hd cover.Cov.cubes))
+
+let test_espresso_constants () =
+  let all_true = D.create ~num_inputs:2 [ ([| true; false |], true); ([| false; false |], true) ] in
+  check_int "tautology" 1 (Cov.num_cubes (Sop.Espresso.minimize all_true));
+  let all_false = D.create ~num_inputs:2 [ ([| true; false |], false) ] in
+  check_int "empty cover" 0 (Cov.num_cubes (Sop.Espresso.minimize all_false))
+
+let test_best_polarity () =
+  (* Function that is 1 almost everywhere: complement is smaller. *)
+  let rows =
+    List.init 16 (fun i ->
+        let bits = Array.init 4 (fun k -> i lsr k land 1 = 1) in
+        (bits, i <> 0))
+  in
+  let d = D.create ~num_inputs:4 rows in
+  let cover, complemented = Sop.Espresso.minimize_best_polarity d in
+  check_bool "complement chosen" true complemented;
+  check_int "single cube" 1 (Cov.num_cubes cover)
+
+(* Property: espresso is exact on random incompletely specified datasets. *)
+let prop_espresso_exact =
+  QCheck.Test.make ~count:60 ~name:"espresso exact on random care sets"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 3 + Random.State.int st 5 in
+      let samples = 5 + Random.State.int st 40 in
+      (* Deduplicate inputs to keep the labelling functional. *)
+      let table = Hashtbl.create 64 in
+      for _ = 1 to samples do
+        let key = Random.State.int st (1 lsl n) in
+        if not (Hashtbl.mem table key) then
+          Hashtbl.add table key (Random.State.bool st)
+      done;
+      let rows =
+        Hashtbl.fold
+          (fun key y acc ->
+            (Array.init n (fun k -> key lsr k land 1 = 1), y) :: acc)
+          table []
+      in
+      let d = D.create ~num_inputs:n rows in
+      let cover = Sop.Espresso.minimize d in
+      Sop.Espresso.check_exact cover d)
+
+let prop_sample_mask_matches_covers =
+  QCheck.Test.make ~count:100 ~name:"sample_mask agrees with covers_minterm"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int st 6 in
+      let samples = 1 + Random.State.int st 40 in
+      let rows =
+        List.init samples (fun _ ->
+            (Array.init n (fun _ -> Random.State.bool st), Random.State.bool st))
+      in
+      let d = D.create ~num_inputs:n rows in
+      let cube =
+        C.of_string
+          (String.init n (fun _ ->
+               match Random.State.int st 3 with 0 -> '0' | 1 -> '1' | _ -> '-'))
+      in
+      let mask = C.sample_mask cube (D.columns d) in
+      List.for_all
+        (fun j -> Words.get mask j = C.covers_minterm cube (D.row d j))
+        (List.init samples Fun.id))
+
+let prop_containment_partial_order =
+  QCheck.Test.make ~count:200 ~name:"cube containment is a partial order"
+    QCheck.(triple (int_bound 700) (int_bound 700) (int_bound 700))
+    (fun (x, y, z) ->
+      let cube_of v =
+        C.of_string
+          (String.init 6 (fun i ->
+               match v lsr (i * 2) land 3 with
+               | 0 -> '0'
+               | 1 -> '1'
+               | _ -> '-'))
+      in
+      let a = cube_of x and b = cube_of y and c = cube_of z in
+      (* reflexive, antisymmetric (up to equality), transitive *)
+      C.contains a a
+      && ((not (C.contains a b && C.contains b a)) || C.equal a b)
+      && ((not (C.contains a b && C.contains b c)) || C.contains a c))
+
+let suites =
+  [ ( "sop",
+      [ Alcotest.test_case "cube strings" `Quick test_cube_string;
+        Alcotest.test_case "containment" `Quick test_contains;
+        Alcotest.test_case "intersect/distance" `Quick test_intersect_distance;
+        Alcotest.test_case "consensus" `Quick test_consensus;
+        Alcotest.test_case "supercube/cofactor" `Quick test_supercube_cofactor;
+        Alcotest.test_case "minterm cover" `Quick test_minterm_cover;
+        Alcotest.test_case "cover SCC" `Quick test_cover_scc;
+        Alcotest.test_case "espresso exact" `Quick test_espresso_exact;
+        Alcotest.test_case "espresso xor" `Quick test_espresso_xor_cube_count;
+        Alcotest.test_case "espresso majority" `Quick test_espresso_majority_shrinks;
+        Alcotest.test_case "espresso single literal" `Quick test_espresso_single_literal;
+        Alcotest.test_case "espresso constants" `Quick test_espresso_constants;
+        Alcotest.test_case "best polarity" `Quick test_best_polarity ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_espresso_exact; prop_sample_mask_matches_covers;
+            prop_containment_partial_order ] ) ]

@@ -1,0 +1,235 @@
+module G = Aig.Graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bits_of_int n v = Array.init n (fun k -> v lsr k land 1 = 1)
+
+(* Compare an AIG builder against a Bitvec oracle on random inputs. *)
+let check_against_oracle ~name ~num_inputs ~samples build oracle =
+  let g = G.create ~num_inputs in
+  G.set_output g (build g);
+  let st = Random.State.make [| Hashtbl.hash name |] in
+  for _ = 1 to samples do
+    let bits = Array.init num_inputs (fun _ -> Random.State.bool st) in
+    check_bool name (oracle bits) (G.eval g bits)
+  done
+
+let test_adder_vs_bitvec () =
+  List.iter
+    (fun k ->
+      check_against_oracle
+        ~name:(Printf.sprintf "adder-%d" k)
+        ~num_inputs:(2 * k) ~samples:200
+        (fun g ->
+          let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
+          let sums, carry = Synth.Arith.adder g a b in
+          G.xor_ g carry sums.(k - 1))
+        (fun bits ->
+          let a = Bitvec.of_bits (Array.sub bits 0 k)
+          and b = Bitvec.of_bits (Array.sub bits k k) in
+          let sum = Bitvec.add (Bitvec.zero_extend a (k + 1)) (Bitvec.zero_extend b (k + 1)) in
+          Bitvec.get sum k <> Bitvec.get sum (k - 1)))
+    [ 4; 9; 16 ]
+
+let test_subtractor_borrow_is_less_than () =
+  let k = 8 in
+  check_against_oracle ~name:"borrow" ~num_inputs:(2 * k) ~samples:300
+    (fun g ->
+      let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
+      Synth.Arith.less_than g a b)
+    (fun bits ->
+      Bitvec.compare
+        (Bitvec.of_bits (Array.sub bits 0 k))
+        (Bitvec.of_bits (Array.sub bits k k))
+      < 0)
+
+let test_multiplier_vs_bitvec () =
+  let k = 5 in
+  for bit = 0 to (2 * k) - 1 do
+    check_against_oracle
+      ~name:(Printf.sprintf "mult-bit%d" bit)
+      ~num_inputs:(2 * k) ~samples:100
+      (fun g ->
+        let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
+        (Synth.Arith.multiplier g a b).(bit))
+      (fun bits ->
+        Bitvec.get
+          (Bitvec.mul
+             (Bitvec.of_bits (Array.sub bits 0 k))
+             (Bitvec.of_bits (Array.sub bits k k)))
+          bit)
+  done
+
+let test_divider_vs_bitvec () =
+  let k = 6 in
+  let g = G.create ~num_inputs:(2 * k) in
+  let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
+  let quotient, remainder = Synth.Arith.divider g a b in
+  let st = Random.State.make [| 61 |] in
+  for _ = 1 to 300 do
+    let va = Random.State.int st (1 lsl k) in
+    let vb = Random.State.int st (1 lsl k) in
+    let bits = Array.init (2 * k) (fun i -> if i < k then va lsr i land 1 = 1 else vb lsr (i - k) land 1 = 1) in
+    let expected_q, expected_r =
+      if vb = 0 then ((1 lsl k) - 1, va) else (va / vb, va mod vb)
+    in
+    Array.iteri
+      (fun i lit ->
+        G.set_output g lit;
+        check_bool "quotient bit" (expected_q lsr i land 1 = 1) (G.eval g bits))
+      quotient;
+    Array.iteri
+      (fun i lit ->
+        G.set_output g lit;
+        check_bool "remainder bit" (expected_r lsr i land 1 = 1) (G.eval g bits))
+      remainder
+  done
+
+let test_square_root_vs_bitvec () =
+  List.iter
+    (fun k ->
+      let g = G.create ~num_inputs:k in
+      let root = Synth.Arith.square_root g (Array.init k (G.input g)) in
+      check_int "root width" ((k + 1) / 2) (Array.length root);
+      for v = 0 to (1 lsl k) - 1 do
+        let bits = bits_of_int k v in
+        let expected = int_of_float (sqrt (float_of_int v)) in
+        Array.iteri
+          (fun i lit ->
+            G.set_output g lit;
+            check_bool
+              (Printf.sprintf "sqrt(%d) bit %d" v i)
+              (expected lsr i land 1 = 1)
+              (G.eval g bits))
+          root
+      done)
+    [ 4; 7; 8 ]
+
+let test_parity_popcount_equals () =
+  let n = 9 in
+  check_against_oracle ~name:"parity" ~num_inputs:n ~samples:200
+    (fun g -> Synth.Arith.parity g (Array.init n (G.input g)))
+    (fun bits -> Array.fold_left ( <> ) false bits);
+  (* popcount: verify every output bit. *)
+  let g = G.create ~num_inputs:n in
+  let count = Synth.Arith.popcount g (Array.init n (G.input g)) in
+  check_int "popcount width" 4 (Array.length count);
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = bits_of_int n v in
+    let expected = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 bits in
+    Array.iteri
+      (fun i lit ->
+        G.set_output g lit;
+        check_bool "popcount bit" (expected lsr i land 1 = 1) (G.eval g bits))
+      count
+  done
+
+let test_equals_const () =
+  let g = G.create ~num_inputs:4 in
+  let word = Array.init 4 (G.input g) in
+  G.set_output g (Synth.Arith.equals_const g word 5);
+  for v = 0 to 15 do
+    check_bool "equals 5" (v = 5) (G.eval g (bits_of_int 4 v))
+  done;
+  check_int "too-large constant is false" G.const_false
+    (Synth.Arith.equals_const g word 16)
+
+let test_majority_exact () =
+  List.iter
+    (fun n ->
+      let g = G.create ~num_inputs:n in
+      G.set_output g (Synth.Majority.majority g (List.init n (G.input g)));
+      for v = 0 to (1 lsl n) - 1 do
+        let bits = bits_of_int n v in
+        let ones = Array.fold_left (fun a b -> a + if b then 1 else 0) 0 bits in
+        check_bool
+          (Printf.sprintf "majority-%d" n)
+          (2 * ones > n)
+          (G.eval g bits)
+      done)
+    [ 1; 3; 5; 7; 9 ]
+
+let test_majority5_tree_structure () =
+  let g = G.create ~num_inputs:125 in
+  let lits = Array.init 125 (G.input g) in
+  G.set_output g (Synth.Majority.majority5_tree g lits);
+  (* Unanimous inputs must decide the vote at every layer. *)
+  check_bool "all ones" true (G.eval g (Array.make 125 true));
+  check_bool "all zeros" false (G.eval g (Array.make 125 false));
+  Alcotest.check_raises "needs 125"
+    (Invalid_argument "Majority.majority5_tree: need exactly 125 inputs")
+    (fun () -> ignore (Synth.Majority.majority5_tree g (Array.sub lits 0 25)))
+
+let test_symmetric_signature () =
+  (* Signature 0011 over 3 inputs: true iff popcount >= 2. *)
+  let g = Synth.Symmetric.of_signature "0011" in
+  for v = 0 to 7 do
+    let bits = bits_of_int 3 v in
+    let ones = Array.fold_left (fun a b -> a + if b then 1 else 0) 0 bits in
+    check_bool "symfun" (ones >= 2) (G.eval g bits)
+  done
+
+let test_sop_synthesis () =
+  let cover = Sop.Cover.of_strings [ "1-0"; "011" ] in
+  let g = Synth.Sop_synth.aig_of_cover cover in
+  for v = 0 to 7 do
+    let bits = bits_of_int 3 v in
+    check_bool "cover semantics" (Sop.Cover.covers_minterm cover bits) (G.eval g bits)
+  done;
+  let gc = Synth.Sop_synth.aig_of_cover ~complemented:true cover in
+  for v = 0 to 7 do
+    let bits = bits_of_int 3 v in
+    check_bool "complemented" (not (Sop.Cover.covers_minterm cover bits)) (G.eval gc bits)
+  done
+
+let test_lut_synthesis () =
+  let st = Random.State.make [| 77 |] in
+  for _ = 1 to 30 do
+    let k = 1 + Random.State.int st 5 in
+    let truth = Array.init (1 lsl k) (fun _ -> Random.State.bool st) in
+    let g = G.create ~num_inputs:k in
+    G.set_output g
+      (Synth.Lut_synth.lit_of_lut g ~inputs:(Array.init k (G.input g)) ~truth);
+    for v = 0 to (1 lsl k) - 1 do
+      check_bool "lut semantics" truth.(v) (G.eval g (bits_of_int k v))
+    done
+  done
+
+let prop_espresso_cover_synth =
+  QCheck.Test.make ~count:40 ~name:"espresso cover circuit is exact on care set"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int st 3 in
+      let table = Hashtbl.create 32 in
+      for _ = 1 to 30 do
+        Hashtbl.replace table (Random.State.int st (1 lsl n)) (Random.State.bool st)
+      done;
+      let rows =
+        Hashtbl.fold
+          (fun key y acc -> (Array.init n (fun k -> key lsr k land 1 = 1), y) :: acc)
+          table []
+      in
+      let d = Data.Dataset.create ~num_inputs:n rows in
+      let cover, complemented = Sop.Espresso.minimize_best_polarity d in
+      let g = Synth.Sop_synth.aig_of_cover ~complemented cover in
+      List.for_all
+        (fun j -> G.eval g (Data.Dataset.row d j) = Data.Dataset.output_bit d j)
+        (List.init (Data.Dataset.num_samples d) Fun.id))
+
+let suites =
+  [ ( "synth",
+      [ Alcotest.test_case "adder vs bitvec" `Quick test_adder_vs_bitvec;
+        Alcotest.test_case "borrow is less-than" `Quick test_subtractor_borrow_is_less_than;
+        Alcotest.test_case "multiplier vs bitvec" `Quick test_multiplier_vs_bitvec;
+        Alcotest.test_case "divider vs reference" `Quick test_divider_vs_bitvec;
+        Alcotest.test_case "square root vs reference" `Quick test_square_root_vs_bitvec;
+        Alcotest.test_case "parity and popcount" `Quick test_parity_popcount_equals;
+        Alcotest.test_case "equals const" `Quick test_equals_const;
+        Alcotest.test_case "exact majority" `Quick test_majority_exact;
+        Alcotest.test_case "majority5 tree" `Quick test_majority5_tree_structure;
+        Alcotest.test_case "symmetric signature" `Quick test_symmetric_signature;
+        Alcotest.test_case "sop synthesis" `Quick test_sop_synthesis;
+        Alcotest.test_case "lut synthesis" `Quick test_lut_synthesis ]
+      @ [ QCheck_alcotest.to_alcotest ~long:false prop_espresso_cover_synth ] ) ]
