@@ -6,9 +6,17 @@
      dune exec bench/main.exe -- table3 fig2     # selected experiments
      dune exec bench/main.exe -- --full table3   # paper-scale datasets
      dune exec bench/main.exe -- --ids 0-9 fig5_6
+     dune exec bench/main.exe -- -j 8 table3     # fan solves across domains
      dune exec bench/main.exe -- --perf          # substrate micro-benches *)
 
 module E = Contest.Experiments
+
+let usage_error msg =
+  Printf.eprintf
+    "bench: %s\nusage: main.exe [--full] [--ids SPEC] [--seed N] [-j|--jobs N] \
+     [--perf] [EXPERIMENT...]\n"
+    msg;
+  exit 2
 
 let all_experiments =
   [ "table3"; "fig1"; "fig2"; "fig3"; "fig4"; "table4"; "fig16_17"; "table5";
@@ -23,17 +31,15 @@ let standalone_default_ids =
     90; 95 ]
 
 let parse_ids spec =
-  String.split_on_char ',' spec
-  |> List.concat_map (fun part ->
-         match String.index_opt part '-' with
-         | Some i ->
-             let lo = int_of_string (String.sub part 0 i) in
-             let hi =
-               int_of_string (String.sub part (i + 1) (String.length part - i - 1))
-             in
-             List.init (hi - lo + 1) (fun k -> lo + k)
-         | None -> [ int_of_string part ])
-  |> List.filter (fun id -> id >= 0 && id <= 99)
+  match Benchgen.Suite.parse_ids spec with
+  | Ok ids -> ids
+  | Error msg -> usage_error (msg ^ "; expected e.g. --ids 0-9,30,74")
+
+let parse_positive_int ~flag spec =
+  match int_of_string_opt spec with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+      usage_error (Printf.sprintf "%s expects a positive integer, got %S" flag spec)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -108,6 +114,35 @@ let perf () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-suite scaling: wall-clock of the same slice at 1 and N jobs *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_scaling ~jobs () =
+  Contest.Report.heading
+    (Printf.sprintf "Parallel suite scaling (all teams, 4 benchmarks, %d domains)"
+       jobs);
+  let config =
+    {
+      E.sizes = { Benchgen.Suite.train = 300; valid = 150; test = 150 };
+      seed = 1;
+      ids = [ 0; 30; 74; 85 ];
+    }
+  in
+  let time j =
+    let t0 = Unix.gettimeofday () in
+    let run = E.run_suite ~progress:false ~jobs:j config in
+    (Unix.gettimeofday () -. t0, run)
+  in
+  let t1, r1 = time 1 in
+  let tn, rn = if jobs > 1 then time jobs else (t1, r1) in
+  if r1.E.per_team <> rn.E.per_team then
+    failwith "parallel scaling: jobs=1 and jobs=N runs diverged";
+  Contest.Report.table
+    ~header:[ "jobs"; "wall (s)"; "speedup" ]
+    [ [ "1"; Printf.sprintf "%.2f" t1; "1.00" ];
+      [ string_of_int jobs;
+        Printf.sprintf "%.2f" tn;
+        Printf.sprintf "%.2f" (t1 /. tn) ] ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -128,12 +163,29 @@ let () =
   in
   let seed, args =
     match extract_opt "--seed" args with
-    | Some (spec, rest) -> (int_of_string spec, rest)
+    | Some (spec, rest) -> (
+        match int_of_string_opt spec with
+        | Some s -> (s, rest)
+        | None -> usage_error (Printf.sprintf "--seed expects an integer, got %S" spec))
     | None -> (1, args)
   in
-  let selected =
-    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  let jobs, args =
+    match extract_opt "--jobs" args with
+    | Some (spec, rest) -> (parse_positive_int ~flag:"--jobs" spec, rest)
+    | None -> (
+        match extract_opt "-j" args with
+        | Some (spec, rest) -> (parse_positive_int ~flag:"-j" spec, rest)
+        | None -> (Parallel.Pool.recommended_jobs (), args))
   in
+  let flags, selected =
+    List.partition (fun a -> String.length a >= 1 && a.[0] = '-') args
+  in
+  List.iter
+    (fun f ->
+      if f <> "--full" && f <> "--perf" then
+        usage_error
+          (Printf.sprintf "unknown or valueless option %s" f))
+    flags;
   let selected = if selected = [] then all_experiments else selected in
   List.iter
     (fun e ->
@@ -143,7 +195,10 @@ let () =
         exit 2
       end)
     selected;
-  if perf_only then perf ()
+  if perf_only then begin
+    perf ();
+    parallel_scaling ~jobs ()
+  end
   else begin
     let shared_config = E.config_with ~full ?ids:ids_override ~seed () in
     let standalone_config =
@@ -153,7 +208,7 @@ let () =
     in
     let shared =
       if List.exists (fun e -> List.mem e needs_shared_run) selected then
-        Some (E.run_suite shared_config)
+        Some (E.run_suite ~jobs shared_config)
       else None
     in
     let with_shared f = match shared with Some run -> f run | None -> () in

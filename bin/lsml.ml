@@ -183,6 +183,68 @@ let pareto_cmd =
           proposed trade-off extension).")
     Term.(const run $ id_arg $ full_arg $ seed_arg)
 
+(* ---- suite (parallel contest run) ---- *)
+
+let ids_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (S.parse_ids s) in
+  let print ppf ids =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int ids))
+  in
+  Arg.conv (parse, print)
+
+let ids_arg =
+  Arg.(
+    value
+    & opt (some ids_conv) None
+    & info [ "ids" ] ~docv:"SPEC"
+        ~doc:"Benchmark ids, e.g. 0-9,30,74 (default: all 100).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains the suite run fans out over (default: the \
+           recommended domain count). Results are identical for any value.")
+
+let teams_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "teams" ] ~docv:"LIST"
+        ~doc:"Comma-separated team subset, e.g. team1,team7 (default: all).")
+
+let suite_cmd =
+  let run ids teams full seed jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 2
+    end;
+    let teams =
+      match teams with
+      | None -> Contest.Teams.all
+      | Some spec ->
+          List.map
+            (fun name ->
+              match solver_of_name name with
+              | Some t -> t
+              | None ->
+                  Printf.eprintf "unknown team %s\n" name;
+                  exit 2)
+            (String.split_on_char ',' spec)
+    in
+    let config = Contest.Experiments.config_with ~full ?ids ~seed () in
+    let run = Contest.Experiments.run_suite ~teams ~jobs config in
+    Contest.Experiments.table3 run
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Run team solvers over the benchmark suite in parallel and print \
+          the Table III summary.")
+    Term.(const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg)
+
 (* ---- run (end to end) ---- *)
 
 let run_cmd =
@@ -211,5 +273,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lsml" ~doc)
-          [ list_cmd; generate_cmd; solve_cmd; eval_cmd; run_cmd; pareto_cmd;
-            stats_cmd ]))
+          [ list_cmd; generate_cmd; solve_cmd; eval_cmd; run_cmd; suite_cmd;
+            pareto_cmd; stats_cmd ]))

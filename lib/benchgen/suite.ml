@@ -95,6 +95,37 @@ let benchmark id =
   if id < 0 || id > 99 then invalid_arg "Suite.benchmark: id out of range";
   benchmarks.(id)
 
+let parse_ids spec =
+  let ( let* ) = Result.bind in
+  let int_of part s =
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "malformed benchmark id %S" part)
+  in
+  let ids_of_part part =
+    match String.index_opt part '-' with
+    | Some i ->
+        let* lo = int_of part (String.sub part 0 i) in
+        let* hi =
+          int_of part (String.sub part (i + 1) (String.length part - i - 1))
+        in
+        if lo > hi then Error (Printf.sprintf "empty benchmark range %S" part)
+        else Ok (List.init (hi - lo + 1) (fun k -> lo + k))
+    | None ->
+        let* id = int_of part part in
+        Ok [ id ]
+  in
+  let* ids =
+    List.fold_left
+      (fun acc part ->
+        let* acc = acc in
+        let* ids = ids_of_part part in
+        Ok (acc @ ids))
+      (Ok [])
+      (String.split_on_char ',' spec)
+  in
+  Ok (List.filter (fun id -> id >= 0 && id <= 99) ids)
+
 type sizes = { train : int; valid : int; test : int }
 
 let contest_sizes = { train = 6400; valid = 6400; test = 6400 }

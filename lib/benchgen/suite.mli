@@ -34,6 +34,12 @@ val benchmarks : benchmark array
 
 val benchmark : int -> benchmark
 
+val parse_ids : string -> (int list, string) result
+(** Parse a benchmark id spec: comma-separated ids and inclusive [lo-hi]
+    ranges, e.g. ["0-3,30,74"].  Ids outside [0..99] are dropped;
+    malformed parts ("5-", "a,b", empty ranges) yield [Error] with a
+    human-readable message. *)
+
 type sizes = { train : int; valid : int; test : int }
 
 val contest_sizes : sizes

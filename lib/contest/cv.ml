@@ -1,21 +1,21 @@
-let accuracy ~rng ~k ~train ~score d =
+let accuracy ?pool ~rng ~k ~train ~score d =
   let folds = Data.Dataset.k_folds rng d ~k in
-  let total =
-    List.fold_left
-      (fun acc (train_fold, test_fold) ->
-        let model = train train_fold in
-        acc +. score model test_fold)
-      0.0 folds
+  let eval (train_fold, test_fold) = score (train train_fold) test_fold in
+  let fold_scores =
+    match pool with
+    | Some pool -> Parallel.Pool.map pool eval folds
+    | None -> List.map eval folds
   in
-  total /. float_of_int k
+  List.fold_left ( +. ) 0.0 fold_scores /. float_of_int k
 
-let select ~rng ~k ~candidates d =
+let select ?pool ~rng ~k ~candidates d =
   match candidates with
   | [] -> invalid_arg "Cv.select: no candidates"
   | _ ->
       let scored =
         List.map
-          (fun (name, train, score) -> (accuracy ~rng ~k ~train ~score d, name))
+          (fun (name, train, score) ->
+            (accuracy ?pool ~rng ~k ~train ~score d, name))
           candidates
       in
       snd (List.fold_left max (List.hd scored) (List.tl scored))

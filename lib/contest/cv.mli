@@ -2,15 +2,20 @@
     (Weka's CV for Team 2, 10-fold CV for Teams 4 and 7). *)
 
 val accuracy :
+  ?pool:Parallel.Pool.t ->
   rng:Random.State.t ->
   k:int ->
   train:(Data.Dataset.t -> 'model) ->
   score:('model -> Data.Dataset.t -> float) ->
   Data.Dataset.t ->
   float
-(** Mean held-out-fold accuracy over [k] folds. *)
+(** Mean held-out-fold accuracy over [k] folds.  The folds are drawn from
+    [rng] up front; with [pool] they are then trained and scored in
+    parallel, which leaves the result unchanged as long as [train] and
+    [score] do not share mutable state (fold order is preserved). *)
 
 val select :
+  ?pool:Parallel.Pool.t ->
   rng:Random.State.t ->
   k:int ->
   candidates:(string * (Data.Dataset.t -> 'model) * ('model -> Data.Dataset.t -> float)) list ->

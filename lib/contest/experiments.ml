@@ -28,26 +28,39 @@ let instances_of config =
   List.map (fun id -> S.instantiate ~sizes:config.sizes ~seed:config.seed (S.benchmark id))
     config.ids
 
-let run_suite ?(teams = Teams.all) ?(progress = true) config =
+let solve_one ~progress (solver : Solver.t) (inst : S.instance) =
+  let t0 = Unix.gettimeofday () in
+  let result = solver.Solver.solve inst in
+  let m = Score.measure inst result in
+  if progress then
+    Printf.eprintf "[run] %-7s %s  acc=%.3f gates=%d  (%.1fs)\n%!"
+      solver.Solver.name inst.S.spec.S.name m.Score.test_acc m.Score.gates
+      (Unix.gettimeofday () -. t0);
+  m
+
+let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) config =
   let instances = instances_of config in
+  (* Every (team, benchmark) solve is an independent task; results land in
+     slots keyed by task index, so the report rows come out in canonical
+     team-then-benchmark order for any [jobs] count. *)
+  let tasks =
+    List.concat_map
+      (fun solver -> List.map (fun inst -> (solver, inst)) instances)
+      teams
+  in
+  let metrics =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Pool.map pool
+          (fun (solver, inst) -> solve_one ~progress solver inst)
+          tasks)
+  in
+  let num_instances = List.length instances in
+  let arr = Array.of_list metrics in
   let per_team =
-    List.map
-      (fun (solver : Solver.t) ->
-        let metrics =
-          List.map
-            (fun (inst : S.instance) ->
-              let t0 = Unix.gettimeofday () in
-              let result = solver.Solver.solve inst in
-              let m = Score.measure inst result in
-              if progress then
-                Printf.eprintf "[run] %-7s %s  acc=%.3f gates=%d  (%.1fs)\n%!"
-                  solver.Solver.name inst.S.spec.S.name m.Score.test_acc
-                  m.Score.gates
-                  (Unix.gettimeofday () -. t0);
-              m)
-            instances
-        in
-        (solver.Solver.name, metrics))
+    List.mapi
+      (fun ti (solver : Solver.t) ->
+        ( solver.Solver.name,
+          List.init num_instances (fun j -> arr.((ti * num_instances) + j)) ))
       teams
   in
   { config; instances; per_team }

@@ -22,10 +22,14 @@ type run = {
   per_team : (string * Score.metrics list) list;
 }
 
-val run_suite : ?teams:Solver.t list -> ?progress:bool -> config -> run
+val run_suite :
+  ?teams:Solver.t list -> ?progress:bool -> ?jobs:int -> config -> run
 (** Instantiate the benchmarks and run every solver on every benchmark.
     [progress] (default true) logs one line per (team, benchmark) to
-    stderr. *)
+    stderr.  [jobs] (default 1) fans the team-by-benchmark grid across
+    that many domains; every solver threads explicit seeds, so the
+    resulting {!run} is bit-identical for any [jobs] count — only the
+    stderr progress interleaving differs. *)
 
 (** {1 Experiments driven by the shared run} *)
 

@@ -1,0 +1,43 @@
+(* Both ends live in one atomic int, [top lsl shift lor bottom], where
+   [top] is the next index a thief claims and [bottom] is one past the next
+   index the owner claims.  The deque only ever shrinks after construction
+   (no concurrent pushes), so a successful compare-and-set is proof that
+   the claimed slot was still unclaimed: the two cursors move toward each
+   other and never back, which rules out ABA. *)
+
+let shift = 24
+let max_capacity = (1 lsl shift) - 1
+
+type 'a t = {
+  items : 'a array;
+  state : int Atomic.t;
+}
+
+let pack ~top ~bottom = (top lsl shift) lor bottom
+let top_of s = s lsr shift
+let bottom_of s = s land max_capacity
+
+let of_array items =
+  if Array.length items > max_capacity then
+    invalid_arg "Deque.of_array: batch too large";
+  { items; state = Atomic.make (pack ~top:0 ~bottom:(Array.length items)) }
+
+let is_empty t =
+  let s = Atomic.get t.state in
+  top_of s >= bottom_of s
+
+let rec pop t =
+  let s = Atomic.get t.state in
+  let top = top_of s and bottom = bottom_of s in
+  if top >= bottom then None
+  else if Atomic.compare_and_set t.state s (pack ~top ~bottom:(bottom - 1)) then
+    Some t.items.(bottom - 1)
+  else pop t
+
+let rec steal t =
+  let s = Atomic.get t.state in
+  let top = top_of s and bottom = bottom_of s in
+  if top >= bottom then None
+  else if Atomic.compare_and_set t.state s (pack ~top:(top + 1) ~bottom) then
+    Some t.items.(top)
+  else steal t

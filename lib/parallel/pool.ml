@@ -1,0 +1,183 @@
+type job = unit -> unit
+
+type batch = {
+  id : int;
+  deques : job Deque.t array;
+  pending : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* a new batch was posted, or shutdown *)
+  batch_done : Condition.t;  (* the current batch's pending count hit 0 *)
+  mutable current : batch option;
+  mutable next_batch_id : int;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let finish_one pool b =
+  if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.batch_done;
+    Mutex.unlock pool.mutex
+  end
+
+(* Run batch tasks as worker [w]: drain the own deque, then steal.  After a
+   successful steal, fall back to the own deque first, the usual
+   work-stealing discipline (it matters once batches push follow-up work;
+   today deques only drain). *)
+let drain pool b w =
+  let size = Array.length b.deques in
+  let rec own () =
+    match Deque.pop b.deques.(w) with
+    | Some job ->
+        job ();
+        finish_one pool b;
+        own ()
+    | None -> steal_from 1
+  and steal_from k =
+    if k >= size then ()
+    else
+      match Deque.steal b.deques.((w + k) mod size) with
+      | Some job ->
+          job ();
+          finish_one pool b;
+          own ()
+      | None -> steal_from (k + 1)
+  in
+  own ()
+
+let rec worker_loop pool w last_seen =
+  Mutex.lock pool.mutex;
+  let rec await () =
+    if pool.stopped then None
+    else
+      match pool.current with
+      | Some b when b.id <> last_seen -> Some b
+      | _ ->
+          Condition.wait pool.work_ready pool.mutex;
+          await ()
+  in
+  let next = await () in
+  Mutex.unlock pool.mutex;
+  match next with
+  | None -> ()
+  | Some b ->
+      drain pool b w;
+      worker_loop pool w b.id
+
+let create ?jobs () =
+  let requested = match jobs with Some j -> j | None -> recommended_jobs () in
+  let size = max 1 (min requested 128) in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      current = None;
+      next_batch_id = 1;
+      stopped = false;
+      domains = [||];
+    }
+  in
+  if size > 1 then
+    pool.domains <-
+      Array.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop pool (i + 1) 0));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Post a batch of per-worker deques.  Returns [None] when the pool cannot
+   take it (size 1, stopped, or a batch already in flight, i.e. [run]
+   called from inside a task) — the caller then executes sequentially. *)
+let post pool deques ~n =
+  if pool.size = 1 then None
+  else begin
+    Mutex.lock pool.mutex;
+    if pool.stopped || pool.current <> None then begin
+      Mutex.unlock pool.mutex;
+      None
+    end
+    else begin
+      let b = { id = pool.next_batch_id; deques; pending = Atomic.make n } in
+      pool.next_batch_id <- pool.next_batch_id + 1;
+      pool.current <- Some b;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      Some b
+    end
+  end
+
+let run pool ~n f =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  let slots = Array.make n None in
+  let exec i =
+    let r =
+      try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    slots.(i) <- Some r
+  in
+  let posted =
+    if n < 2 || pool.size = 1 then None
+    else begin
+      (* Contiguous blocks of indices per worker; stealing rebalances. *)
+      let deques =
+        Array.init pool.size (fun w ->
+            let lo = w * n / pool.size and hi = (w + 1) * n / pool.size in
+            Deque.of_array (Array.init (hi - lo) (fun k -> fun () -> exec (lo + k))))
+      in
+      post pool deques ~n
+    end
+  in
+  (match posted with
+  | None -> for i = 0 to n - 1 do exec i done
+  | Some b ->
+      drain pool b 0;
+      Mutex.lock pool.mutex;
+      while Atomic.get b.pending > 0 do
+        Condition.wait pool.batch_done pool.mutex
+      done;
+      pool.current <- None;
+      Mutex.unlock pool.mutex);
+  let first_error = ref None in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | Some (Error e) when !first_error = None -> first_error := Some e
+      | _ -> ())
+    slots;
+  match !first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      Array.map
+        (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+        slots
+
+let map_array pool f arr =
+  run pool ~n:(Array.length arr) (fun i -> f arr.(i))
+
+let map pool f l = Array.to_list (map_array pool f (Array.of_list l))
+
+let map_seeded pool ~seed f l =
+  let arr = Array.of_list l in
+  run pool ~n:(Array.length arr) (fun i ->
+      f (Random.State.make [| 0x9e3779b9; seed; i |]) arr.(i))
+  |> Array.to_list

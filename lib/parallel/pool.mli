@@ -1,0 +1,52 @@
+(** Fixed-size domain pool with deterministic result ordering.
+
+    A pool of [jobs] workers: the calling domain plus [jobs - 1] spawned
+    domains that sleep between batches.  {!run} splits a batch of indexed
+    tasks into per-worker {!Deque}s; each worker drains its own deque and
+    then steals from the others, so an uneven batch still keeps every
+    domain busy.  Results are written into slots keyed by task index,
+    which makes the output independent of the execution schedule: for
+    tasks that do not share mutable state, [run] with [jobs = 1] and
+    [jobs = n] return identical arrays.
+
+    Exceptions raised by tasks are captured per task; once the batch has
+    drained, the exception of the lowest-indexed failing task is re-raised
+    in the caller with its original backtrace (again independent of
+    scheduling).
+
+    Pools are not re-entrant: a task that calls {!run} on its own pool is
+    executed sequentially in place rather than deadlocking. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!recommended_jobs}, clamped
+    to [1 .. 128]).  [jobs = 1] spawns no domains and runs everything in
+    the caller. *)
+
+val size : t -> int
+(** Number of workers, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; subsequent {!run} calls fall
+    back to sequential execution. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, and [shutdown] (also on exceptions). *)
+
+val run : t -> n:int -> (int -> 'a) -> 'a array
+(** Evaluate [f 0 .. f (n-1)] across the pool; result [i] is [f i]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. *)
+
+val map_seeded : t -> seed:int -> (Random.State.t -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map} but each task receives a private [Random.State.t] derived
+    from [(seed, index)], so stochastic tasks stay deterministic and
+    identical across any [jobs] count. *)

@@ -149,6 +149,29 @@ let test_divider_conventions () =
   check_bool "div by zero msb" true (Benchgen.Arith_bench.divider_msb ~k bits);
   check_bool "rem by zero = a" true (Benchgen.Arith_bench.remainder_msb ~k bits)
 
+let test_parse_ids () =
+  let ok spec expected =
+    match S.parse_ids spec with
+    | Ok ids -> Alcotest.(check (list int)) spec expected ids
+    | Error msg -> Alcotest.fail (spec ^ ": unexpected error " ^ msg)
+  in
+  let err spec =
+    match S.parse_ids spec with
+    | Ok _ -> Alcotest.fail (spec ^ ": expected a parse error")
+    | Error _ -> ()
+  in
+  ok "7" [ 7 ];
+  ok "0-3" [ 0; 1; 2; 3 ];
+  ok "0-2,30,74" [ 0; 1; 2; 30; 74 ];
+  ok "98-105" [ 98; 99 ];
+  (* out-of-range ids are dropped *)
+  err "5-";
+  err "-5";
+  err "a,b";
+  err "3-1";
+  err "";
+  err "1,,2"
+
 let suites =
   [ ( "benchgen",
       [ Alcotest.test_case "suite shape" `Quick test_suite_shape;
@@ -164,5 +187,6 @@ let suites =
         Alcotest.test_case "table II group pairs" `Quick test_table2_group_pairs;
         Alcotest.test_case "contest sizes" `Quick test_contest_sizes;
         Alcotest.test_case "symmetric widths" `Quick test_symmetric_signatures_length;
-        Alcotest.test_case "divider conventions" `Quick test_divider_conventions ]
+        Alcotest.test_case "divider conventions" `Quick test_divider_conventions;
+        Alcotest.test_case "parse ids" `Quick test_parse_ids ]
     ) ]

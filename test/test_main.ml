@@ -15,6 +15,7 @@ let () =
          Test_cgp.suites;
          Test_featsel.suites;
          Test_fmatch.suites;
+         Test_parallel.suites;
          Test_benchgen.suites;
          Test_contest.suites;
          Test_bdd.suites;
