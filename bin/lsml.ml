@@ -68,8 +68,16 @@ let team_arg =
 let pla_arg name doc =
   Arg.(required & opt (some file) None & info [ name ] ~docv:"FILE.pla" ~doc)
 
+let sweep_flag =
+  Arg.(
+    value & flag
+    & info [ "sweep" ]
+        ~doc:
+          "SAT-sweep the learned circuit (exact, function-preserving \
+           reduction) before writing it.")
+
 let solve_cmd =
-  let run team train valid out =
+  let run team train valid out sweep =
     match solver_of_name team with
     | None ->
         Printf.eprintf "unknown team %s\n" team;
@@ -92,6 +100,13 @@ let solve_cmd =
         let inst = { S.spec; train; valid; test = placeholder } in
         let r = solver.Contest.Solver.solve inst in
         let aig = Aig.Opt.cleanup r.Contest.Solver.aig in
+        let aig =
+          if sweep then
+            Contest.Solver.enforce_budget
+              ~patterns:(Data.Dataset.columns valid)
+              ~sweep:true ~seed:0 aig
+          else aig
+        in
         Aig.Io.write_file out aig;
         Printf.printf "technique=%s gates=%d levels=%d valid-acc=%.4f -> %s\n"
           r.Contest.Solver.technique (Aig.Graph.num_ands aig)
@@ -106,7 +121,8 @@ let solve_cmd =
       const run $ team_arg
       $ pla_arg "train" "Training set (PLA)."
       $ pla_arg "valid" "Validation set (PLA)."
-      $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG."))
+      $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG.")
+      $ sweep_flag)
 
 (* ---- eval ---- *)
 
@@ -114,16 +130,112 @@ let eval_cmd =
   let run aag pla =
     let g = Aig.Io.read_file aag in
     let d = Data.Pla.to_dataset (Data.Pla.read_file pla) in
+    let gates = Aig.Graph.num_ands (Aig.Opt.cleanup g) in
     Printf.printf "accuracy=%.4f gates=%d levels=%d\n"
       (Contest.Solver.evaluate g d)
-      (Aig.Graph.num_ands (Aig.Opt.cleanup g))
-      (Aig.Graph.levels g)
+      gates (Aig.Graph.levels g);
+    if gates > Contest.Solver.gate_budget then begin
+      Printf.eprintf "error: %d gates exceed the contest budget of %d\n" gates
+        Contest.Solver.gate_budget;
+      exit 1
+    end
   in
-  Cmd.v (Cmd.info "eval" ~doc:"Evaluate an AAG circuit against a PLA dataset.")
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate an AAG circuit against a PLA dataset.  Exits non-zero \
+          when the circuit exceeds the contest gate budget.")
     Term.(
       const run
       $ Arg.(required & opt (some file) None & info [ "aig" ] ~docv:"FILE.aag" ~doc:"Circuit.")
       $ pla_arg "pla" "Dataset (PLA).")
+
+(* ---- verify ---- *)
+
+let aag_pos n docv doc =
+  Arg.(required & pos n (some file) None & info [] ~docv ~doc)
+
+let verify_cmd =
+  let run a b limit =
+    let ga = Aig.Io.read_file a in
+    let gb = Aig.Io.read_file b in
+    if Aig.Graph.num_inputs ga <> Aig.Graph.num_inputs gb then begin
+      Printf.eprintf "input counts differ: %s has %d, %s has %d\n" a
+        (Aig.Graph.num_inputs ga) b (Aig.Graph.num_inputs gb);
+      exit 2
+    end;
+    match Cec.equivalent ~conflict_limit:limit ga gb with
+    | Cec.Proved ->
+        Printf.printf "equivalent\n";
+        exit 0
+    | Cec.Counterexample cex ->
+        let bits =
+          String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')
+        in
+        Printf.printf "NOT equivalent: on inputs %s the circuits give %b vs %b\n"
+          bits (Aig.Graph.eval ga cex) (Aig.Graph.eval gb cex);
+        exit 1
+    | Cec.Unknown reason ->
+        Printf.printf "unknown: %s\n" reason;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Prove two AAG circuits functionally equivalent with SAT-based \
+          combinational equivalence checking, or print a distinguishing \
+          input.  Exits 0 when proved, 1 on a counterexample, 2 otherwise.")
+    Term.(
+      const run
+      $ aag_pos 0 "A.aag" "First circuit."
+      $ aag_pos 1 "B.aag" "Second circuit."
+      $ Arg.(
+          value & opt int 500_000
+          & info [ "conflicts" ] ~docv:"N" ~doc:"SAT conflict limit."))
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run aag out patterns conflicts rounds seed =
+    let g = Aig.Io.read_file aag in
+    let swept, st =
+      Cec.sat_sweep ~num_patterns:patterns ~conflict_limit:conflicts ~rounds
+        ~seed g
+    in
+    Aig.Io.write_file out swept;
+    Printf.printf
+      "gates %d -> %d (saved %d)  classes=%d sat-calls=%d merges=%d \
+       refinements=%d unknowns=%d -> %s\n"
+      st.Cec.nodes_before st.Cec.nodes_after
+      (st.Cec.nodes_before - st.Cec.nodes_after)
+      st.Cec.classes st.Cec.sat_calls st.Cec.merges st.Cec.refinements
+      st.Cec.unknowns out
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "SAT-sweep an AAG circuit: merge simulation-identified, \
+          SAT-proven-equivalent nodes.  Exact (the function is preserved).")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & opt (some file) None
+          & info [ "aig" ] ~docv:"FILE.aag" ~doc:"Circuit.")
+      $ Arg.(
+          value & opt string "swept.aag"
+          & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG.")
+      $ Arg.(
+          value & opt int 1024
+          & info [ "patterns" ] ~docv:"N" ~doc:"Random simulation patterns.")
+      $ Arg.(
+          value & opt int 1000
+          & info [ "conflicts" ] ~docv:"N"
+              ~doc:"SAT conflict limit per candidate pair.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "rounds" ] ~docv:"N" ~doc:"Refinement rounds.")
+      $ seed_arg)
 
 (* ---- stats ---- *)
 
@@ -273,5 +385,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lsml" ~doc)
-          [ list_cmd; generate_cmd; solve_cmd; eval_cmd; run_cmd; suite_cmd;
-            pareto_cmd; stats_cmd ]))
+          [ list_cmd; generate_cmd; solve_cmd; eval_cmd; verify_cmd;
+            sweep_cmd; run_cmd; suite_cmd; pareto_cmd; stats_cmd ]))

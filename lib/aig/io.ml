@@ -56,60 +56,109 @@ let to_string g =
   Buffer.contents buf
 
 let of_string s =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.filter (fun l -> String.trim l <> "")
+  let err ln msg =
+    failwith (Printf.sprintf "Io.of_string: line %d: %s" ln msg)
   in
-  let ints_of_line line =
+  (* Non-empty lines with their 1-based line numbers.  A trailing '\r' is
+     stripped (CRLF files), and a line of just "c" starts the AIGER comment
+     section, which runs to end of input and is ignored. *)
+  let lines =
+    let raw = String.split_on_char '\n' s in
+    let rec collect n acc = function
+      | [] -> List.rev acc
+      | line :: rest ->
+          let line =
+            let len = String.length line in
+            if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+            else line
+          in
+          let t = String.trim line in
+          if t = "c" then List.rev acc
+          else if t = "" then collect (n + 1) acc rest
+          else collect (n + 1) ((n, t) :: acc) rest
+    in
+    collect 1 [] raw
+  in
+  let int_of_token ln t =
+    match int_of_string_opt t with
+    | Some v when v >= 0 -> v
+    | Some _ -> err ln (Printf.sprintf "negative literal %s" t)
+    | None -> err ln (Printf.sprintf "bad token '%s'" t)
+  in
+  let ints_of_line (ln, line) =
     String.split_on_char ' ' line
     |> List.filter (fun t -> t <> "")
-    |> List.map (fun t ->
-           match int_of_string_opt t with
-           | Some v -> v
-           | None -> failwith ("Io.of_string: bad token " ^ t))
+    |> List.map (int_of_token ln)
   in
   match lines with
   | [] -> failwith "Io.of_string: empty input"
-  | header :: rest ->
+  | (hln, hline) :: rest ->
       let m, i, l, o, a =
-        match String.split_on_char ' ' header |> List.filter (fun t -> t <> "") with
-        | [ "aag"; m; i; l; o; a ] ->
-            ( int_of_string m, int_of_string i, int_of_string l,
-              int_of_string o, int_of_string a )
-        | _ -> failwith "Io.of_string: bad header"
+        match String.split_on_char ' ' hline |> List.filter (fun t -> t <> "") with
+        | "aag" :: nums -> (
+            match List.map (int_of_token hln) nums with
+            | [ m; i; l; o; a ] -> (m, i, l, o, a)
+            | _ -> err hln "header must be 'aag M I L O A'")
+        | "aig" :: _ -> err hln "binary AIGER not supported, use ASCII (aag)"
+        | _ -> err hln "expected 'aag M I L O A' header"
       in
-      if l <> 0 then failwith "Io.of_string: latches not supported";
-      if o <> 1 then failwith "Io.of_string: exactly one output expected";
+      if l <> 0 then err hln "latches not supported";
+      if o <> 1 then err hln "exactly one output expected";
+      if m < i + a then err hln "header M smaller than I + A";
       let rest = Array.of_list rest in
       if Array.length rest < i + 1 + a then
-        failwith "Io.of_string: truncated file";
+        failwith
+          (Printf.sprintf
+             "Io.of_string: truncated file: header promises %d data lines, \
+              found %d"
+             (i + 1 + a) (Array.length rest));
       let g = Graph.create ~num_inputs:i in
       (* Literal map from file vars (0..m) to our literals. *)
       let map = Array.make (m + 1) (-1) in
       map.(0) <- Graph.const_false;
       for k = 0 to i - 1 do
+        let ln = fst rest.(k) in
         (match ints_of_line rest.(k) with
         | [ lit ] when lit = 2 * (k + 1) -> ()
-        | _ -> failwith "Io.of_string: unexpected input literal");
+        | [ lit ] ->
+            err ln
+              (Printf.sprintf "expected input literal %d, found %d"
+                 (2 * (k + 1)) lit)
+        | _ -> err ln "expected one input literal");
         map.(k + 1) <- Graph.input g k
       done;
-      let out_lit =
+      let out_ln, out_lit =
+        let ln = fst rest.(i) in
         match ints_of_line rest.(i) with
-        | [ lit ] -> lit
-        | _ -> failwith "Io.of_string: bad output line"
+        | [ lit ] -> (ln, lit)
+        | _ -> err ln "expected one output literal"
       in
-      let lit_of_file l =
+      let lit_of_file ln l =
+        if l / 2 > m then
+          err ln (Printf.sprintf "literal %d out of range (max var %d)" l m);
         let v = map.(l / 2) in
-        if v < 0 then failwith "Io.of_string: use before definition";
+        if v < 0 then
+          err ln (Printf.sprintf "literal %d used before definition" l);
         Graph.lit_notif v (l land 1 = 1)
       in
       for k = 0 to a - 1 do
+        let ln = fst rest.(i + 1 + k) in
         match ints_of_line rest.(i + 1 + k) with
-        | [ lhs; rhs0; rhs1 ] when lhs land 1 = 0 ->
-            map.(lhs / 2) <- Graph.and_ g (lit_of_file rhs0) (lit_of_file rhs1)
-        | _ -> failwith "Io.of_string: bad AND line"
+        | [ lhs; rhs0; rhs1 ] ->
+            if lhs land 1 <> 0 then
+              err ln (Printf.sprintf "AND left-hand side %d is negated" lhs);
+            if lhs / 2 > m then
+              err ln
+                (Printf.sprintf "AND variable %d out of range (max var %d)"
+                   (lhs / 2) m);
+            if map.(lhs / 2) >= 0 then
+              err ln (Printf.sprintf "variable %d defined twice" (lhs / 2));
+            map.(lhs / 2) <-
+              Graph.and_ g (lit_of_file ln rhs0) (lit_of_file ln rhs1)
+        | _ -> err ln "expected 'lhs rhs0 rhs1'"
       done;
-      Graph.set_output g (lit_of_file out_lit);
+      (* Anything after the AND section (e.g. a symbol table) is ignored. *)
+      Graph.set_output g (lit_of_file out_ln out_lit);
       g
 
 let write_file path g =

@@ -9,8 +9,10 @@ val to_string : Graph.t -> string
 (** Serialize, emitting only AND nodes reachable from the output. *)
 
 val of_string : string -> Graph.t
-(** Parse.  Raises [Failure] with a diagnostic on malformed input,
-    latches, or multiple outputs. *)
+(** Parse.  Tolerates CRLF line endings, blank lines, an AIGER comment
+    section (a line of just ["c"] to end of input) and a trailing symbol
+    table.  Raises [Failure] with a line-numbered diagnostic on malformed
+    input, latches, or multiple outputs. *)
 
 val write_file : string -> Graph.t -> unit
 val read_file : string -> Graph.t

@@ -1,0 +1,292 @@
+module G = Aig.Graph
+module S = Sat.Solver
+
+type result =
+  | Proved
+  | Counterexample of bool array
+  | Unknown of string
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reachable g =
+  let seen = Array.make (G.num_vars g) false in
+  seen.(0) <- true;
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if G.is_and_var g v then begin
+        let f0, f1 = G.fanins g v in
+        visit (G.var_of_lit f0);
+        visit (G.var_of_lit f1)
+      end
+    end
+  in
+  visit (G.var_of_lit (G.output g));
+  seen
+
+(* Encode the output cone of [g] into [solver]: a SAT variable per input
+   and per reachable AND node, three clauses per AND (n <-> a AND b).
+   Constants never appear as fan-ins (construction folds them away), and
+   a constant output is handled by the callers before encoding.  Returns
+   the graph-var -> SAT-var map and the input SAT variables. *)
+let encode solver g =
+  let nv = G.num_vars g in
+  let sat = Array.make nv (-1) in
+  let n = G.num_inputs g in
+  let input_vars =
+    Array.init n (fun i ->
+        let v = S.new_var solver in
+        sat.(1 + i) <- v;
+        v)
+  in
+  let seen = reachable g in
+  let sat_lit l = S.lit_of_var sat.(G.var_of_lit l) (G.is_complemented l) in
+  G.fold_ands g ~init:() ~f:(fun () v f0 f1 ->
+      if seen.(v) then begin
+        let sv = S.new_var solver in
+        sat.(v) <- sv;
+        let nl = S.lit_of_var sv false in
+        let a = sat_lit f0 and b = sat_lit f1 in
+        S.add_clause solver [ S.lit_not nl; a ];
+        S.add_clause solver [ S.lit_not nl; b ];
+        S.add_clause solver [ nl; S.lit_not a; S.lit_not b ]
+      end);
+  (sat, input_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Miter-based equivalence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prove_miter ~conflict_limit m xlit =
+  G.set_output m xlit;
+  let solver = S.create () in
+  let sat, input_vars = encode solver m in
+  S.add_clause solver
+    [ S.lit_of_var sat.(G.var_of_lit xlit) (G.is_complemented xlit) ];
+  match S.solve ~conflict_limit solver with
+  | S.Unsat -> Proved
+  | S.Sat -> Counterexample (Array.map (S.value solver) input_vars)
+  | S.Unknown ->
+      Unknown (Printf.sprintf "SAT conflict limit (%d) exceeded" conflict_limit)
+
+let equivalent ?(conflict_limit = 500_000) g1 g2 =
+  if G.num_inputs g1 <> G.num_inputs g2 then
+    invalid_arg "Cec.equivalent: input count mismatch";
+  let n = G.num_inputs g1 in
+  (* Import both sides into one graph: structural hashing unifies shared
+     logic, so structurally similar circuits leave only a small residue
+     for the SAT solver (often none: the XOR folds to constant false). *)
+  let m = G.create ~num_inputs:n in
+  let o1 = G.import m ~src:g1 in
+  let o2 = G.import m ~src:g2 in
+  let x = G.xor_ m o1 o2 in
+  if x = G.const_false then Proved
+  else if x = G.const_true then Counterexample (Array.make n false)
+  else prove_miter ~conflict_limit m x
+
+let import_outputs m (mo : Aig.Multi.t) =
+  let g = mo.Aig.Multi.graph in
+  let saved = G.output g in
+  let lits =
+    Array.map
+      (fun o ->
+        G.set_output g o;
+        G.import m ~src:g)
+      mo.Aig.Multi.outputs
+  in
+  G.set_output g saved;
+  lits
+
+let equivalent_multi ?(conflict_limit = 500_000) m1 m2 =
+  let g1 = m1.Aig.Multi.graph and g2 = m2.Aig.Multi.graph in
+  if G.num_inputs g1 <> G.num_inputs g2 then
+    invalid_arg "Cec.equivalent_multi: input count mismatch";
+  if Aig.Multi.num_outputs m1 <> Aig.Multi.num_outputs m2 then
+    invalid_arg "Cec.equivalent_multi: output count mismatch";
+  let n = G.num_inputs g1 in
+  let m = G.create ~num_inputs:n in
+  let o1 = import_outputs m m1 in
+  let o2 = import_outputs m m2 in
+  let xors =
+    Array.to_list (Array.map2 (fun a b -> G.xor_ m a b) o1 o2)
+  in
+  let x = G.or_list m xors in
+  if x = G.const_false then Proved
+  else if x = G.const_true then Counterexample (Array.make n false)
+  else prove_miter ~conflict_limit m x
+
+let counterexample_columns cex =
+  Array.map (fun b -> Words.init 1 (fun _ -> b)) cex
+
+(* ------------------------------------------------------------------ *)
+(* Simulation-guided SAT sweeping                                      *)
+(* ------------------------------------------------------------------ *)
+
+module WH = Hashtbl.Make (struct
+  type t = Words.t
+
+  let equal = Words.equal
+  let hash = Words.hash
+end)
+
+type sweep_stats = {
+  nodes_before : int;
+  nodes_after : int;
+  classes : int;
+  sat_calls : int;
+  merges : int;
+  refinements : int;
+  unknowns : int;
+}
+
+let sat_sweep ?(num_patterns = 1024) ?(conflict_limit = 1000) ?(rounds = 8)
+    ?(seed = 0) g0 =
+  let nodes_before = Aig.Opt.size g0 in
+  let g = Aig.Opt.cleanup g0 in
+  let n_inputs = G.num_inputs g in
+  if G.num_ands g = 0 then
+    ( g,
+      {
+        nodes_before;
+        nodes_after = G.num_ands g;
+        classes = 0;
+        sat_calls = 0;
+        merges = 0;
+        refinements = 0;
+        unknowns = 0;
+      } )
+  else begin
+    let num_patterns = max 64 num_patterns in
+    let st = Random.State.make [| 0x57EE9; seed |] in
+    let base = Aig.Sim.random_patterns st ~num_inputs:n_inputs ~num_patterns in
+    let cexs = ref [] in
+    let columns () =
+      match !cexs with
+      | [] -> base
+      | _ ->
+          let cex = Array.of_list (List.rev !cexs) in
+          let total = num_patterns + Array.length cex in
+          Array.init n_inputs (fun i ->
+              Words.init total (fun j ->
+                  if j < num_patterns then Words.get base.(i) j
+                  else cex.(j - num_patterns).(i)))
+    in
+    let solver = S.create () in
+    let sat, input_vars = encode solver g in
+    let nv = G.num_vars g in
+    let merged = Array.make nv (-1) in
+    let merged_phase = Array.make nv false in
+    let given_up = Array.make nv false in
+    let sat_calls = ref 0 in
+    let merges = ref 0 in
+    let refinements = ref 0 in
+    let unknowns = ref 0 in
+    let classes = ref 0 in
+    (* Decide whether node [v] equals representative [r] (complemented when
+       [ph]) by asking the solver for a distinguishing assignment. *)
+    let check r v ph =
+      incr sat_calls;
+      if r = 0 then begin
+        (* Candidate constant: a difference is [v] taking value [not ph]. *)
+        let assumption = S.lit_of_var sat.(v) ph in
+        match S.solve ~assumptions:[ assumption ] ~conflict_limit solver with
+        | S.Unsat ->
+            S.add_clause solver [ S.lit_of_var sat.(v) (not ph) ];
+            `Equal
+        | S.Sat -> `Cex (Array.map (S.value solver) input_vars)
+        | S.Unknown -> `Unknown
+      end
+      else begin
+        (* One throwaway selector per candidate pair: t -> (r <> v xor ph),
+           solved under the assumption t, then retired with a unit. *)
+        let t = S.new_var solver in
+        let tpos = S.lit_of_var t false in
+        let a = S.lit_of_var sat.(r) false in
+        let b = S.lit_of_var sat.(v) ph in
+        S.add_clause solver [ S.lit_not tpos; a; b ];
+        S.add_clause solver [ S.lit_not tpos; S.lit_not a; S.lit_not b ];
+        let res = S.solve ~assumptions:[ tpos ] ~conflict_limit solver in
+        S.add_clause solver [ S.lit_not tpos ];
+        match res with
+        | S.Unsat ->
+            (* Proven equal: assert the equality so later candidate proofs
+               in the same cone get it for free. *)
+            S.add_clause solver [ a; S.lit_not b ];
+            S.add_clause solver [ S.lit_not a; b ];
+            `Equal
+        | S.Sat -> `Cex (Array.map (S.value solver) input_vars)
+        | S.Unknown -> `Unknown
+      end
+    in
+    let round = ref 0 in
+    let again = ref true in
+    while !again && !round < rounds do
+      incr round;
+      again := false;
+      let sigs = Aig.Sim.simulate_all g (columns ()) in
+      let tbl = WH.create 257 in
+      classes := 0;
+      for v = 0 to nv - 1 do
+        if merged.(v) < 0 && not given_up.(v) then begin
+          let w = sigs.(v) in
+          let key, phase =
+            if Words.get w 0 then (Words.lognot w, true) else (w, false)
+          in
+          match WH.find_opt tbl key with
+          | None ->
+              WH.add tbl key (v, phase);
+              incr classes
+          | Some (r, rphase) ->
+              (* Only AND nodes are merged; an input that collides with an
+                 earlier class simply stays unmerged (a counterexample will
+                 split it off in a later round if a node truly matches it). *)
+              if G.is_and_var g v then begin
+                let ph = phase <> rphase in
+                match check r v ph with
+                | `Equal ->
+                    merged.(v) <- r;
+                    merged_phase.(v) <- ph;
+                    incr merges
+                | `Cex cex ->
+                    cexs := cex :: !cexs;
+                    incr refinements;
+                    again := true
+                | `Unknown ->
+                    given_up.(v) <- true;
+                    incr unknowns
+              end
+        end
+      done
+    done;
+    (* Rebuild: merged nodes take their representative's literal (the
+       representative is always earlier in topological order, so its image
+       is already known). *)
+    let fresh = G.create ~num_inputs:n_inputs in
+    let map = Array.make nv G.const_false in
+    for i = 0 to n_inputs - 1 do
+      map.(1 + i) <- G.input fresh i
+    done;
+    let map_lit l = G.lit_notif map.(G.var_of_lit l) (G.is_complemented l) in
+    ignore
+      (G.fold_ands g ~init:() ~f:(fun () v f0 f1 ->
+           map.(v) <-
+             (if merged.(v) >= 0 then
+                G.lit_notif map.(merged.(v)) merged_phase.(v)
+              else G.and_ fresh (map_lit f0) (map_lit f1))));
+    G.set_output fresh (map_lit (G.output g));
+    let fresh = Aig.Opt.cleanup fresh in
+    ( fresh,
+      {
+        nodes_before;
+        nodes_after = G.num_ands fresh;
+        classes = !classes;
+        sat_calls = !sat_calls;
+        merges = !merges;
+        refinements = !refinements;
+        unknowns = !unknowns;
+      } )
+  end
+
+let sweep ?seed g = fst (sat_sweep ?seed g)

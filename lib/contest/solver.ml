@@ -14,14 +14,24 @@ type t = {
 let evaluate aig d =
   Aig.Sim.accuracy aig (Data.Dataset.columns d) (Data.Dataset.outputs d)
 
-let enforce_budget ?patterns ~seed aig =
+let enforce_budget ?patterns ?(sweep = false) ~seed aig =
   let aig = Aig.Opt.cleanup aig in
+  (* SAT sweeping is exact, so spending it before the (lossy) approximation
+     pass buys budget headroom for free.  Limits are kept small: this runs
+     once per candidate inside the solver pipeline. *)
+  let aig =
+    if sweep && Aig.Graph.num_ands aig > 0 then
+      fst
+        (Cec.sat_sweep ~num_patterns:256 ~conflict_limit:200 ~rounds:4 ~seed
+           aig)
+    else aig
+  in
   if Aig.Graph.num_ands aig <= gate_budget then aig
   else
     let st = Random.State.make [| 0xacc; seed |] in
     fst (Aig.Approx.approximate ?patterns st aig ~budget:gate_budget)
 
-let pick_best ~valid candidates =
+let pick_best ?sweep ~valid candidates =
   if candidates = [] then invalid_arg "Solver.pick_best: no candidates";
   let scored =
     List.map
@@ -29,6 +39,7 @@ let pick_best ~valid candidates =
         let aig =
           enforce_budget
             ~patterns:(Data.Dataset.columns valid)
+            ?sweep
             ~seed:(Hashtbl.hash technique) aig
         in
         let acc = evaluate aig valid in

@@ -26,13 +26,20 @@ val evaluate : Aig.Graph.t -> Data.Dataset.t -> float
 (** Simulation accuracy of the AIG on a dataset. *)
 
 val enforce_budget :
-  ?patterns:Words.t array -> seed:int -> Aig.Graph.t -> Aig.Graph.t
+  ?patterns:Words.t array ->
+  ?sweep:bool ->
+  seed:int ->
+  Aig.Graph.t ->
+  Aig.Graph.t
 (** Clean up and, if still over {!gate_budget}, apply the simulation-based
     approximation until it fits.  [patterns] (typically the validation
     columns) rank node constancy on the data distribution instead of
-    uniform stimuli. *)
+    uniform stimuli.  [sweep] (default [false]) first runs an exact
+    {!Cec.sat_sweep} pass, which can shrink the circuit without touching
+    its function — headroom gained before any accuracy is spent. *)
 
 val pick_best :
+  ?sweep:bool ->
   valid:Data.Dataset.t ->
   (string * Aig.Graph.t) list ->
   result

@@ -1,0 +1,97 @@
+type t = { num_vars : int; clauses : Solver.lit list list }
+
+let of_string s =
+  let fail lineno msg =
+    failwith (Printf.sprintf "Dimacs.of_string: line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' s in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        if !header <> None then fail lineno "duplicate header";
+        match
+          String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+        with
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c when v >= 0 && c >= 0 -> header := Some (v, c)
+            | _ -> fail lineno "bad problem header")
+        | _ -> fail lineno "bad problem header"
+      end
+      else begin
+        let num_vars =
+          match !header with
+          | Some (v, _) -> v
+          | None -> fail lineno "clause before p cnf header"
+        in
+        String.split_on_char ' ' line
+        |> List.filter (fun t -> t <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> fail lineno (Printf.sprintf "bad token %S" tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some k ->
+                   if abs k > num_vars then
+                     fail lineno
+                       (Printf.sprintf "variable %d exceeds declared %d"
+                          (abs k) num_vars);
+                   current := Solver.lit_of_var (abs k - 1) (k < 0) :: !current)
+      end)
+    lines;
+  (match !header with
+  | None -> failwith "Dimacs.of_string: missing p cnf header"
+  | Some _ -> ());
+  if !current <> [] then
+    failwith "Dimacs.of_string: unterminated clause at end of input";
+  let num_vars = match !header with Some (v, _) -> v | None -> 0 in
+  { num_vars; clauses = List.rev !clauses }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.num_vars (List.length t.clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let k = Solver.var_of_lit l + 1 in
+          Buffer.add_string buf
+            (Printf.sprintf "%d " (if Solver.is_negated l then -k else k)))
+        clause;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let to_solver t =
+  let s = Solver.create () in
+  for _ = 1 to t.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun clause -> Solver.add_clause s clause) t.clauses;
+  s

@@ -1,0 +1,22 @@
+(** DIMACS CNF reading and writing, for debugging the solver against
+    external tools and for archiving miters.
+
+    A CNF is kept as plain data (clauses of {!Solver.lit} literals) so it
+    can be round-tripped, inspected, or loaded into a fresh solver. *)
+
+type t = { num_vars : int; clauses : Solver.lit list list }
+
+val of_string : string -> t
+(** Parse DIMACS: [c] comment lines, a [p cnf VARS CLAUSES] header, then
+    zero-terminated clauses of signed 1-based variable numbers (clauses
+    may span lines).  Raises [Failure] with the offending line number on
+    malformed input. *)
+
+val to_string : t -> string
+
+val read_file : string -> t
+val write_file : string -> t -> unit
+
+val to_solver : t -> Solver.t
+(** Fresh solver holding the formula ([num_vars] variables allocated even
+    when some never occur). *)

@@ -58,6 +58,30 @@ let equal a b =
   check_same a b;
   Array.for_all2 ( = ) a.words b.words
 
+let compare a b =
+  let c = Stdlib.compare a.length b.length in
+  if c <> 0 then c
+  else begin
+    let n = Array.length a.words in
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Stdlib.compare a.words.(i) b.words.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+let hash t =
+  (* FNV-1a over the packed words; cheap and stable across runs. *)
+  let h = ref 0x811c9dc5 in
+  let mix x =
+    h := (!h lxor x) * 0x01000193 land max_int
+  in
+  mix t.length;
+  Array.iter (fun w -> mix (w land 0x3fffffff); mix (w lsr 30)) t.words;
+  !h
+
 let binop_into f ~dst a b =
   check_same a b;
   check_same dst a;

@@ -27,6 +27,14 @@ val is_empty : t -> bool
 
 val equal : t -> t -> bool
 
+val compare : t -> t -> int
+(** Total order: by length, then lexicographically on the packed words.
+    Lets bit sets key ordered containers. *)
+
+val hash : t -> int
+(** Content hash consistent with {!equal}; keys hash tables of simulation
+    signatures (e.g. SAT-sweeping equivalence classes). *)
+
 val and_into : dst:t -> t -> t -> unit
 (** [and_into ~dst a b] stores [a AND b] in [dst] (aliasing allowed). *)
 

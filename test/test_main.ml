@@ -19,4 +19,6 @@ let () =
          Test_benchgen.suites;
          Test_contest.suites;
          Test_bdd.suites;
+         Test_sat.suites;
+         Test_cec.suites;
          Test_report.suites ])

@@ -1,0 +1,221 @@
+module S = Sat.Solver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let result_name = function
+  | S.Sat -> "sat"
+  | S.Unsat -> "unsat"
+  | S.Unknown -> "unknown"
+
+let check_result name expected got =
+  Alcotest.(check string) name (result_name expected) (result_name got)
+
+let pos v = S.lit_of_var v false
+let neg v = S.lit_of_var v true
+
+(* A 50-long implication chain plus a unit at its head: propagation alone
+   must fix every variable true. *)
+let test_propagation_chain () =
+  let s = S.create () in
+  let n = 50 in
+  let v = Array.init n (fun _ -> S.new_var s) in
+  for i = 0 to n - 2 do
+    S.add_clause s [ neg v.(i); pos v.(i + 1) ]
+  done;
+  S.add_clause s [ pos v.(0) ];
+  check_result "chain sat" S.Sat (S.solve s);
+  for i = 0 to n - 1 do
+    check_bool (Printf.sprintf "v%d forced" i) true (S.value s v.(i))
+  done;
+  (* The whole chain is decided by unit propagation at the root. *)
+  check_int "no decisions needed" 0 (S.stats s).S.decisions
+
+let pigeonhole s ~pigeons ~holes =
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s))
+  in
+  for i = 0 to pigeons - 1 do
+    S.add_clause s (List.init holes (fun j -> pos v.(i).(j)))
+  done;
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        S.add_clause s [ neg v.(i).(j); neg v.(k).(j) ]
+      done
+    done
+  done
+
+let test_pigeonhole_unsat () =
+  let s = S.create () in
+  pigeonhole s ~pigeons:4 ~holes:3;
+  check_result "php(4,3) unsat" S.Unsat (S.solve s);
+  check_bool "solver poisoned" false (S.ok s)
+
+(* Clauses forcing three variables pairwise different: 2-coloring a
+   triangle, a small deterministic UNSAT that needs real conflict
+   analysis (no unit clause exists). *)
+let test_triangle_unsat () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s and c = S.new_var s in
+  List.iter
+    (fun (x, y) ->
+      S.add_clause s [ pos x; pos y ];
+      S.add_clause s [ neg x; neg y ])
+    [ (a, b); (b, c); (a, c) ];
+  check_result "triangle unsat" S.Unsat (S.solve s)
+
+(* Random 3-SAT with a planted solution: always satisfiable, and the
+   returned model must satisfy every clause (checked directly). *)
+let test_planted_3sat () =
+  let st = Random.State.make [| 31337 |] in
+  for trial = 1 to 10 do
+    let n = 40 and m = 170 in
+    let s = S.create () in
+    let v = Array.init n (fun _ -> S.new_var s) in
+    let planted = Array.init n (fun _ -> Random.State.bool st) in
+    let clauses = ref [] in
+    for _ = 1 to m do
+      let rec gen () =
+        let lits =
+          List.init 3 (fun _ ->
+              let i = Random.State.int st n in
+              let negated = Random.State.bool st in
+              (i, negated))
+        in
+        if List.exists (fun (i, negated) -> planted.(i) <> negated) lits then
+          List.map (fun (i, negated) -> S.lit_of_var v.(i) negated) lits
+        else gen ()
+      in
+      let c = gen () in
+      clauses := c :: !clauses;
+      S.add_clause s c
+    done;
+    check_result (Printf.sprintf "planted %d sat" trial) S.Sat (S.solve s);
+    let model = S.model s in
+    List.iter
+      (fun c ->
+        check_bool
+          (Printf.sprintf "trial %d model satisfies clause" trial)
+          true
+          (List.exists
+             (fun l -> model.(S.var_of_lit l) <> S.is_negated l)
+             c))
+      !clauses
+  done
+
+let test_assumptions_incremental () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ pos a; pos b ];
+  check_result "assume -a" S.Sat (S.solve ~assumptions:[ neg a ] s);
+  check_bool "then b" true (S.value s b);
+  check_result "assume -b" S.Sat (S.solve ~assumptions:[ neg b ] s);
+  check_bool "then a" true (S.value s a);
+  check_result "assume -a -b" S.Unsat (S.solve ~assumptions:[ neg a; neg b ] s);
+  (* Unsat under assumptions must not poison the solver. *)
+  check_bool "still ok" true (S.ok s);
+  check_result "no assumptions" S.Sat (S.solve s);
+  (* Contradictory assumptions on the same variable. *)
+  check_result "assume a -a" S.Unsat (S.solve ~assumptions:[ pos a; neg a ] s);
+  (* Clauses keep accumulating across solve calls. *)
+  S.add_clause s [ neg a ];
+  check_result "after learning -a" S.Sat (S.solve s);
+  check_bool "a false now" false (S.value s a);
+  check_bool "b true now" true (S.value s b)
+
+let test_conflict_limit_unknown () =
+  let s = S.create () in
+  pigeonhole s ~pigeons:7 ~holes:6;
+  check_result "tiny budget" S.Unknown (S.solve ~conflict_limit:5 s);
+  check_bool "not poisoned by unknown" true (S.ok s);
+  (* The same solver finishes the proof when given room. *)
+  check_result "full budget" S.Unsat (S.solve s)
+
+let test_trivial_clauses () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  (* Tautologies are dropped, duplicates collapse. *)
+  S.add_clause s [ pos a; neg a ];
+  check_int "tautology not counted" 0 (S.num_clauses s);
+  S.add_clause s [ pos b; pos b; pos b ];
+  check_result "dup collapses to unit" S.Sat (S.solve s);
+  check_bool "b fixed" true (S.value s b);
+  (* The empty clause is immediate unsat. *)
+  let s2 = S.create () in
+  S.add_clause s2 [];
+  check_bool "empty clause" false (S.ok s2);
+  check_result "empty clause unsat" S.Unsat (S.solve s2)
+
+(* ---- DIMACS ---- *)
+
+let test_dimacs_roundtrip () =
+  let d =
+    {
+      Sat.Dimacs.num_vars = 5;
+      clauses = [ [ pos 0; neg 2 ]; [ pos 2; pos 3; neg 4 ]; [ neg 0 ] ];
+    }
+  in
+  let d' = Sat.Dimacs.of_string (Sat.Dimacs.to_string d) in
+  check_int "vars" d.Sat.Dimacs.num_vars d'.Sat.Dimacs.num_vars;
+  check_bool "clauses" true (d.Sat.Dimacs.clauses = d'.Sat.Dimacs.clauses);
+  (* File round-trip through a temp path. *)
+  let path = Filename.temp_file "lsml_test" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sat.Dimacs.write_file path d;
+      let d'' = Sat.Dimacs.read_file path in
+      check_bool "file clauses" true
+        (d.Sat.Dimacs.clauses = d''.Sat.Dimacs.clauses))
+
+let test_dimacs_solve () =
+  let text = "c a comment\np cnf 3 3\n1 -2 0\n2\n0\n-1 3 0\n" in
+  let d = Sat.Dimacs.of_string text in
+  check_int "parsed clauses" 3 (List.length d.Sat.Dimacs.clauses);
+  let s = Sat.Dimacs.to_solver d in
+  check_result "cnf sat" S.Sat (S.solve s);
+  (* x2 is a unit, which forces x1 via (1 -2), then x3 via (-1 3). *)
+  check_bool "x2" true (S.value s 1);
+  check_bool "x1" true (S.value s 0);
+  check_bool "x3" true (S.value s 2)
+
+let contains_sub msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let test_dimacs_errors () =
+  let expect_line name text line =
+    check_bool name true
+      (try
+         ignore (Sat.Dimacs.of_string text);
+         false
+       with Failure msg -> contains_sub msg (Printf.sprintf "line %d" line))
+  in
+  expect_line "bad token" "p cnf 2 1\n1 x 0\n" 2;
+  expect_line "var out of range" "p cnf 2 1\n1 -3 0\n" 2;
+  expect_line "clause before header" "1 0\np cnf 2 1\n" 1;
+  check_bool "unterminated" true
+    (try
+       ignore (Sat.Dimacs.of_string "p cnf 2 1\n1 -2\n");
+       false
+     with Failure _ -> true);
+  check_bool "missing header" true
+    (try
+       ignore (Sat.Dimacs.of_string "c nothing\n");
+       false
+     with Failure _ -> true)
+
+let suites =
+  [ ( "sat",
+      [ Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+        Alcotest.test_case "triangle unsat" `Quick test_triangle_unsat;
+        Alcotest.test_case "planted 3-sat" `Quick test_planted_3sat;
+        Alcotest.test_case "assumptions" `Quick test_assumptions_incremental;
+        Alcotest.test_case "conflict limit" `Quick test_conflict_limit_unknown;
+        Alcotest.test_case "trivial clauses" `Quick test_trivial_clauses;
+        Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+        Alcotest.test_case "dimacs solve" `Quick test_dimacs_solve;
+        Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors ] ) ]
