@@ -11,6 +11,20 @@ let solver_of_name name =
 
 let sizes_of_full full = if full then S.contest_sizes else S.reduced_sizes
 
+(* File-reading commands report malformed inputs as a friendly diagnostic
+   and exit code 2 instead of an exception backtrace. *)
+let parse_error_exit file line msg =
+  Printf.eprintf "lsml: %s:%d: %s\n" file line msg;
+  exit 2
+
+let read_pla path =
+  try Data.Pla.read_file path
+  with Data.Pla.Parse_error { line; msg } -> parse_error_exit path line msg
+
+let read_aag path =
+  try Aig.Io.read_file path
+  with Aig.Io.Parse_error { line; msg } -> parse_error_exit path line msg
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -83,8 +97,8 @@ let solve_cmd =
         Printf.eprintf "unknown team %s\n" team;
         exit 2
     | Some solver ->
-        let train = Data.Pla.to_dataset (Data.Pla.read_file train) in
-        let valid = Data.Pla.to_dataset (Data.Pla.read_file valid) in
+        let train = Data.Pla.to_dataset (read_pla train) in
+        let valid = Data.Pla.to_dataset (read_pla valid) in
         (* Wrap the PLA data as an instance; the solver never reads the
            test set, so an empty placeholder is enough. *)
         let placeholder, _ = Data.Dataset.split_at valid 0 in
@@ -128,8 +142,8 @@ let solve_cmd =
 
 let eval_cmd =
   let run aag pla =
-    let g = Aig.Io.read_file aag in
-    let d = Data.Pla.to_dataset (Data.Pla.read_file pla) in
+    let g = read_aag aag in
+    let d = Data.Pla.to_dataset (read_pla pla) in
     let gates = Aig.Graph.num_ands (Aig.Opt.cleanup g) in
     Printf.printf "accuracy=%.4f gates=%d levels=%d\n"
       (Contest.Solver.evaluate g d)
@@ -157,8 +171,8 @@ let aag_pos n docv doc =
 
 let verify_cmd =
   let run a b limit =
-    let ga = Aig.Io.read_file a in
-    let gb = Aig.Io.read_file b in
+    let ga = read_aag a in
+    let gb = read_aag b in
     if Aig.Graph.num_inputs ga <> Aig.Graph.num_inputs gb then begin
       Printf.eprintf "input counts differ: %s has %d, %s has %d\n" a
         (Aig.Graph.num_inputs ga) b (Aig.Graph.num_inputs gb);
@@ -197,7 +211,7 @@ let verify_cmd =
 
 let sweep_cmd =
   let run aag out patterns conflicts rounds seed =
-    let g = Aig.Io.read_file aag in
+    let g = read_aag aag in
     let swept, st =
       Cec.sat_sweep ~num_patterns:patterns ~conflict_limit:conflicts ~rounds
         ~seed g
@@ -241,7 +255,7 @@ let sweep_cmd =
 
 let stats_cmd =
   let run aag do_balance =
-    let g = Aig.Io.read_file aag in
+    let g = read_aag aag in
     let g = Aig.Opt.cleanup g in
     Printf.printf "inputs=%d gates=%d levels=%d\n" (Aig.Graph.num_inputs g)
       (Aig.Graph.num_ands g) (Aig.Graph.levels g);
@@ -327,8 +341,47 @@ let teams_arg =
     & info [ "teams" ] ~docv:"LIST"
         ~doc:"Comma-separated team subset, e.g. team1,team7 (default: all).")
 
+let time_limit_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-limit" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per solver attempt.  A technique that \
+           exceeds it is cancelled and its row falls back to the \
+           constant function instead of stalling the suite.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"TICKS"
+        ~doc:
+          "Deterministic work budget per solver attempt (budget ticks, \
+           not seconds).  Unlike $(b,--time-limit), fuel exhaustion is \
+           reproducible across machines and runs.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint completed (team, benchmark) rows to $(docv) as the \
+           run progresses, so an interrupted run can be resumed with \
+           $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay rows already recorded in the $(b,--journal) file \
+           instead of re-running them.  The journal's configuration \
+           fingerprint must match this invocation's.")
+
 let suite_cmd =
-  let run ids teams full seed jobs =
+  let run ids teams full seed jobs time_limit fuel journal resume =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
@@ -346,16 +399,55 @@ let suite_cmd =
                   exit 2)
             (String.split_on_char ',' spec)
     in
+    Resil.Fault.configure_from_env ();
     let config = Contest.Experiments.config_with ~full ?ids ~seed () in
-    let run = Contest.Experiments.run_suite ~teams ~jobs config in
-    Contest.Experiments.table3 run
+    let journal =
+      match (journal, resume) with
+      | None, false -> None
+      | None, true ->
+          Printf.eprintf "--resume requires --journal FILE\n";
+          exit 2
+      | Some path, resume -> (
+          let meta =
+            Contest.Experiments.journal_meta ?time_limit ?fuel ~teams config
+          in
+          if not resume then begin
+            if Sys.file_exists path then begin
+              Printf.eprintf
+                "journal %s already exists; pass --resume to continue it or \
+                 delete it to start over\n"
+                path;
+              exit 2
+            end;
+            Some (Resil.Journal.create ~path ~meta)
+          end
+          else
+            match Resil.Journal.load ~path ~meta with
+            | Ok j -> Some j
+            | Error msg ->
+                Printf.eprintf "cannot resume from %s: %s\n" path msg;
+                exit 2)
+    in
+    let run =
+      Contest.Experiments.run_suite ~teams ~jobs ?time_limit ?fuel ?journal
+        config
+    in
+    Contest.Experiments.table3 run;
+    Contest.Experiments.failure_summary run
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
          "Run team solvers over the benchmark suite in parallel and print \
-          the Table III summary.")
-    Term.(const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg)
+          the Table III summary.  Solver attempts run under optional \
+          time/fuel budgets with crash isolation: a failing technique \
+          degrades its own row to the constant-function fallback instead \
+          of aborting the run.  With $(b,--journal) the run checkpoints \
+          after every row and $(b,--resume) continues an interrupted run \
+          byte-identically.")
+    Term.(
+      const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg
+      $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg)
 
 (* ---- run (end to end) ---- *)
 

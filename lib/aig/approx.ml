@@ -19,6 +19,7 @@ let approximate_once ?(num_patterns = 1024) ?patterns ?(protect_levels = 4)
   let before = Graph.num_ands g0 in
   let replacements = ref 0 in
   let rec shrink g =
+    Resil.Budget.check ();
     let n = Graph.num_ands g in
     if n <= budget then g
     else begin

@@ -55,10 +55,16 @@ let to_string g =
                 (map_lit f1))));
   Buffer.contents buf
 
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+        Some (Printf.sprintf "Aig.Io.Parse_error: line %d: %s" line msg)
+    | _ -> None)
+
 let of_string s =
-  let err ln msg =
-    failwith (Printf.sprintf "Io.of_string: line %d: %s" ln msg)
-  in
+  let err ln msg = raise (Parse_error { line = ln; msg }) in
   (* Non-empty lines with their 1-based line numbers.  A trailing '\r' is
      stripped (CRLF files), and a line of just "c" starts the AIGER comment
      section, which runs to end of input and is ignored. *)
@@ -91,7 +97,7 @@ let of_string s =
     |> List.map (int_of_token ln)
   in
   match lines with
-  | [] -> failwith "Io.of_string: empty input"
+  | [] -> err 0 "empty input"
   | (hln, hline) :: rest ->
       let m, i, l, o, a =
         match String.split_on_char ' ' hline |> List.filter (fun t -> t <> "") with
@@ -105,12 +111,15 @@ let of_string s =
       if l <> 0 then err hln "latches not supported";
       if o <> 1 then err hln "exactly one output expected";
       if m < i + a then err hln "header M smaller than I + A";
+      (* Bound [m] before allocating the literal map below: an adversarial
+         header like "aag 999999999 1 0 1 1" must not trigger a gigantic
+         allocation. *)
+      if m > i + a then err hln "gapped variable numbering not supported";
       let rest = Array.of_list rest in
       if Array.length rest < i + 1 + a then
-        failwith
+        err hln
           (Printf.sprintf
-             "Io.of_string: truncated file: header promises %d data lines, \
-              found %d"
+             "truncated file: header promises %d data lines, found %d"
              (i + 1 + a) (Array.length rest));
       let g = Graph.create ~num_inputs:i in
       (* Literal map from file vars (0..m) to our literals. *)

@@ -5,14 +5,19 @@
     [aag M I L O A] header, one line per input literal, one line for the
     output literal, then [A] lines of [lhs rhs0 rhs1]. *)
 
+exception Parse_error of { line : int; msg : string }
+(** The only exception {!of_string} raises.  [line] is 1-based ([0] for
+    whole-file problems such as empty input). *)
+
 val to_string : Graph.t -> string
 (** Serialize, emitting only AND nodes reachable from the output. *)
 
 val of_string : string -> Graph.t
 (** Parse.  Tolerates CRLF line endings, blank lines, an AIGER comment
     section (a line of just ["c"] to end of input) and a trailing symbol
-    table.  Raises [Failure] with a line-numbered diagnostic on malformed
-    input, latches, or multiple outputs. *)
+    table.  Raises {!Parse_error} with a line-numbered diagnostic on
+    malformed input, latches, or multiple outputs — never [Failure] or an
+    out-of-bounds access, however corrupt the input. *)
 
 val write_file : string -> Graph.t -> unit
 val read_file : string -> Graph.t

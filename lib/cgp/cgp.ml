@@ -1,3 +1,5 @@
+let fault_evolve = Resil.Fault.declare "cgp.evolve"
+
 type function_set = Aig_ops | Xaig_ops
 
 type params = {
@@ -189,6 +191,7 @@ let mutate st rate g =
   { g with genes; out; out_neg }
 
 let evolve ?initial params d =
+  Resil.Fault.point fault_evolve;
   let st = Random.State.make [| 0xc69; params.seed |] in
   let columns = Data.Dataset.columns d in
   let outputs = Data.Dataset.outputs d in
@@ -239,6 +242,7 @@ let evolve ?initial params d =
     end;
     let improved = ref false in
     for _ = 1 to params.lambda do
+      Resil.Budget.check ();
       let child = mutate st !rate !parent in
       let fit = fitness child in
       (* >= with larger-phenotype preference on exact ties. *)

@@ -23,13 +23,45 @@ type run = {
 }
 
 val run_suite :
-  ?teams:Solver.t list -> ?progress:bool -> ?jobs:int -> config -> run
+  ?teams:Solver.t list ->
+  ?progress:bool ->
+  ?jobs:int ->
+  ?time_limit:float ->
+  ?fuel:int ->
+  ?journal:Resil.Journal.t ->
+  config ->
+  run
 (** Instantiate the benchmarks and run every solver on every benchmark.
     [progress] (default true) logs one line per (team, benchmark) to
     stderr.  [jobs] (default 1) fans the team-by-benchmark grid across
     that many domains; every solver threads explicit seeds, so the
     resulting {!run} is bit-identical for any [jobs] count — only the
-    stderr progress interleaving differs. *)
+    stderr progress interleaving differs.
+
+    Every task runs under {!Solver.solve_guarded}: [time_limit] seconds
+    and/or [fuel] budget ticks per attempt, one retry on a crash, and a
+    constant-function fallback — a crashing or diverging technique
+    degrades its own row instead of killing the suite (the pool runs in
+    per-task isolation mode).  [journal] enables checkpoint/resume:
+    completed tasks are recorded as they finish, and tasks already in the
+    journal are replayed from it rather than re-run, so a resumed run
+    reproduces an uninterrupted one byte-for-byte.  Fuel budgets are
+    deterministic; wall-clock limits are not (a resumed run replays
+    journaled rows, so mixing [--resume] with [time_limit] is still
+    deterministic for the replayed prefix only). *)
+
+val task_key : Solver.t -> Benchgen.Suite.instance -> string
+(** ["team3/ex07"] — the journal key and fault-context key of a task. *)
+
+val journal_meta :
+  ?time_limit:float -> ?fuel:int -> teams:Solver.t list -> config -> string
+(** Configuration fingerprint for {!Resil.Journal} headers: seed, sizes,
+    ids, team list, budgets, and the fault-injection settings.  Resuming
+    under a different fingerprint is rejected. *)
+
+val failure_summary : run -> unit
+(** Print the end-of-run failure summary: a stable "degraded rows:" count
+    line (grepped by CI) and one row per timeout/crash/fallback task. *)
 
 (** {1 Experiments driven by the shared run} *)
 

@@ -5,9 +5,13 @@ type metrics = {
   valid_acc : float;
   gates : int;
   levels : int;
+  timeouts : int;
+  crashes : int;
+  fell_back : bool;
 }
 
-let measure (instance : Benchgen.Suite.instance) (result : Solver.result) =
+let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false)
+    (instance : Benchgen.Suite.instance) (result : Solver.result) =
   let aig = result.Solver.aig in
   {
     benchmark = instance.Benchgen.Suite.spec.Benchgen.Suite.id;
@@ -16,7 +20,56 @@ let measure (instance : Benchgen.Suite.instance) (result : Solver.result) =
     valid_acc = Solver.evaluate aig instance.Benchgen.Suite.valid;
     gates = Aig.Graph.num_ands (Aig.Opt.cleanup aig);
     levels = Aig.Graph.levels aig;
+    timeouts;
+    crashes;
+    fell_back;
   }
+
+(* Journal payload for one metrics row.  Floats go through %h (hex) so the
+   round-trip is bit-exact — a resumed run must reproduce an uninterrupted
+   report byte-for-byte, and decimal printing of e.g. 0.8203125 would not
+   guarantee that.  The technique goes last because it is the only field
+   that could ever contain a space. *)
+let metrics_to_line m =
+  Printf.sprintf "%d %h %h %d %d %d %d %b %s" m.benchmark m.test_acc
+    m.valid_acc m.gates m.levels m.timeouts m.crashes m.fell_back m.technique
+
+let metrics_of_line line =
+  match String.split_on_char ' ' line with
+  | benchmark :: test_acc :: valid_acc :: gates :: levels :: timeouts
+    :: crashes :: fell_back :: (_ :: _ as technique) -> (
+      match
+        ( int_of_string_opt benchmark,
+          float_of_string_opt test_acc,
+          float_of_string_opt valid_acc,
+          int_of_string_opt gates,
+          int_of_string_opt levels,
+          int_of_string_opt timeouts,
+          int_of_string_opt crashes,
+          bool_of_string_opt fell_back )
+      with
+      | ( Some benchmark,
+          Some test_acc,
+          Some valid_acc,
+          Some gates,
+          Some levels,
+          Some timeouts,
+          Some crashes,
+          Some fell_back ) ->
+          Some
+            {
+              benchmark;
+              technique = String.concat " " technique;
+              test_acc;
+              valid_acc;
+              gates;
+              levels;
+              timeouts;
+              crashes;
+              fell_back;
+            }
+      | _ -> None)
+  | _ -> None
 
 type team_row = {
   team : string;
@@ -24,6 +77,9 @@ type team_row = {
   avg_gates : float;
   avg_levels : float;
   overfit : float;
+  timeouts : int;
+  crashes : int;
+  fallbacks : int;
 }
 
 let mean f l =
@@ -38,6 +94,10 @@ let team_summary ~team metrics =
     avg_gates = mean (fun m -> float_of_int m.gates) metrics;
     avg_levels = mean (fun m -> float_of_int m.levels) metrics;
     overfit = 100.0 *. mean (fun m -> m.valid_acc -. m.test_acc) metrics;
+    timeouts = List.fold_left (fun acc (m : metrics) -> acc + m.timeouts) 0 metrics;
+    crashes = List.fold_left (fun acc (m : metrics) -> acc + m.crashes) 0 metrics;
+    fallbacks =
+      List.fold_left (fun acc m -> if m.fell_back then acc + 1 else acc) 0 metrics;
   }
 
 let sort_rows rows =

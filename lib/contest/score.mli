@@ -7,11 +7,30 @@ type metrics = {
   valid_acc : float;
   gates : int;
   levels : int;
+  timeouts : int;  (** guarded attempts that exhausted their budget *)
+  crashes : int;  (** guarded attempts that raised *)
+  fell_back : bool;  (** the result is a degraded fallback *)
 }
 
 val measure :
-  Benchgen.Suite.instance -> Solver.result -> metrics
-(** Evaluate a solver result on the instance's validation and test sets. *)
+  ?timeouts:int ->
+  ?crashes:int ->
+  ?fell_back:bool ->
+  Benchgen.Suite.instance ->
+  Solver.result ->
+  metrics
+(** Evaluate a solver result on the instance's validation and test sets.
+    The optional resilience counters (default 0 / 0 / [false]) come from
+    {!Solver.solve_guarded}. *)
+
+val metrics_to_line : metrics -> string
+(** One-line serialization for {!Resil.Journal} payloads.  Floats use
+    hexadecimal notation, so [metrics_of_line (metrics_to_line m) = Some m]
+    exactly — including NaN accuracies. *)
+
+val metrics_of_line : string -> metrics option
+(** [None] on any malformed field (a corrupt journal row is recomputed,
+    not trusted). *)
 
 type team_row = {
   team : string;
@@ -19,6 +38,9 @@ type team_row = {
   avg_gates : float;
   avg_levels : float;
   overfit : float;  (** avg (validation - test) accuracy, percent *)
+  timeouts : int;  (** summed over the team's benchmarks *)
+  crashes : int;
+  fallbacks : int;  (** benchmarks answered by the fallback chain *)
 }
 
 val team_summary : team:string -> metrics list -> team_row

@@ -31,38 +31,70 @@ let enforce_budget ?patterns ?(sweep = false) ~seed aig =
     let st = Random.State.make [| 0xacc; seed |] in
     fst (Aig.Approx.approximate ?patterns st aig ~budget:gate_budget)
 
-let pick_best ?sweep ~valid candidates =
-  if candidates = [] then invalid_arg "Solver.pick_best: no candidates";
-  let scored =
-    List.map
-      (fun (technique, aig) ->
-        let aig =
-          enforce_budget
-            ~patterns:(Data.Dataset.columns valid)
-            ?sweep
-            ~seed:(Hashtbl.hash technique) aig
-        in
-        let acc = evaluate aig valid in
-        (acc, Aig.Graph.num_ands aig, technique, aig))
-      candidates
-  in
-  let best =
-    List.fold_left
-      (fun (ba, bg, bt, baig) (a, gates, t, aig) ->
-        if a > ba || (a = ba && gates < bg) then (a, gates, t, aig)
-        else (ba, bg, bt, baig))
-      (List.hd scored |> fun (a, g, t, aig) -> (a, g, t, aig))
-      (List.tl scored)
-  in
-  let _, _, technique, aig = best in
-  { aig; technique }
-
 let constant_result d =
   let value, _ = Data.Dataset.constant_accuracy d in
   let g = Aig.Graph.create ~num_inputs:(Data.Dataset.num_inputs d) in
   Aig.Graph.set_output g
     (if value then Aig.Graph.const_true else Aig.Graph.const_false);
   { aig = g; technique = "constant" }
+
+let pick_best ?sweep ~valid candidates =
+  (* An empty list can legitimately reach us when every candidate of a
+     guarded portfolio crashed or timed out; degrade to the constant
+     instead of raising from inside Teams.solve. *)
+  if candidates = [] then constant_result valid
+  else begin
+    let scored =
+      List.map
+        (fun (technique, aig) ->
+          let aig =
+            enforce_budget
+              ~patterns:(Data.Dataset.columns valid)
+              ?sweep
+              ~seed:(Hashtbl.hash technique) aig
+          in
+          (* A NaN accuracy (e.g. a degenerate dataset) must lose every
+             comparison, not silently win by making [>] false for the
+             incumbent. *)
+          let acc = evaluate aig valid in
+          let acc = if Float.is_nan acc then neg_infinity else acc in
+          (acc, Aig.Graph.num_ands aig, technique, aig))
+        candidates
+    in
+    let best =
+      List.fold_left
+        (fun (ba, bg, bt, baig) (a, gates, t, aig) ->
+          if a > ba || (a = ba && gates < bg) then (a, gates, t, aig)
+          else (ba, bg, bt, baig))
+        (List.hd scored)
+        (List.tl scored)
+    in
+    let _, _, technique, aig = best in
+    { aig; technique }
+  end
+
+type guarded = {
+  result : result;
+  status : Resil.Guard.status;
+  timeouts : int;
+  crashes : int;
+  fell_back : bool;
+}
+
+let solve_guarded ?time_limit ?fuel ~key solver
+    (inst : Benchgen.Suite.instance) =
+  let outcome =
+    Resil.Guard.run ?time_limit ?fuel ~key
+      ~fallback:(fun () -> constant_result inst.Benchgen.Suite.train)
+      (fun ~attempt:_ -> solver.solve inst)
+  in
+  {
+    result = outcome.Resil.Guard.value;
+    status = outcome.Resil.Guard.status;
+    timeouts = outcome.Resil.Guard.timeouts;
+    crashes = outcome.Resil.Guard.crashes;
+    fell_back = outcome.Resil.Guard.fell_back;
+  }
 
 type pareto_point = {
   gates : int;

@@ -44,11 +44,35 @@ val pick_best :
   (string * Aig.Graph.t) list ->
   result
 (** Choose, among candidates already within budget, the one with the best
-    validation accuracy (ties: fewer gates).  Candidates over budget are
-    approximated first.  Raises [Invalid_argument] on an empty list. *)
+    validation accuracy (ties: fewer gates; NaN accuracies rank below
+    every finite one).  Candidates over budget are approximated first.
+    An empty list degrades to {!constant_result} on [valid] — a guarded
+    portfolio may lose every candidate to crashes or timeouts. *)
 
 val constant_result : Data.Dataset.t -> result
 (** Fallback: the best constant function for the dataset. *)
+
+type guarded = {
+  result : result;
+  status : Resil.Guard.status;
+  timeouts : int;  (** attempts that exhausted their budget *)
+  crashes : int;  (** attempts that raised *)
+  fell_back : bool;  (** [result] is the constant fallback *)
+}
+
+val solve_guarded :
+  ?time_limit:float ->
+  ?fuel:int ->
+  key:string ->
+  t ->
+  Benchgen.Suite.instance ->
+  guarded
+(** Run [solver.solve] under a {!Resil.Guard}: a fresh budget per
+    attempt, one seed-perturbed retry on a crash, and a fallback chain
+    ending at {!constant_result} on the training set.  Never raises —
+    this is the boundary {!Experiments.run_suite} relies on to keep one
+    exploding technique from killing a 1000-task run.  [key] names the
+    task (e.g. ["team3/ex07"]) and seeds fault injection. *)
 
 type pareto_point = {
   gates : int;

@@ -10,17 +10,42 @@ let merged (i : S.instance) = D.append i.S.train i.S.valid
 
 let tree_aig ~num_inputs t = Synth.Tree_synth.aig_of_tree ~num_inputs t
 
+(* Each candidate of a portfolio is built under [Guard.capture]: a crash
+   (including an injected fault) drops that candidate instead of aborting
+   the whole team, while a budget timeout still propagates so the
+   enclosing [Solver.solve_guarded] can classify it.  [pick_best] accepts
+   the empty list (degrading to the constant), so a team whose every
+   candidate crashed still answers. *)
+let fault_candidate = Resil.Fault.declare "teams.candidate"
+
+let guarded thunks =
+  List.filter_map
+    (fun thunk ->
+      match
+        Resil.Guard.capture (fun () ->
+            Resil.Fault.point fault_candidate;
+            thunk ())
+      with
+      | Ok candidate -> Some candidate
+      | Error _ -> None)
+    thunks
+
 (* Espresso is quadratic in the input count per cube; the teams only ran
    it where two-level minimization is plausible, so gate it on width. *)
 let espresso_width_limit = 40
 
+let espresso_aig d =
+  let config = { Sop.Espresso.default_config with Sop.Espresso.max_passes = 1 } in
+  let cover, complemented = Sop.Espresso.minimize_best_polarity ~config d in
+  Synth.Sop_synth.aig_of_cover ~complemented cover
+
 let espresso_candidate d =
   if D.num_inputs d > espresso_width_limit then None
-  else begin
-    let config = { Sop.Espresso.default_config with Sop.Espresso.max_passes = 1 } in
-    let cover, complemented = Sop.Espresso.minimize_best_polarity ~config d in
-    Some ("espresso", Synth.Sop_synth.aig_of_cover ~complemented cover)
-  end
+  else Some ("espresso", espresso_aig d)
+
+let espresso_thunks d =
+  if D.num_inputs d > espresso_width_limit then []
+  else [ (fun () -> ("espresso", espresso_aig d)) ]
 
 (* Rank features by the average of their mutual-information and chi2
    ranks (a cheap stand-in for Team 4's two-level model ensemble). *)
@@ -69,7 +94,7 @@ let team1 =
         let rng = Random.State.make [| 1; i.S.spec.S.id |] in
         let lutnets =
           List.map
-            (fun (layers, width) ->
+            (fun (layers, width) () ->
               let params =
                 {
                   Lutnet.default_params with
@@ -84,7 +109,7 @@ let team1 =
         in
         let forests =
           List.map
-            (fun trees ->
+            (fun trees () ->
               let params =
                 { Forest.Bagging.default_params with Forest.Bagging.num_trees = trees }
               in
@@ -94,7 +119,7 @@ let team1 =
             [ 5; 9; 15 ]
         in
         let candidates =
-          Option.to_list (espresso_candidate i.S.train) @ lutnets @ forests
+          guarded (espresso_thunks i.S.train @ lutnets @ forests)
         in
         Solver.pick_best ~valid:i.S.valid candidates
   in
@@ -115,7 +140,7 @@ let team2 =
       List.concat_map
         (fun min_samples ->
           List.map
-            (fun depth ->
+            (fun depth () ->
               let t =
                 Dtree.Train.train (dt_params ~max_depth:depth ~min_samples ()) i.S.train
               in
@@ -126,7 +151,7 @@ let team2 =
     in
     let rules =
       List.map
-        (fun min_coverage ->
+        (fun min_coverage () ->
           let params =
             { Rules.Part.default_params with Rules.Part.min_coverage }
           in
@@ -134,7 +159,7 @@ let team2 =
             Rules.Part.to_aig ~num_inputs (Rules.Part.train params i.S.train) ))
         [ 2; 5 ]
     in
-    Solver.pick_best ~valid:i.S.valid (trees @ rules)
+    Solver.pick_best ~valid:i.S.valid (guarded (trees @ rules))
   in
   { Solver.name = "team2"; techniques = [ "trees" ]; solve }
 
@@ -171,19 +196,25 @@ let team3 =
     let pick_for_config c =
       let st = Random.State.make [| 3; i.S.spec.S.id; c |] in
       let train, valid = D.split_ratio st all ~ratio:(2.0 /. 3.0) in
-      let fringe_model =
-        Dtree.Fringe.train ~max_rounds:4
-          ~max_features:(num_inputs + 60)
-          (dt_params ~min_samples:5 ())
-          train
-      in
-      let plain =
-        Dtree.Train.train (dt_params ~max_depth:12 ~min_samples:5 ()) train
-      in
       let candidates =
-        [ ("fringe-dt", Synth.Tree_synth.aig_of_fringe_model ~num_inputs fringe_model);
-          ("dt", tree_aig ~num_inputs plain);
-          ("mlp-lut", mlp_lut_candidate ~seed:(i.S.spec.S.id + c) ~train ~valid all) ]
+        guarded
+          [ (fun () ->
+              let fringe_model =
+                Dtree.Fringe.train ~max_rounds:4
+                  ~max_features:(num_inputs + 60)
+                  (dt_params ~min_samples:5 ())
+                  train
+              in
+              ( "fringe-dt",
+                Synth.Tree_synth.aig_of_fringe_model ~num_inputs fringe_model ));
+            (fun () ->
+              let plain =
+                Dtree.Train.train (dt_params ~max_depth:12 ~min_samples:5 ()) train
+              in
+              ("dt", tree_aig ~num_inputs plain));
+            (fun () ->
+              ( "mlp-lut",
+                mlp_lut_candidate ~seed:(i.S.spec.S.id + c) ~train ~valid all )) ]
       in
       (Solver.pick_best ~valid candidates).Solver.aig
     in
@@ -237,11 +268,12 @@ let team4 =
     in
     let ks = if num_inputs <= 10 then [ num_inputs ] else [ 10; 12 ] in
     let candidates =
-      List.concat_map
-        (fun k ->
-          [ candidate `Combined (min k num_inputs) (i.S.spec.S.id + k);
-            candidate `Chi2 (min k num_inputs) (i.S.spec.S.id + k + 50) ])
-        ks
+      guarded
+        (List.concat_map
+           (fun k ->
+             [ (fun () -> candidate `Combined (min k num_inputs) (i.S.spec.S.id + k));
+               (fun () -> candidate `Chi2 (min k num_inputs) (i.S.spec.S.id + k + 50)) ])
+           ks)
     in
     Solver.pick_best ~valid:i.S.valid candidates
   in
@@ -384,14 +416,17 @@ let team5 =
     let dts =
       List.concat_map
         (fun depth ->
-          [ with_selection "all" full depth;
-            with_selection "kbest" (Featsel.select_k_best Featsel.Chi2 ~k:half train) depth;
-            with_selection "pct50"
-              (Featsel.select_percentile Featsel.Mutual_info ~percentile:50.0 train)
-              depth ])
+          [ (fun () -> with_selection "all" full depth);
+            (fun () ->
+              with_selection "kbest"
+                (Featsel.select_k_best Featsel.Chi2 ~k:half train) depth);
+            (fun () ->
+              with_selection "pct50"
+                (Featsel.select_percentile Featsel.Mutual_info ~percentile:50.0 train)
+                depth) ])
         [ 10; 20 ]
     in
-    let rf =
+    let rf () =
       let params =
         {
           Forest.Bagging.default_params with
@@ -401,8 +436,8 @@ let team5 =
       in
       ("rf-3", Forest.Bagging.to_aig ~num_inputs (Forest.Bagging.train ~rng:st params train))
     in
-    let nn = nn_formula_candidate ~seed:i.S.spec.S.id train in
-    Solver.pick_best ~valid (dts @ [ rf; nn ])
+    let nn () = nn_formula_candidate ~seed:i.S.spec.S.id train in
+    Solver.pick_best ~valid (guarded (dts @ [ rf; nn ]))
   in
   { Solver.name = "team5"; techniques = [ "trees"; "neural-nets" ]; solve }
 
@@ -418,7 +453,7 @@ let team6 =
           List.concat_map
             (fun width ->
               List.map
-                (fun layers ->
+                (fun layers () ->
                   let params =
                     {
                       Lutnet.lut_size = 4;
@@ -440,7 +475,7 @@ let team6 =
             [ 16; 32 ])
         [ Lutnet.Random_inputs; Lutnet.Unique_random ]
     in
-    Solver.pick_best ~valid:i.S.valid candidates
+    Solver.pick_best ~valid:i.S.valid (guarded candidates)
   in
   { Solver.name = "team6"; techniques = [ "lut-network" ]; solve }
 
@@ -484,7 +519,7 @@ let team7 =
                     | `Boost b -> Forest.Boosting.accuracy b d ) ]
             i.S.train
         in
-        let model =
+        let model () =
           if chosen = "dt-unlimited" then
             (chosen, tree_aig ~num_inputs (Dtree.Train.train dt_p i.S.train))
           else
@@ -495,7 +530,7 @@ let team7 =
         (* Nearly symmetric functions get the popcount side circuit as an
            extra candidate. *)
         let candidates =
-          model :: Option.to_list (Fmatch.popcount_tree i.S.train)
+          guarded [ model ] @ Option.to_list (Fmatch.popcount_tree i.S.train)
         in
         Solver.pick_best ~valid:i.S.valid candidates
   in
@@ -524,12 +559,12 @@ let team8 =
       (Printf.sprintf "bdt-t%.2f-n%d" tau min_samples, tree_aig ~num_inputs t)
     in
     let rng = Random.State.make [| 8; i.S.spec.S.id |] in
-    let rf =
+    let rf () =
       ( "rf-17x8",
         Forest.Bagging.to_aig ~num_inputs
           (Forest.Bagging.train ~rng Forest.Bagging.default_params i.S.train) )
     in
-    let sine_mlp =
+    let sine_mlp () =
       (* A *single* hidden layer of sine units at a small learning rate is
          what recovers periodic structure (parity); training is seed
          sensitive, so a couple of restarts are scored on validation. *)
@@ -561,7 +596,7 @@ let team8 =
       ("sine-mlp", lift_aig ~selection ~num_inputs aig)
     in
     Solver.pick_best ~valid:i.S.valid
-      [ bdt 0.05 2; bdt 0.2 8; rf; sine_mlp ]
+      (guarded [ (fun () -> bdt 0.05 2); (fun () -> bdt 0.2 8); rf; sine_mlp ])
   in
   { Solver.name = "team8"; techniques = [ "trees"; "neural-nets" ]; solve }
 
@@ -581,11 +616,13 @@ let team9 =
         (Dtree.Train.train (dt_params ~max_depth:10 ~min_samples:5 ()) seed_train)
     in
     let seed_candidates =
-      ("dt-seed", dt_seed) :: Option.to_list (espresso_candidate seed_train)
+      ("dt-seed", dt_seed) :: guarded (espresso_thunks seed_train)
     in
     let seed_best = Solver.pick_best ~valid:i.S.valid seed_candidates in
     let seed_acc = Solver.evaluate seed_best.Solver.aig i.S.valid in
-    let cgp_result =
+    (* A crashed evolution falls back to the bootstrap model rather than
+       losing the benchmark. *)
+    let evolve_guarded () =
       if seed_acc >= 0.55 then begin
         if Aig.Graph.num_ands seed_best.Solver.aig > 800 then None
         else begin
@@ -616,6 +653,11 @@ let team9 =
         let evolved, _ = Cgp.evolve params i.S.train in
         Some ("cgp-random", Cgp.to_aig evolved)
       end
+    in
+    let cgp_result =
+      match Resil.Guard.capture evolve_guarded with
+      | Ok r -> r
+      | Error _ -> None
     in
     match cgp_result with
     | None -> seed_best

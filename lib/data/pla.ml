@@ -7,6 +7,14 @@ type t = {
   terms : term list;
 }
 
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+        Some (Printf.sprintf "Data.Pla.Parse_error: line %d: %s" line msg)
+    | _ -> None)
+
 let parse text =
   let num_inputs = ref (-1)
   and num_outputs = ref 1
@@ -16,12 +24,17 @@ let parse text =
   List.iteri
     (fun lineno raw ->
       let line = String.trim raw in
-      let fail msg = failwith (Printf.sprintf "Pla.parse: line %d: %s" (lineno + 1) msg) in
+      let fail msg = raise (Parse_error { line = lineno + 1; msg }) in
+      let count directive n =
+        match int_of_string_opt n with
+        | Some v when v >= 0 -> v
+        | _ -> fail (Printf.sprintf "bad %s count '%s'" directive n)
+      in
       if line = "" || line.[0] = '#' then ()
       else if line.[0] = '.' then begin
         match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-        | [ ".i"; n ] -> num_inputs := int_of_string n
-        | [ ".o"; n ] -> num_outputs := int_of_string n
+        | [ ".i"; n ] -> num_inputs := count ".i" n
+        | [ ".o"; n ] -> num_outputs := count ".o" n
         | ".type" :: k :: _ -> kind := k
         | ".p" :: _ | ".e" :: _ | ".ilb" :: _ | ".ob" :: _ -> ()
         | directive :: _ -> fail ("unknown directive " ^ directive)
@@ -47,7 +60,7 @@ let parse text =
     else
       match terms with
       | t :: _ -> String.length t.inputs
-      | [] -> failwith "Pla.parse: no .i directive and no terms"
+      | [] -> raise (Parse_error { line = 0; msg = "no .i directive and no terms" })
   in
   { num_inputs; num_outputs = !num_outputs; kind = !kind; terms }
 

@@ -15,8 +15,13 @@ type t = {
   terms : term list;
 }
 
+exception Parse_error of { line : int; msg : string }
+(** The only exception {!parse} raises.  [line] is 1-based ([0] for
+    whole-file problems such as no [.i] directive and no terms). *)
+
 val parse : string -> t
-(** Raises [Failure] with a line diagnostic on malformed input. *)
+(** Raises {!Parse_error} with a line diagnostic on malformed input —
+    never [Failure] or an out-of-bounds access. *)
 
 val print : t -> string
 

@@ -1,3 +1,5 @@
+let fault_train = Resil.Fault.declare "lutnet.train"
+
 type scheme = Random_inputs | Unique_random
 
 type params = {
@@ -89,6 +91,7 @@ let lut_column lut source_columns n =
   out
 
 let train params d =
+  Resil.Fault.point fault_train;
   if params.lut_size < 1 || params.lut_size > 16 then
     invalid_arg "Lutnet.train: lut_size out of range";
   let st = Random.State.make [| 0x107; params.seed |] in
@@ -104,6 +107,7 @@ let train params d =
     let luts =
       Array.map
         (fun wires ->
+          Resil.Budget.check ();
           { wires; table = memorize ~wires ~source_columns ~outputs ~default })
         wiring
     in

@@ -1,3 +1,5 @@
+let fault_train = Resil.Fault.declare "nnet.train"
+
 type activation = Sigmoid | Relu | Sine
 
 type layer = {
@@ -178,6 +180,7 @@ let backprop params net velocities x y =
     net.layers
 
 let train ?validation params d =
+  Resil.Fault.point fault_train;
   let st = Random.State.make [| 0x0e7; params.seed |] in
   let num_inputs = Data.Dataset.num_inputs d in
   let net = fresh_network st params num_inputs in
@@ -206,6 +209,7 @@ let train ?validation params d =
     done;
     Array.iter
       (fun j ->
+        Resil.Budget.check ();
         let x, y = rows.(j) in
         backprop params net velocities x y)
       order;
@@ -261,6 +265,7 @@ let fine_tune ?(freeze_zero = false) params net d =
     done;
     Array.iter
       (fun j ->
+        Resil.Budget.check ();
         let x, y = rows.(j) in
         backprop params net velocities x y;
         apply_mask ())

@@ -1,3 +1,5 @@
+let fault_worker = Resil.Fault.declare "parallel.pool.worker"
+
 type job = unit -> unit
 
 type batch = {
@@ -126,12 +128,25 @@ let post pool deques ~n =
     end
   end
 
-let run pool ~n f =
+(* Shared engine for both result modes: evaluate every task, capturing
+   per-index success or (exception, backtrace).  Each task runs under a
+   fault context keyed by its stable index, so injected faults are a pure
+   function of the task grid — identical for jobs=1 and jobs=N, and for
+   interrupted-then-resumed runs. *)
+let collect pool ~n f =
   if n < 0 then invalid_arg "Pool.run: negative task count";
   let slots = Array.make n None in
   let exec i =
     let r =
-      try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())
+      try
+        Ok
+          (Resil.Fault.with_context
+             ~key:("pool.task." ^ string_of_int i)
+             ~attempt:0
+             (fun () ->
+               Resil.Fault.point fault_worker;
+               f i))
+      with e -> Error (e, Printexc.get_raw_backtrace ())
     in
     slots.(i) <- Some r
   in
@@ -157,19 +172,23 @@ let run pool ~n f =
       done;
       pool.current <- None;
       Mutex.unlock pool.mutex);
+  Array.map (function Some r -> r | None -> assert false) slots
+
+let run_isolated pool ~n f = collect pool ~n f
+
+let run pool ~n f =
+  let slots = collect pool ~n f in
   let first_error = ref None in
   Array.iter
     (fun slot ->
       match slot with
-      | Some (Error e) when !first_error = None -> first_error := Some e
+      | Error e when !first_error = None -> first_error := Some e
       | _ -> ())
     slots;
   match !first_error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
-      Array.map
-        (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
-        slots
+      Array.map (function Ok v -> v | Error _ -> assert false) slots
 
 let map_array pool f arr =
   run pool ~n:(Array.length arr) (fun i -> f arr.(i))

@@ -40,6 +40,15 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 val run : t -> n:int -> (int -> 'a) -> 'a array
 (** Evaluate [f 0 .. f (n-1)] across the pool; result [i] is [f i]. *)
 
+val run_isolated :
+  t -> n:int -> (int -> 'a) -> ('a, exn * Printexc.raw_backtrace) result array
+(** Like {!run}, but per-task isolation instead of fail-fast: a raising
+    task yields [Error (exn, backtrace)] in its own slot and every other
+    task still runs to completion.  Never raises (beyond
+    [Invalid_argument] on a negative [n]).  Each task executes under a
+    {!Resil.Fault} context keyed by its index, so injected faults hit
+    the same tasks regardless of the [jobs] count or of resumption. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map]. *)
 

@@ -1,0 +1,52 @@
+type crash = { exn : string; backtrace : string }
+
+type status =
+  | Completed
+  | Recovered
+  | Timed_out
+  | Crashed of crash
+
+type 'a outcome = {
+  value : 'a;
+  status : status;
+  timeouts : int;
+  crashes : int;
+  fell_back : bool;
+}
+
+let describe e bt =
+  { exn = Printexc.to_string e; backtrace = Printexc.raw_backtrace_to_string bt }
+
+let attempt_one ?time_limit ?fuel ~key ~attempt f =
+  let b = Budget.create ?time_limit ?fuel () in
+  Fault.with_context ~key ~attempt (fun () ->
+      Budget.with_budget b (fun () -> f ~attempt))
+
+let run ?time_limit ?fuel ~key ~fallback f =
+  match attempt_one ?time_limit ?fuel ~key ~attempt:0 f with
+  | v -> { value = v; status = Completed; timeouts = 0; crashes = 0; fell_back = false }
+  | exception Budget.Timed_out ->
+      { value = fallback (); status = Timed_out; timeouts = 1; crashes = 0;
+        fell_back = true }
+  | exception e ->
+      let c0 = describe e (Printexc.get_raw_backtrace ()) in
+      (* One retry with a fresh budget; the attempt number perturbs both
+         the fault context and any seed the technique derives from it. *)
+      (match attempt_one ?time_limit ?fuel ~key ~attempt:1 f with
+      | v ->
+          { value = v; status = Recovered; timeouts = 0; crashes = 1;
+            fell_back = false }
+      | exception Budget.Timed_out ->
+          { value = fallback (); status = Timed_out; timeouts = 1; crashes = 1;
+            fell_back = true }
+      | exception e2 ->
+          let c1 = describe e2 (Printexc.get_raw_backtrace ()) in
+          ignore c0;
+          { value = fallback (); status = Crashed c1; timeouts = 0; crashes = 2;
+            fell_back = true })
+
+let capture f =
+  match f () with
+  | v -> Ok v
+  | exception Budget.Timed_out -> raise Budget.Timed_out
+  | exception e -> Error (describe e (Printexc.get_raw_backtrace ()))

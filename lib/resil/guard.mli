@@ -1,0 +1,47 @@
+(** Run a computation under a budget, classify the outcome, and always
+    produce a value via a fallback chain.
+
+    [Guard.run] is the technique boundary: inside it, {!Budget.check}
+    polls can raise {!Budget.Timed_out} and fault points can raise
+    {!Fault.Injected}; outside it, the caller always gets a value plus
+    an honest status.  A crash earns one retry (the fault context is
+    salted with the attempt number, so deterministic injected faults do
+    not necessarily repeat); a timeout goes straight to the fallback —
+    retrying out-of-budget work would just time out again. *)
+
+type crash = { exn : string; backtrace : string }
+
+type status =
+  | Completed  (** first attempt succeeded *)
+  | Recovered  (** first attempt crashed, retry succeeded *)
+  | Timed_out  (** budget exhausted; value is the fallback's *)
+  | Crashed of crash  (** crashed twice; value is the fallback's *)
+
+type 'a outcome = {
+  value : 'a;
+  status : status;
+  timeouts : int;  (** attempts that hit the budget *)
+  crashes : int;  (** attempts that raised *)
+  fell_back : bool;  (** [value] came from [fallback], not [f] *)
+}
+
+val run :
+  ?time_limit:float ->
+  ?fuel:int ->
+  key:string ->
+  fallback:(unit -> 'a) ->
+  (attempt:int -> 'a) ->
+  'a outcome
+(** [run ?time_limit ?fuel ~key ~fallback f] executes [f ~attempt:0]
+    under a fresh {!Budget.t} and the fault context [(key, attempt)].
+    The fallback must be total; it runs outside any budget.  [run]
+    never raises (except through [fallback] itself, which by contract
+    is crash-free — in the contest stack it is
+    [Solver.constant_result]). *)
+
+val capture : (unit -> 'a) -> ('a, crash) result
+(** [capture f] runs [f] under the current ambient budget and fault
+    context, converting any exception {e except} {!Budget.Timed_out}
+    into [Error crash].  Timeouts re-raise so the enclosing {!run} can
+    classify them.  Used to guard individual candidates inside a
+    technique without aborting its whole portfolio. *)

@@ -1,0 +1,98 @@
+let magic = "lsml-journal v1"
+
+type t = {
+  path : string;
+  meta : string;
+  rows : (string, string) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let path t = t.path
+let length t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.rows)
+let find t key = Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.rows key)
+
+let check_field what s =
+  String.iter
+    (fun c ->
+      if c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Journal: %s contains %C" what c))
+    s
+
+(* Rewrite-then-rename: the journal is small (one row per suite task), so
+   rewriting beats the bookkeeping needed to make true appends crash-safe.
+   Rows are written in sorted key order, making the file bytes a pure
+   function of the journal contents — a parallel run checkpoints rows in
+   schedule-dependent completion order, yet any two runs that performed
+   the same tasks leave identical journals. *)
+let persist t =
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.rows [])
+  in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (magic ^ "\n");
+  output_string oc (t.meta ^ "\n");
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.rows key with
+      | Some payload -> output_string oc (key ^ "\t" ^ payload ^ "\n")
+      | None -> ())
+    keys;
+  close_out oc;
+  Sys.rename tmp t.path
+
+let record t ~key payload =
+  check_field "key" key;
+  check_field "payload" payload;
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.replace t.rows key payload;
+      persist t)
+
+let create ~path ~meta =
+  check_field "meta" meta;
+  let t = { path; meta; rows = Hashtbl.create 64; mutex = Mutex.create () } in
+  persist t;
+  t
+
+let load ~path ~meta =
+  check_field "meta" meta;
+  if not (Sys.file_exists path) then Ok (create ~path ~meta)
+  else begin
+    let ic = open_in path in
+    let result =
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      match input_line ic with
+      | exception End_of_file -> Error "journal is empty (missing header)"
+      | first when first <> magic ->
+          Error (Printf.sprintf "bad journal magic %S (want %S)" first magic)
+      | _ -> (
+          match input_line ic with
+          | exception End_of_file -> Error "journal missing meta line"
+          | file_meta when file_meta <> meta ->
+              Error
+                (Printf.sprintf
+                   "journal was written by a different configuration\n\
+                   \  file: %s\n  run:  %s" file_meta meta)
+          | _ ->
+              let rows = Hashtbl.create 64 in
+              let rec loop lineno =
+                match input_line ic with
+                | exception End_of_file -> Ok ()
+                | line -> (
+                    match String.index_opt line '\t' with
+                    | None ->
+                        Error (Printf.sprintf "malformed journal row at line %d" lineno)
+                    | Some i ->
+                        let key = String.sub line 0 i in
+                        let payload =
+                          String.sub line (i + 1) (String.length line - i - 1)
+                        in
+                        Hashtbl.replace rows key payload;
+                        loop (lineno + 1))
+              in
+              (match loop 3 with
+              | Error _ as e -> e
+              | Ok () -> Ok { path; meta; rows; mutex = Mutex.create () }))
+    in
+    result
+  end

@@ -1,0 +1,39 @@
+(** Append-only, atomically-persisted result journal.
+
+    One journal backs one suite run: each completed (team, benchmark)
+    task records a row keyed ["team/exNN"] whose payload is the exact
+    serialized metrics.  Every {!record} rewrites the whole file to a
+    temp path and renames it over the target, so a killed run leaves
+    either the previous consistent snapshot or the new one — never a
+    torn file.  Rows are written in sorted key order: the file bytes are
+    a pure function of the contents, independent of the (schedule-
+    dependent) order a parallel run completed the tasks in.
+
+    The file format is versioned: a magic first line, a [meta] second
+    line fingerprinting the run configuration (seed, sizes, limits,
+    fault settings), then one [key '\t' payload] row per task.  On
+    {!load}, a magic or meta mismatch is reported as an error rather
+    than silently merging incompatible runs. *)
+
+type t
+
+val create : path:string -> meta:string -> t
+(** Fresh journal at [path] (truncating any existing file) with the
+    given configuration fingerprint.  Writes the header immediately. *)
+
+val load : path:string -> meta:string -> (t, string) result
+(** Reopen an existing journal for resumption.  Fails with a message
+    if the file has the wrong magic, a different [meta] line, or a
+    malformed row.  A missing file yields an empty journal (so
+    [--resume] on a never-started run just starts it). *)
+
+val find : t -> string -> string option
+(** Payload previously recorded under a key, if any. *)
+
+val record : t -> key:string -> string -> unit
+(** [record j ~key payload] adds or replaces the row and persists the
+    whole journal atomically.  Keys and payloads must not contain tab
+    or newline ([Invalid_argument] otherwise).  Thread-safe. *)
+
+val length : t -> int
+val path : t -> string

@@ -1,9 +1,15 @@
 type t = { num_vars : int; clauses : Solver.lit list list }
 
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+        Some (Printf.sprintf "Sat.Dimacs.Parse_error: line %d: %s" line msg)
+    | _ -> None)
+
 let of_string s =
-  let fail lineno msg =
-    failwith (Printf.sprintf "Dimacs.of_string: line %d: %s" lineno msg)
-  in
+  let fail lineno msg = raise (Parse_error { line = lineno; msg }) in
   let lines = String.split_on_char '\n' s in
   let header = ref None in
   let clauses = ref [] in
@@ -50,11 +56,11 @@ let of_string s =
                    current := Solver.lit_of_var (abs k - 1) (k < 0) :: !current)
       end)
     lines;
+  let last_line = List.length lines in
   (match !header with
-  | None -> failwith "Dimacs.of_string: missing p cnf header"
+  | None -> fail last_line "missing p cnf header"
   | Some _ -> ());
-  if !current <> [] then
-    failwith "Dimacs.of_string: unterminated clause at end of input";
+  if !current <> [] then fail last_line "unterminated clause at end of input";
   let num_vars = match !header with Some (v, _) -> v | None -> 0 in
   { num_vars; clauses = List.rev !clauses }
 

@@ -6,11 +6,17 @@
 
 type t = { num_vars : int; clauses : Solver.lit list list }
 
+exception Parse_error of { line : int; msg : string }
+(** The only exception {!of_string} raises.  [line] is 1-based;
+    end-of-input problems (missing header, unterminated clause) carry the
+    last line number. *)
+
 val of_string : string -> t
 (** Parse DIMACS: [c] comment lines, a [p cnf VARS CLAUSES] header, then
     zero-terminated clauses of signed 1-based variable numbers (clauses
-    may span lines).  Raises [Failure] with the offending line number on
-    malformed input. *)
+    may span lines).  Raises {!Parse_error} with the offending line
+    number on malformed input — never [Failure] or an out-of-bounds
+    access. *)
 
 val to_string : t -> string
 

@@ -1,3 +1,5 @@
+let fault_solve = Resil.Fault.declare "sat.solve"
+
 type lit = int
 
 let lit_of_var v negated = (v lsl 1) lor (if negated then 1 else 0)
@@ -496,6 +498,7 @@ let search s assumptions ~restart_limit ~conflict_budget =
   while !running do
     let confl = propagate s in
     if confl != dummy_clause then begin
+      Resil.Budget.check ();
       s.n_conflicts <- s.n_conflicts + 1;
       incr conflicts_here;
       if decision_level s = 0 then begin
@@ -553,6 +556,7 @@ let search s assumptions ~restart_limit ~conflict_budget =
   !ret
 
 let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
+  Resil.Fault.point fault_solve;
   if not s.ok then Unsat
   else begin
     cancel_until s 0;

@@ -1,3 +1,5 @@
+let fault_minimize = Resil.Fault.declare "espresso.minimize"
+
 type config = {
   max_passes : int;
   literal_order_by_gain : bool;
@@ -9,6 +11,7 @@ let default_config = { max_passes = 3; literal_order_by_gain = true }
    the cube keeps covering zero off-set samples.  [on_cols]/[off_cols] are
    the columns of the positive/negative samples. *)
 let expand_cube config ~on_cols ~off_cols cube =
+  Resil.Budget.check ();
   let n = Cube.num_vars cube in
   let bound =
     List.filter (fun i -> Cube.lit cube i <> Cube.Free) (List.init n Fun.id)
@@ -97,6 +100,7 @@ let reduce ~on ~num_on cubes_with_masks =
 let cost cover = (Cover.num_cubes cover, Cover.total_literals cover)
 
 let minimize ?(config = default_config) d =
+  Resil.Fault.point fault_minimize;
   let num_vars = Data.Dataset.num_inputs d in
   let on = Data.Dataset.select d (Data.Dataset.outputs d) in
   let off = Data.Dataset.select d (Words.lognot (Data.Dataset.outputs d)) in
@@ -126,6 +130,7 @@ let minimize ?(config = default_config) d =
       irredundant ~num_on with_masks
     in
     let rec loop cubes best iteration =
+      Resil.Budget.check ();
       let kept = pass cubes in
       let cover = Cover.of_cubes ~num_vars (List.map fst kept) in
       let improved = cost cover < cost best in

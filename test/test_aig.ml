@@ -113,14 +113,16 @@ let test_io_errors () =
       (try
          ignore (Aig.Io.of_string text);
          false
-       with Failure _ -> true)
+       with Aig.Io.Parse_error _ -> true)
   in
   expect_failure "empty" "";
   expect_failure "bad header" "aag x y\n";
   expect_failure "latches unsupported" "aag 1 0 1 1 0\n2\n2\n";
   expect_failure "multiple outputs" "aag 1 1 0 2 0\n2\n2\n2\n";
   expect_failure "truncated" "aag 2 1 0 1 1\n2\n4\n";
-  expect_failure "use before definition" "aag 3 1 0 1 1\n2\n6\n4 6 2\n"
+  expect_failure "gapped numbering" "aag 3 1 0 1 1\n2\n6\n4 6 2\n";
+  expect_failure "huge header" "aag 999999999 1 0 1 1\n2\n4\n4 2 2\n";
+  expect_failure "use before definition" "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 2 2\n"
 
 let test_cleanup_drops_dangling () =
   let g = G.create ~num_inputs:3 in

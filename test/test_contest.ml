@@ -64,6 +64,9 @@ let test_scoring () =
           valid_acc = acc +. 0.01;
           gates = 100 * (i + 1);
           levels = 10;
+          timeouts = 0;
+          crashes = 0;
+          fell_back = false;
         })
       team_acc
   in
@@ -172,8 +175,8 @@ let test_popcount_tree () =
 
 let test_sorted_rows () =
   let rows =
-    [ { Contest.Score.team = "x"; avg_test = 80.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0 };
-      { Contest.Score.team = "y"; avg_test = 90.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0 } ]
+    [ { Contest.Score.team = "x"; avg_test = 80.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 };
+      { Contest.Score.team = "y"; avg_test = 90.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 } ]
   in
   match Contest.Score.sort_rows rows with
   | first :: _ -> Alcotest.(check string) "best first" "y" first.Contest.Score.team
@@ -203,6 +206,144 @@ let test_team8_sine_wins_parity () =
        m.Contest.Score.test_acc)
     true
     (m.Contest.Score.test_acc > 0.9)
+
+let test_pick_best_degenerate () =
+  let inst = instance 10 in
+  (* Every candidate of a guarded portfolio can crash away; the empty list
+     degrades to the constant function instead of raising. *)
+  let r = Contest.Solver.pick_best ~valid:inst.S.valid [] in
+  Alcotest.(check string) "constant fallback" "constant"
+    r.Contest.Solver.technique;
+  check_int "no gates" 0 (Aig.Graph.num_ands r.Contest.Solver.aig);
+  (* A degenerate (empty) validation set must not blow up the scoring. *)
+  let empty, _ = D.split_at inst.S.valid 0 in
+  let g = Aig.Graph.create ~num_inputs:(D.num_inputs inst.S.valid) in
+  Aig.Graph.set_output g Aig.Graph.const_true;
+  let r = Contest.Solver.pick_best ~valid:empty [ ("c", g) ] in
+  Alcotest.(check string) "degenerate valid set tolerated" "c"
+    r.Contest.Solver.technique
+
+let crashing_solver =
+  {
+    Contest.Solver.name = "crash";
+    techniques = [];
+    solve = (fun _ -> failwith "synthetic crash");
+  }
+
+let slow_solver =
+  {
+    Contest.Solver.name = "slow";
+    techniques = [];
+    solve =
+      (fun inst ->
+        for _ = 1 to 10_000 do
+          Resil.Budget.check ()
+        done;
+        Contest.Solver.constant_result inst.S.train);
+  }
+
+let test_solve_guarded () =
+  let inst = instance 10 in
+  (* A solver that always crashes: two attempts, then the constant row. *)
+  let g = Contest.Solver.solve_guarded ~key:"crash/ex10" crashing_solver inst in
+  check_bool "fell back" true g.Contest.Solver.fell_back;
+  check_int "both attempts crashed" 2 g.Contest.Solver.crashes;
+  Alcotest.(check string) "constant result" "constant"
+    g.Contest.Solver.result.Contest.Solver.technique;
+  check_bool "classified" true
+    (match g.Contest.Solver.status with
+    | Resil.Guard.Crashed _ -> true
+    | _ -> false);
+  (* A solver that exhausts its fuel budget: timeout, no retry. *)
+  let g = Contest.Solver.solve_guarded ~fuel:50 ~key:"slow/ex10" slow_solver inst in
+  check_bool "timed out" true (g.Contest.Solver.status = Resil.Guard.Timed_out);
+  check_int "timeout counted" 1 g.Contest.Solver.timeouts;
+  Alcotest.(check string) "fallback is constant" "constant"
+    g.Contest.Solver.result.Contest.Solver.technique;
+  (* Unbudgeted, the same solver completes. *)
+  let g = Contest.Solver.solve_guarded ~key:"slow/ex10" slow_solver inst in
+  check_bool "completes unbudgeted" true
+    (g.Contest.Solver.status = Resil.Guard.Completed)
+
+let test_metrics_line_roundtrip () =
+  let m =
+    {
+      Contest.Score.benchmark = 42;
+      technique = "sine mlp + prune";
+      test_acc = Float.nan;
+      valid_acc = 0.8125;
+      gates = 17;
+      levels = 4;
+      timeouts = 1;
+      crashes = 2;
+      fell_back = true;
+    }
+  in
+  (match Contest.Score.metrics_of_line (Contest.Score.metrics_to_line m) with
+  | None -> Alcotest.fail "round trip failed"
+  | Some m' ->
+      check_bool "nan preserved" true (Float.is_nan m'.Contest.Score.test_acc);
+      check_bool "all other fields identical" true
+        ({ m' with Contest.Score.test_acc = 0.0 }
+        = { m with Contest.Score.test_acc = 0.0 }));
+  (* Exact hex floats round-trip bit-for-bit. *)
+  let m = { m with Contest.Score.test_acc = 1.0 /. 3.0 } in
+  check_bool "exact float round trip" true
+    (Contest.Score.metrics_of_line (Contest.Score.metrics_to_line m) = Some m);
+  check_bool "corrupt row rejected" true
+    (Contest.Score.metrics_of_line "not a journal row" = None);
+  check_bool "empty row rejected" true (Contest.Score.metrics_of_line "" = None)
+
+let test_run_suite_resume_identity () =
+  (* An interrupted-then-resumed run must reproduce the uninterrupted
+     run's rows and journal bytes exactly. *)
+  let config =
+    {
+      Contest.Experiments.sizes = { S.train = 120; valid = 60; test = 60 };
+      seed = 3;
+      ids = [ 30; 74 ];
+    }
+  in
+  let teams = [ Contest.Teams.team10 ] in
+  let meta = Contest.Experiments.journal_meta ~teams config in
+  let temp () =
+    let p = Filename.temp_file "lsml-resume" ".journal" in
+    Sys.remove p;
+    p
+  in
+  let ja = temp () and jb = temp () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ ja; jb ])
+    (fun () ->
+      let run_with j =
+        Contest.Experiments.run_suite ~progress:false ~teams ~journal:j config
+      in
+      (* Reference: uninterrupted run journaling to A. *)
+      let a = run_with (Resil.Journal.create ~path:ja ~meta) in
+      (* Interrupted run: journal B starts with only the first task's row
+         (as if the run was killed after one checkpoint), then resumes. *)
+      let full =
+        match Resil.Journal.load ~path:ja ~meta with
+        | Ok j -> j
+        | Error e -> Alcotest.fail e
+      in
+      let first_key = "team10/" ^ (S.benchmark 30).S.name in
+      let jb' = Resil.Journal.create ~path:jb ~meta in
+      (match Resil.Journal.find full first_key with
+      | Some payload -> Resil.Journal.record jb' ~key:first_key payload
+      | None -> Alcotest.fail ("missing journal row " ^ first_key));
+      let b = run_with jb' in
+      check_bool "rows identical after resume" true
+        (a.Contest.Experiments.per_team = b.Contest.Experiments.per_team)
+        ;
+      let slurp p =
+        let ic = open_in p in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check_bool "journal bytes identical" true (slurp ja = slurp jb))
 
 let test_experiment_drivers_smoke () =
   (* The shared-run experiment drivers must execute end to end on a tiny
@@ -241,6 +382,12 @@ let suites =
         Alcotest.test_case "popcount tree" `Quick test_popcount_tree;
         Alcotest.test_case "scoring" `Quick test_scoring;
         Alcotest.test_case "row sorting" `Quick test_sorted_rows;
+        Alcotest.test_case "pick best degenerate" `Quick test_pick_best_degenerate;
+        Alcotest.test_case "solve guarded" `Quick test_solve_guarded;
+        Alcotest.test_case "metrics line roundtrip" `Quick
+          test_metrics_line_roundtrip;
+        Alcotest.test_case "run_suite resume identity" `Slow
+          test_run_suite_resume_identity;
         Alcotest.test_case "team7 adder match" `Slow test_team7_matches_adder;
         Alcotest.test_case "team8 parity" `Slow test_team8_sine_wins_parity;
         Alcotest.test_case "experiment drivers" `Slow test_experiment_drivers_smoke ] ) ]

@@ -95,16 +95,18 @@ let test_pla_parse () =
       ignore (Data.Pla.to_dataset p))
 
 let test_pla_errors () =
-  check_bool "bad directive raises" true
-    (try
-       ignore (Data.Pla.parse ".q 3\n");
-       false
-     with Failure _ -> true);
-  check_bool "bad char raises" true
-    (try
-       ignore (Data.Pla.parse "01x 1\n");
-       false
-     with Failure _ -> true)
+  let expect_error name text line =
+    check_bool name true
+      (try
+         ignore (Data.Pla.parse text);
+         false
+       with Data.Pla.Parse_error e -> e.line = line)
+  in
+  expect_error "bad directive" ".q 3\n" 1;
+  expect_error "bad char" "01x 1\n" 1;
+  expect_error "bad .i count" ".i many\n00 1\n" 1;
+  expect_error "negative .o count" ".i 2\n.o -1\n00 1\n" 2;
+  expect_error "empty file" "# nothing\n" 0
 
 let test_arff_export () =
   let d = sample () in

@@ -1,0 +1,82 @@
+(* Seeded mutation fuzzing of the three text parsers.
+
+   Property: however the input is corrupted, a parser either succeeds or
+   raises its own documented [Parse_error] — never [Failure],
+   [Invalid_argument], [Out_of_memory], or an array-bounds crash.  The
+   mutations are driven by a fixed-seed [Random.State], so a failure here
+   is reproducible, not flaky. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* Byte pool biased towards characters the grammars care about: digits,
+   separators, directive/structure characters, and some plain noise. *)
+let pool = "0123456789 \t\n\r-.aipocex#"
+
+let mutate st text =
+  let b = Bytes.of_string text in
+  let len = Bytes.length b in
+  if len = 0 then text
+  else begin
+    let hits = 1 + Random.State.int st 4 in
+    for _ = 1 to hits do
+      let at = Random.State.int st len in
+      Bytes.set b at pool.[Random.State.int st (String.length pool)]
+    done;
+    let s = Bytes.to_string b in
+    (* Half the time also truncate, modelling a torn write. *)
+    if Random.State.bool st then String.sub s 0 (Random.State.int st (len + 1))
+    else s
+  end
+
+let fuzz ~name ~rounds ~seed ~valid ~parse ~is_documented_error =
+  let st = Random.State.make [| seed |] in
+  for round = 1 to rounds do
+    let text = mutate st valid in
+    match parse text with
+    | _ -> ()
+    | exception e ->
+        if not (is_documented_error e) then
+          Alcotest.failf "%s round %d: undocumented exception %s on input %S"
+            name round (Printexc.to_string e) text
+  done
+
+let valid_aag = "aag 7 3 0 1 4\n2\n4\n6\n14\n8 2 4\n10 6 9\n12 8 11\n14 12 3\n"
+
+let test_fuzz_aag () =
+  fuzz ~name:"aag" ~rounds:400 ~seed:101 ~valid:valid_aag
+    ~parse:(fun s -> ignore (Aig.Io.of_string s))
+    ~is_documented_error:(function
+      | Aig.Io.Parse_error _ -> true
+      | _ -> false);
+  (* The unmutated base text must of course parse. *)
+  check_bool "base text valid" true
+    (match Aig.Io.of_string valid_aag with _ -> true)
+
+let valid_pla =
+  ".i 4\n.o 1\n.type fr\n.p 5\n0110 1\n1010 0\n1111 1\n0000 0\n1001 1\n.e\n"
+
+let test_fuzz_pla () =
+  fuzz ~name:"pla" ~rounds:400 ~seed:202 ~valid:valid_pla
+    ~parse:(fun s -> ignore (Data.Pla.parse s))
+    ~is_documented_error:(function
+      | Data.Pla.Parse_error _ -> true
+      | _ -> false);
+  check_bool "base text valid" true
+    (match Data.Pla.parse valid_pla with _ -> true)
+
+let valid_dimacs = "c fuzz base\np cnf 4 4\n1 -2 0\n2 3 -4 0\n-1\n3 0\n4 0\n"
+
+let test_fuzz_dimacs () =
+  fuzz ~name:"dimacs" ~rounds:400 ~seed:303 ~valid:valid_dimacs
+    ~parse:(fun s -> ignore (Sat.Dimacs.of_string s))
+    ~is_documented_error:(function
+      | Sat.Dimacs.Parse_error _ -> true
+      | _ -> false);
+  check_bool "base text valid" true
+    (match Sat.Dimacs.of_string valid_dimacs with _ -> true)
+
+let suites =
+  [ ( "fuzz",
+      [ Alcotest.test_case "aag parser" `Quick test_fuzz_aag;
+        Alcotest.test_case "pla parser" `Quick test_fuzz_pla;
+        Alcotest.test_case "dimacs parser" `Quick test_fuzz_dimacs ] ) ]

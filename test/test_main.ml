@@ -15,6 +15,8 @@ let () =
          Test_cgp.suites;
          Test_featsel.suites;
          Test_fmatch.suites;
+         Test_resil.suites;
+         Test_fuzz.suites;
          Test_parallel.suites;
          Test_benchgen.suites;
          Test_contest.suites;

@@ -84,6 +84,53 @@ let test_sequential_fallbacks () =
     (P.map pool Fun.id [ 1 ]);
   P.shutdown pool
 
+let test_pool_reusable_after_failure () =
+  P.with_pool ~jobs:3 (fun pool ->
+      (* A batch whose task raises must not poison the pool. *)
+      (try
+         ignore
+           (P.run pool ~n:8 (fun i ->
+                if i = 5 then failwith "die";
+                i))
+       with Failure _ -> ());
+      Alcotest.(check (array int)) "second batch after failure"
+        (Array.init 16 (fun i -> 3 * i))
+        (P.run pool ~n:16 (fun i -> 3 * i));
+      (* Nested run issued from inside an exception handler still takes
+         the in-place fallback instead of deadlocking. *)
+      let out =
+        P.run pool ~n:4 (fun i ->
+            try
+              if i mod 2 = 0 then failwith "inner";
+              i
+            with Failure _ ->
+              Array.fold_left ( + ) 0 (P.run pool ~n:3 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int)) "nested run in handler" [| 3; 1; 63; 3 |] out)
+
+let test_run_isolated () =
+  P.with_pool ~jobs:4 (fun pool ->
+      let out =
+        P.run_isolated pool ~n:10 (fun i ->
+            if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i);
+            i)
+      in
+      check_int "every slot reported" 10 (Array.length out);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              check_bool "ok slot placement" true (i mod 3 <> 0);
+              check_int "ok slot value" i v
+          | Error (Failure msg, _) ->
+              check_bool "error slot placement" true (i mod 3 = 0);
+              Alcotest.(check string) "error carried" (Printf.sprintf "boom %d" i) msg
+          | Error _ -> Alcotest.fail "unexpected exception kind")
+        out;
+      (* Isolation does not retry or skip the healthy tasks. *)
+      let oks = Array.to_list out |> List.filter (function Ok _ -> true | _ -> false) in
+      check_int "healthy tasks completed" 6 (List.length oks))
+
 let test_cv_pool_equivalence () =
   let inst =
     Benchgen.Suite.instantiate
@@ -136,6 +183,9 @@ let suites =
         Alcotest.test_case "jobs counts agree" `Quick test_jobs_counts_agree;
         Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
         Alcotest.test_case "sequential fallbacks" `Quick test_sequential_fallbacks;
+        Alcotest.test_case "reusable after failure" `Quick
+          test_pool_reusable_after_failure;
+        Alcotest.test_case "run isolated" `Quick test_run_isolated;
         Alcotest.test_case "cv pool equivalence" `Quick test_cv_pool_equivalence;
         Alcotest.test_case "run_suite jobs identical" `Slow
           test_run_suite_jobs_identical ] ) ]
