@@ -14,7 +14,7 @@ module E = Contest.Experiments
 let usage_error msg =
   Printf.eprintf
     "bench: %s\nusage: main.exe [--full] [--ids SPEC] [--seed N] [-j|--jobs N] \
-     [--perf] [EXPERIMENT...]\n"
+     [--perf] [--quick] [--json PATH] [EXPERIMENT...]\n"
     msg;
   exit 2
 
@@ -45,7 +45,7 @@ let parse_positive_int ~flag spec =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let perf () =
+let perf ?(quick = false) () =
   let open Bechamel in
   let open Toolkit in
   let inst =
@@ -54,7 +54,7 @@ let perf () =
   in
   let train = inst.Benchgen.Suite.train in
   let parity_aig =
-    let g = Aig.Graph.create ~num_inputs:20 in
+    let g = Aig.Graph.create ~num_inputs:20 () in
     Aig.Graph.set_output g
       (List.fold_left (Aig.Graph.xor_ g) Aig.Graph.const_false
          (List.init 20 (Aig.Graph.input g)));
@@ -62,9 +62,28 @@ let perf () =
   in
   let st = Random.State.make [| 42 |] in
   let columns = Aig.Sim.random_patterns st ~num_inputs:20 ~num_patterns:6400 in
+  (* Twin column arrays alternate between engine runs to force a full
+     re-simulation every call (same array twice would hit the watermark
+     cache and measure nothing); a third shared engine measures the cached
+     incremental path plus the fused accuracy counter. *)
+  let columns' = Aig.Sim.random_patterns st ~num_inputs:20 ~num_patterns:6400 in
+  let expected = Words.random st 6400 in
+  let engine = Aig.Sim.Engine.create () in
+  let flip = ref false in
+  let acc_engine = Aig.Sim.Engine.create () in
   let tests =
     [ Test.make ~name:"aig-sim-6400pat"
         (Staged.stage (fun () -> ignore (Aig.Sim.simulate parity_aig columns)));
+      Test.make ~name:"engine-sim-6400pat"
+        (Staged.stage (fun () ->
+             flip := not !flip;
+             ignore
+               (Aig.Sim.Engine.simulate engine parity_aig
+                  (if !flip then columns else columns'))));
+      Test.make ~name:"engine-accuracy-6400pat"
+        (Staged.stage (fun () ->
+             ignore
+               (Aig.Sim.Engine.accuracy acc_engine parity_aig columns expected)));
       Test.make ~name:"dtree-train-depth8"
         (Staged.stage (fun () ->
              ignore
@@ -94,7 +113,9 @@ let perf () =
     in
     let instances = Instance.[ monotonic_clock ] in
     let cfg =
-      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+      if quick then
+        Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~kde:(Some 100) ()
+      else Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
     in
     let raw_results = Benchmark.all cfg instances test in
     List.map (fun i -> Analyze.all ols i raw_results) instances
@@ -103,15 +124,197 @@ let perf () =
   let results =
     benchmark (Test.make_grouped ~name:"lsml" ~fmt:"%s %s" tests)
   in
+  let kernels = ref [] in
   List.iter
     (fun result ->
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ t ] -> Printf.printf "%-28s %12.0f ns/run\n" name t
+          | Some [ t ] ->
+              kernels := (name, t) :: !kernels;
+              Printf.printf "%-28s %12.0f ns/run\n" name t
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         result)
-    results
+    results;
+  List.sort (fun (a, _) (b, _) -> compare a b) !kernels
+
+(* ------------------------------------------------------------------ *)
+(* Repeated-evaluation loops: engine vs naive simulation               *)
+(* ------------------------------------------------------------------ *)
+
+type loop_result = {
+  loop_name : string;
+  ops : int;
+  naive_ns : float;  (* per op *)
+  engine_ns : float;  (* per op *)
+}
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+(* The solver's inner loop: score many candidate circuits against the same
+   validation columns.  The naive path allocates a fresh value vector per
+   AND node per call; the engine simulates into one reused arena. *)
+let solver_accuracy_loop ~reps =
+  let num_inputs = 20 and num_patterns = 512 in
+  let st = Random.State.make [| 0xbe7c; 1 |] in
+  let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns in
+  let expected = Words.random st num_patterns in
+  let candidates =
+    List.init 24 (fun i ->
+        Benchgen.Logic_bench.cone ~seed:(100 + i) ~num_inputs ~num_nodes:600 ())
+  in
+  let sink = ref 0.0 in
+  let naive_total =
+    time_ns (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun g -> sink := !sink +. Aig.Sim.accuracy g columns expected)
+            candidates
+        done)
+  in
+  let engine = Aig.Sim.Engine.create () in
+  let engine_sink = ref 0.0 in
+  let engine_total =
+    time_ns (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun g ->
+              engine_sink :=
+                !engine_sink +. Aig.Sim.Engine.accuracy engine g columns expected)
+            candidates
+        done)
+  in
+  if !sink <> !engine_sink then
+    failwith "solver-accuracy-loop: engine diverged from naive accuracy";
+  let ops = reps * List.length candidates in
+  {
+    loop_name = "solver-accuracy-loop";
+    ops;
+    naive_ns = naive_total /. float_of_int ops;
+    engine_ns = engine_total /. float_of_int ops;
+  }
+
+(* The sweep's refresh pattern: a large graph grows by a handful of nodes,
+   then is re-simulated.  The naive path re-simulates everything; the
+   engine's watermark re-simulates only the appended nodes.  Twin graphs
+   built from the same seed keep the two timed passes identical. *)
+let incremental_refresh_loop ~rounds =
+  let num_inputs = 24 and num_patterns = 4096 and appends = 16 in
+  let build () =
+    Benchgen.Logic_bench.cone ~seed:77 ~num_inputs ~num_nodes:2000 ()
+  in
+  let st = Random.State.make [| 0x1c4e; 2 |] in
+  let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns in
+  let append rng g =
+    for _ = 1 to appends do
+      let lit () =
+        let v = Random.State.int rng (Aig.Graph.num_vars g) in
+        Aig.Graph.lit_of_var v (Random.State.bool rng)
+      in
+      ignore (Aig.Graph.and_ g (lit ()) (lit ()))
+    done
+  in
+  let run_pass simulate =
+    let g = build () in
+    let rng = Random.State.make [| 0xadd; 3 |] in
+    ignore (simulate g);
+    time_ns (fun () ->
+        for _ = 1 to rounds do
+          append rng g;
+          ignore (simulate g)
+        done)
+  in
+  let naive_total = run_pass (fun g -> Aig.Sim.simulate g columns) in
+  let engine = Aig.Sim.Engine.create () in
+  let engine_total =
+    run_pass (fun g -> Aig.Sim.Engine.simulate engine g columns)
+  in
+  {
+    loop_name = "incremental-refresh";
+    ops = rounds;
+    naive_ns = naive_total /. float_of_int rounds;
+    engine_ns = engine_total /. float_of_int rounds;
+  }
+
+let speedup_of r = if r.engine_ns > 0.0 then r.naive_ns /. r.engine_ns else 0.0
+
+let engine_loops ~quick () =
+  Contest.Report.heading "Repeated-evaluation loops (naive vs engine)";
+  let loops =
+    [ solver_accuracy_loop ~reps:(if quick then 5 else 50);
+      incremental_refresh_loop ~rounds:(if quick then 50 else 500) ]
+  in
+  Contest.Report.table
+    ~header:[ "loop"; "ops"; "naive ns/op"; "engine ns/op"; "speedup" ]
+    (List.map
+       (fun r ->
+         [ r.loop_name;
+           string_of_int r.ops;
+           Printf.sprintf "%.0f" r.naive_ns;
+           Printf.sprintf "%.0f" r.engine_ns;
+           Printf.sprintf "%.2fx" (speedup_of r) ])
+       loops);
+  loops
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json (schema documented in EXPERIMENTS.md)                    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write_bench_json path ~mode ~seed ~kernels ~loops ~suite_wall_s =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"lsml-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n"
+           (json_escape name) (json_float ns)
+           (if i = List.length kernels - 1 then "" else ",")))
+    kernels;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"loops\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"ops\": %d, \"naive_ns_per_op\": %s, \
+            \"engine_ns_per_op\": %s, \"speedup\": %s}%s\n"
+           (json_escape r.loop_name) r.ops (json_float r.naive_ns)
+           (json_float r.engine_ns)
+           (json_float (speedup_of r))
+           (if i = List.length loops - 1 then "" else ",")))
+    loops;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite_wall_s\": %s\n" (json_float suite_wall_s));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* SAT sweeping: exact node reduction on contest-scale AIGs            *)
@@ -126,7 +329,7 @@ let sat_sweep_perf () =
   let mux_of_rewrites ~seed ~num_inputs =
     let cone = Benchgen.Logic_bench.cone ~seed ~num_inputs () in
     let bal = Aig.Opt.balance cone in
-    let g = Aig.Graph.create ~num_inputs:(num_inputs + 1) in
+    let g = Aig.Graph.create ~num_inputs:(num_inputs + 1) () in
     let shift src =
       (* Re-express an [num_inputs]-input graph over inputs 1.. of [g]. *)
       let remapped =
@@ -212,12 +415,31 @@ let parallel_scaling ~jobs () =
     [ [ "1"; Printf.sprintf "%.2f" t1; "1.00" ];
       [ string_of_int jobs;
         Printf.sprintf "%.2f" tn;
-        Printf.sprintf "%.2f" (t1 /. tn) ] ]
+        Printf.sprintf "%.2f" (t1 /. tn) ] ];
+  t1
+
+(* A minimal timed suite slice for --quick runs (CI smoke): one benchmark,
+   tiny splits, single domain. *)
+let quick_suite_wall () =
+  Contest.Report.heading "Quick suite slice (1 benchmark, tiny splits)";
+  let config =
+    {
+      E.sizes = { Benchgen.Suite.train = 60; valid = 30; test = 30 };
+      seed = 1;
+      ids = [ 0 ];
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (E.run_suite ~progress:false ~jobs:1 config);
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "suite slice wall: %.2fs\n" dt;
+  dt
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let perf_only = List.mem "--perf" args in
+  let quick = List.mem "--quick" args in
   let rec extract_opt name = function
     | flag :: value :: rest when flag = name -> Some (value, rest)
     | x :: rest -> (
@@ -239,6 +461,11 @@ let () =
         | None -> usage_error (Printf.sprintf "--seed expects an integer, got %S" spec))
     | None -> (1, args)
   in
+  let json_path, args =
+    match extract_opt "--json" args with
+    | Some (path, rest) -> (Some path, rest)
+    | None -> (None, args)
+  in
   let jobs, args =
     match extract_opt "--jobs" args with
     | Some (spec, rest) -> (parse_positive_int ~flag:"--jobs" spec, rest)
@@ -252,7 +479,7 @@ let () =
   in
   List.iter
     (fun f ->
-      if f <> "--full" && f <> "--perf" then
+      if f <> "--full" && f <> "--perf" && f <> "--quick" then
         usage_error
           (Printf.sprintf "unknown or valueless option %s" f))
     flags;
@@ -265,10 +492,22 @@ let () =
         exit 2
       end)
     selected;
-  if perf_only then begin
-    perf ();
-    sat_sweep_perf ();
-    parallel_scaling ~jobs ()
+  if perf_only || quick || json_path <> None then begin
+    let kernels = perf ~quick () in
+    let loops = engine_loops ~quick () in
+    let suite_wall_s =
+      if quick then quick_suite_wall ()
+      else begin
+        sat_sweep_perf ();
+        parallel_scaling ~jobs ()
+      end
+    in
+    Option.iter
+      (fun path ->
+        write_bench_json path
+          ~mode:(if quick then "quick" else "perf")
+          ~seed ~kernels ~loops ~suite_wall_s)
+      json_path
   end
   else begin
     let shared_config = E.config_with ~full ?ids:ids_override ~seed () in

@@ -12,7 +12,7 @@ let () =
 
   (* The exact two-output adder-top circuit: a single carry chain feeds
      both output bits, so sharing is near total. *)
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
   let sums, carry = Synth.Arith.adder g a b in
   let shared = Aig.Multi.create g [| carry; sums.(k - 1) |] in
@@ -37,7 +37,7 @@ let () =
   in
   let t_msb = Dtree.Train.train params d_msb in
   let t_second = Dtree.Train.train params d_second in
-  let g2 = G.create ~num_inputs:n in
+  let g2 = G.create ~num_inputs:n () in
   let o1 = Synth.Tree_synth.lit_of_tree g2 ~feature_lit:(G.input g2) t_msb in
   let o2 = Synth.Tree_synth.lit_of_tree g2 ~feature_lit:(G.input g2) t_second in
   let learned = Aig.Multi.create g2 [| o1; o2 |] in

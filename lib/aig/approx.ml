@@ -34,7 +34,8 @@ let approximate_once ?(num_patterns = 1024) ?patterns ?(protect_levels = 4)
         if Array.length columns = 0 then num_patterns
         else Words.length columns.(0)
       in
-      let values = Sim.simulate_all g columns in
+      let engine = Sim.Engine.for_domain () in
+      Sim.Engine.run engine g columns;
       let level = var_levels g in
       let out_level = level.(Graph.var_of_lit (Graph.output g)) in
       let protect = max 0 (out_level - protect_levels) in
@@ -45,7 +46,7 @@ let approximate_once ?(num_patterns = 1024) ?patterns ?(protect_levels = 4)
         Graph.fold_ands g ~init:[] ~f:(fun acc var _ _ ->
             if level.(var) >= protect && out_level > protect_levels then acc
             else begin
-              let ones = Words.popcount values.(var) in
+              let ones = Sim.Engine.popcount_var engine var in
               let zeros = num_patterns - ones in
               let const_lit =
                 if zeros >= ones then Graph.const_false else Graph.const_true

@@ -13,9 +13,11 @@
 type t
 type lit = int
 
-val create : num_inputs:int -> t
+val create : ?size_hint:int -> num_inputs:int -> unit -> t
 (** A graph with [num_inputs] primary inputs, no AND nodes, and output
-    [const_false]. *)
+    [const_false].  [size_hint] (expected AND-node count) pre-sizes the
+    fan-in arrays and the structural-hashing table so that building a
+    graph of that size performs no rehash or array growth. *)
 
 val num_inputs : t -> int
 
@@ -80,6 +82,13 @@ val levels : t -> int
 val fold_ands : t -> init:'a -> f:('a -> int -> lit -> lit -> 'a) -> 'a
 (** Fold over AND variables in topological order:
     [f acc var fanin0 fanin1]. *)
+
+val iter_ands : ?from:int -> t -> (int -> lit -> lit -> unit) -> unit
+(** [iter_ands ~from g f] calls [f var fanin0 fanin1] on AND nodes
+    [from..num_ands g - 1] (0-based AND index, default 0) in topological
+    order.  The graph is append-only, so a caller that remembers
+    [num_ands] can later revisit exactly the nodes added since — the basis
+    of incremental re-simulation ({!Sim.Engine}). *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: inputs, ANDs, levels. *)

@@ -121,7 +121,7 @@ let of_string s =
           (Printf.sprintf
              "truncated file: header promises %d data lines, found %d"
              (i + 1 + a) (Array.length rest));
-      let g = Graph.create ~num_inputs:i in
+      let g = Graph.create ~num_inputs:i () in
       (* Literal map from file vars (0..m) to our literals. *)
       let map = Array.make (m + 1) (-1) in
       map.(0) <- Graph.const_false;

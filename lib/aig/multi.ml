@@ -124,7 +124,7 @@ let of_string s =
       let rest = Array.of_list rest in
       if Array.length rest < i + o + a then
         failwith "Multi.of_string: truncated file";
-      let g = Graph.create ~num_inputs:i in
+      let g = Graph.create ~num_inputs:i () in
       let map = Array.make (m + 1) (-1) in
       map.(0) <- Graph.const_false;
       let int_of line =

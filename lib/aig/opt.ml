@@ -6,7 +6,7 @@
    once keeping only the cone. *)
 
 let rebuild ?(subst = fun _ -> None) g =
-  let fresh = Graph.create ~num_inputs:(Graph.num_inputs g) in
+  let fresh = Graph.create ~size_hint:(Graph.num_ands g) ~num_inputs:(Graph.num_inputs g) () in
   let seen = Array.make (Graph.num_vars g) false in
   seen.(0) <- true;
   let rec mark v =
@@ -63,7 +63,7 @@ let substitute g ~var ~by =
 let substitute_many g subst = rebuild ~subst g
 
 let remap_inputs g ~map ~num_inputs =
-  let fresh = Graph.create ~num_inputs in
+  let fresh = Graph.create ~size_hint:(Graph.num_ands g) ~num_inputs () in
   let table = Array.make (Graph.num_vars g) Graph.const_false in
   for i = 0 to Graph.num_inputs g - 1 do
     let j = map i in
@@ -81,7 +81,8 @@ let remap_inputs g ~map ~num_inputs =
   cleanup fresh
 
 let vote3 a b c =
-  let g = Graph.create ~num_inputs:(Graph.num_inputs a) in
+  let hint = Graph.num_ands a + Graph.num_ands b + Graph.num_ands c + 4 in
+  let g = Graph.create ~size_hint:hint ~num_inputs:(Graph.num_inputs a) () in
   let la = Graph.import g ~src:a in
   let lb = Graph.import g ~src:b in
   let lc = Graph.import g ~src:c in
@@ -111,7 +112,7 @@ let balance g =
   let is_root v =
     Graph.is_and_var g v && (fanout.(v) > 1 || compl_used.(v) || v = out_var)
   in
-  let fresh = Graph.create ~num_inputs:(Graph.num_inputs g) in
+  let fresh = Graph.create ~size_hint:(Graph.num_ands g) ~num_inputs:(Graph.num_inputs g) () in
   let map = Array.make nv Graph.const_false in
   for i = 0 to Graph.num_inputs g - 1 do
     map.(1 + i) <- Graph.input fresh i

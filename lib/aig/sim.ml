@@ -51,3 +51,213 @@ let accuracy g columns expected =
   else
     let disagreements = Words.popcount (Words.logxor got expected) in
     1.0 -. (float_of_int disagreements /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation simulation engine                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = struct
+  let word_mask = (1 lsl Words.bits_per_word) - 1
+
+  type stats = {
+    full_runs : int;
+    incremental_runs : int;
+    ands_simulated : int;
+  }
+
+  type t = {
+    mutable arena : int array;
+        (* row-major: variable [v] owns words [v*wpc .. v*wpc+wpc-1] *)
+    mutable wpc : int;  (* words per column (= per variable row) *)
+    mutable n : int;  (* patterns per column *)
+    mutable graph : Graph.t;  (* graph of the last run (physical identity) *)
+    mutable cols : Words.t array;  (* columns of the last run (identity) *)
+    mutable watermark : int;  (* AND nodes already simulated for (graph, cols) *)
+    mutable bound : bool;  (* the arena holds a valid run *)
+    mutable scratch : int array;  (* expected-words buffer for the counter *)
+    mutable full_runs : int;
+    mutable incremental_runs : int;
+    mutable ands_simulated : int;
+  }
+
+  let create () =
+    {
+      arena = [||];
+      wpc = 0;
+      n = 0;
+      graph = Graph.create ~num_inputs:0 ();
+      cols = [||];
+      watermark = 0;
+      bound = false;
+      scratch = [||];
+      full_runs = 0;
+      incremental_runs = 0;
+      ands_simulated = 0;
+    }
+
+  let stats e =
+    {
+      full_runs = e.full_runs;
+      incremental_runs = e.incremental_runs;
+      ands_simulated = e.ands_simulated;
+    }
+
+  (* Mask of valid bits in the top word of a row. *)
+  let top_mask e =
+    let r = e.n mod Words.bits_per_word in
+    if r = 0 then word_mask else (1 lsl r) - 1
+
+  let ensure_capacity e needed ~preserve =
+    if Array.length e.arena < needed then begin
+      let fresh = Array.make (max needed (2 * Array.length e.arena)) 0 in
+      if preserve then Array.blit e.arena 0 fresh 0 (Array.length e.arena);
+      e.arena <- fresh
+    end
+
+  (* Fused in-place kernels: every arena index below is in range by
+     construction ([var < num_vars] and the arena spans [num_vars * wpc]
+     words), so the inner loops use unsafe accesses — this is the hot path
+     of the whole system and must not pay per-word bounds checks. *)
+  let sim_ands e g ~from =
+    let wpc = e.wpc in
+    let arena = e.arena in
+    let top = wpc - 1 in
+    let tmask = top_mask e in
+    Graph.iter_ands ~from g (fun var f0 f1 ->
+        let dst = var * wpc in
+        let a = Graph.var_of_lit f0 * wpc and b = Graph.var_of_lit f1 * wpc in
+        match (Graph.is_complemented f0, Graph.is_complemented f1) with
+        | false, false ->
+            for k = 0 to top do
+              Array.unsafe_set arena (dst + k)
+                (Array.unsafe_get arena (a + k)
+                land Array.unsafe_get arena (b + k))
+            done
+        | false, true ->
+            for k = 0 to top do
+              Array.unsafe_set arena (dst + k)
+                (Array.unsafe_get arena (a + k)
+                land lnot (Array.unsafe_get arena (b + k)))
+            done
+        | true, false ->
+            for k = 0 to top do
+              Array.unsafe_set arena (dst + k)
+                (Array.unsafe_get arena (b + k)
+                land lnot (Array.unsafe_get arena (a + k)))
+            done
+        | true, true ->
+            for k = 0 to top do
+              Array.unsafe_set arena (dst + k)
+                (lnot
+                   (Array.unsafe_get arena (a + k)
+                   lor Array.unsafe_get arena (b + k))
+                land word_mask)
+            done;
+            if wpc > 0 then
+              Array.unsafe_set arena (dst + top)
+                (Array.unsafe_get arena (dst + top) land tmask))
+
+  let run e g columns =
+    let n = check_columns g columns in
+    let n_ands = Graph.num_ands g in
+    if e.bound && e.graph == g && e.cols == columns && n = e.n then begin
+      (* Same graph and same columns as the previous run: the graph is
+         append-only, so only AND nodes past the watermark are new. *)
+      if e.watermark < n_ands then begin
+        ensure_capacity e (Graph.num_vars g * e.wpc) ~preserve:true;
+        sim_ands e g ~from:e.watermark;
+        e.ands_simulated <- e.ands_simulated + (n_ands - e.watermark);
+        e.watermark <- n_ands
+      end;
+      e.incremental_runs <- e.incremental_runs + 1
+    end
+    else begin
+      e.bound <- false;
+      e.n <- n;
+      e.wpc <- Words.num_words n;
+      ensure_capacity e (Graph.num_vars g * e.wpc) ~preserve:false;
+      Array.fill e.arena 0 e.wpc 0;
+      Array.iteri
+        (fun i c -> Words.blit_to_array c e.arena ~pos:((1 + i) * e.wpc))
+        columns;
+      sim_ands e g ~from:0;
+      e.graph <- g;
+      e.cols <- columns;
+      e.watermark <- n_ands;
+      e.bound <- true;
+      e.full_runs <- e.full_runs + 1;
+      e.ands_simulated <- e.ands_simulated + n_ands
+    end
+
+  let num_patterns e = e.n
+
+  let check_bound e =
+    if not e.bound then invalid_arg "Sim.Engine: no simulation has run"
+
+  let signature e v =
+    check_bound e;
+    Words.of_words e.arena ~pos:(v * e.wpc) ~length:e.n
+
+  let popcount_var e v =
+    check_bound e;
+    let base = v * e.wpc in
+    let acc = ref 0 in
+    for k = 0 to e.wpc - 1 do
+      acc := !acc + Words.popcount_word (Array.unsafe_get e.arena (base + k))
+    done;
+    !acc
+
+  let output e =
+    check_bound e;
+    let l = Graph.output e.graph in
+    let w = signature e (Graph.var_of_lit l) in
+    if Graph.is_complemented l then Words.not_into ~dst:w w;
+    w
+
+  let simulate e g columns =
+    run e g columns;
+    output e
+
+  (* Fused xor-popcount between the output row and [expected], with an
+     early exit as soon as the count can no longer come in at or under
+     [limit]: a candidate that has already lost is abandoned mid-row. *)
+  let disagreements ?(limit = max_int) e g columns ~expected =
+    run e g columns;
+    if Words.length expected <> e.n then
+      invalid_arg "Sim.Engine.disagreements: expected length mismatch";
+    let wpc = e.wpc in
+    if Array.length e.scratch < wpc then e.scratch <- Array.make (max wpc 1) 0;
+    Words.blit_to_array expected e.scratch ~pos:0;
+    let l = Graph.output e.graph in
+    let base = Graph.var_of_lit l * wpc in
+    let comp = Graph.is_complemented l in
+    let tmask = top_mask e in
+    let arena = e.arena and scratch = e.scratch in
+    let d = ref 0 in
+    let k = ref 0 in
+    while !d <= limit && !k < wpc do
+      let ow = Array.unsafe_get arena (base + !k) in
+      let ow =
+        if comp then
+          lnot ow land (if !k = wpc - 1 then tmask else word_mask)
+        else ow
+      in
+      d := !d + Words.popcount_word (ow lxor Array.unsafe_get scratch !k);
+      incr k
+    done;
+    if !d > limit then None else Some !d
+
+  let accuracy e g columns expected =
+    match disagreements e g columns ~expected with
+    | None -> assert false (* no limit: the count is always exact *)
+    | Some d ->
+        let n = Words.length expected in
+        if n = 0 then 1.0
+        else 1.0 -. (float_of_int d /. float_of_int n)
+
+  (* One engine per domain: arenas are reused across every evaluation the
+     domain performs but never shared, which keeps jobs=1 and jobs=N runs
+     on identical state. *)
+  let dls_key = Domain.DLS.new_key create
+  let for_domain () = Domain.DLS.get dls_key
+end

@@ -21,3 +21,74 @@ val random_patterns : Random.State.t -> num_inputs:int -> num_patterns:int -> Wo
 val accuracy : Graph.t -> Words.t array -> Words.t -> float
 (** [accuracy g columns expected] is the fraction of patterns on which the
     simulated output agrees with [expected]. *)
+
+(** Reusable zero-allocation simulation context.
+
+    The engine owns one flat int-array arena of [num_vars * num_words n]
+    words (variable [v]'s value vector lives at row [v]) and simulates
+    with fused in-place AND/ANDNOT/NOR word kernels — no per-node
+    allocation, no per-call allocation once the arena has grown to the
+    workload's high-water mark.  Results are bit-identical to {!simulate}
+    and {!accuracy}.
+
+    Because {!Graph.t} is append-only under structural hashing, a run on
+    the same graph and the same columns as the previous run only
+    simulates the AND nodes added since (the engine tracks a watermark);
+    a run on anything else re-simulates from scratch.  Caching keys on
+    physical identity: the caller must not mutate the column contents
+    between runs on the same array.
+
+    Engines are single-owner mutable state: use one per domain (see
+    {!for_domain}), never share one across domains. *)
+module Engine : sig
+  type t
+
+  val create : unit -> t
+
+  val for_domain : unit -> t
+  (** This domain's engine (domain-local storage): evaluation paths that
+      score many candidates reuse one arena per domain without sharing
+      mutable state across domains, preserving jobs=1 ≡ jobs=N runs. *)
+
+  val run : t -> Graph.t -> Words.t array -> unit
+  (** Simulate [g] on [columns] into the arena — incrementally when graph
+      and columns are physically the ones of the previous run.  Queries
+      below read the arena of the last [run]. *)
+
+  val simulate : t -> Graph.t -> Words.t array -> Words.t
+  (** [run] + a fresh copy of the output value vector; equals
+      {!Sim.simulate} bit for bit. *)
+
+  val accuracy : t -> Graph.t -> Words.t array -> Words.t -> float
+  (** [run] + fused xor-popcount against the expected outputs; equals
+      {!Sim.accuracy} bit for bit. *)
+
+  val disagreements :
+    ?limit:int -> t -> Graph.t -> Words.t array -> expected:Words.t -> int option
+  (** Number of patterns where the output differs from [expected], or
+      [None] as soon as the count provably exceeds [limit] (early exit —
+      a candidate that already lost a comparison is abandoned mid-count).
+      [Some d] is always the exact count. *)
+
+  val num_patterns : t -> int
+  (** Patterns per column of the last [run]. *)
+
+  val signature : t -> int -> Words.t
+  (** [signature e v] is a fresh copy of variable [v]'s value vector from
+      the last [run]. *)
+
+  val popcount_var : t -> int -> int
+  (** Ones in variable [v]'s value vector, counted straight out of the
+      arena. *)
+
+  val output : t -> Words.t
+  (** Fresh copy of the output value vector of the last [run]. *)
+
+  type stats = {
+    full_runs : int;  (** runs that re-simulated from scratch *)
+    incremental_runs : int;  (** runs served from the watermark *)
+    ands_simulated : int;  (** total AND-node evaluations *)
+  }
+
+  val stats : t -> stats
+end

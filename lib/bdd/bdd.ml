@@ -188,7 +188,7 @@ let minimize m style ~f ~care =
 
 let to_aig m f ~num_inputs =
   if num_inputs < m.nv then invalid_arg "Bdd.to_aig: too few inputs";
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   let memo = Hashtbl.create 256 in
   let rec lit_of f =
     if f = 0 then Aig.Graph.const_false

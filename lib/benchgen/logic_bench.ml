@@ -3,7 +3,7 @@ module G = Aig.Graph
 (* One random multi-level network: combine literals drawn with a recency
    bias so the cone is deep rather than a flat shrub. *)
 let random_network st ~num_inputs ~num_nodes =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   let pool = Array.make (num_inputs + num_nodes) G.const_false in
   for i = 0 to num_inputs - 1 do
     pool.(i) <- G.input g i

@@ -104,31 +104,52 @@ let zero_extend v w =
   Array.blit v.words 0 out.words 0 (Array.length v.words);
   out
 
+(* OR the words of [src], shifted left by [shift] bits, into [dst] in
+   place: whole-word writes with one cross-word carry per source word.
+   Bits shifted past [dst]'s backing array are dropped.  Relies on the
+   normalization invariant (no set bits above [src.width]). *)
+let or_shifted dst src shift =
+  let wk = shift / bits_per_word and r = shift mod bits_per_word in
+  let n = Array.length dst.words in
+  for i = 0 to Array.length src.words - 1 do
+    let w = src.words.(i) in
+    if w <> 0 then begin
+      let j = i + wk in
+      if j < n then dst.words.(j) <- dst.words.(j) lor ((w lsl r) land word_mask);
+      if r <> 0 && j + 1 < n then
+        dst.words.(j + 1) <- dst.words.(j + 1) lor (w lsr (bits_per_word - r))
+    end
+  done;
+  ignore (normalize dst)
+
+(* Word [i] of [src] shifted right by [wk] words and [r] bits, into [dst]:
+   the mirror of {!or_shifted} for extraction. *)
+let blit_right dst src ~wk ~r =
+  let n = Array.length src.words in
+  for i = 0 to Array.length dst.words - 1 do
+    let k = i + wk in
+    if k < n then begin
+      let w = src.words.(k) lsr r in
+      let w =
+        if r <> 0 && k + 1 < n then
+          w lor ((src.words.(k + 1) lsl (bits_per_word - r)) land word_mask)
+        else w
+      in
+      dst.words.(i) <- w
+    end
+  done;
+  normalize dst
+
 let concat ~hi ~lo =
   let out = zero (hi.width + lo.width) in
-  for i = 0 to lo.width - 1 do
-    if get lo i then
-      out.words.(i / bits_per_word) <-
-        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
-  done;
-  for i = 0 to hi.width - 1 do
-    let j = i + lo.width in
-    if get hi i then
-      out.words.(j / bits_per_word) <-
-        out.words.(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
-  done;
+  or_shifted out lo 0;
+  or_shifted out hi lo.width;
   out
 
 let extract v ~lo ~len =
   if lo < 0 || len < 0 || lo + len > v.width then
     invalid_arg "Bitvec.extract: range out of bounds";
-  let out = zero len in
-  for i = 0 to len - 1 do
-    if get v (lo + i) then
-      out.words.(i / bits_per_word) <-
-        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
-  done;
-  out
+  blit_right (zero len) v ~wk:(lo / bits_per_word) ~r:(lo mod bits_per_word)
 
 let add_full a b w =
   let out = zero w in
@@ -182,22 +203,12 @@ let sub a b =
 let shift_left v k =
   if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
   let out = zero v.width in
-  for i = v.width - 1 downto k do
-    if get v (i - k) then
-      out.words.(i / bits_per_word) <-
-        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
-  done;
+  or_shifted out v k;
   out
 
 let shift_right v k =
   if k < 0 then invalid_arg "Bitvec.shift_right: negative shift";
-  let out = zero v.width in
-  for i = 0 to v.width - 1 - k do
-    if get v (i + k) then
-      out.words.(i / bits_per_word) <-
-        out.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
-  done;
-  out
+  blit_right (zero v.width) v ~wk:(k / bits_per_word) ~r:(k mod bits_per_word)
 
 let mul a b =
   (* Schoolbook shift-and-add at the full product width. *)

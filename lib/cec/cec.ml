@@ -78,7 +78,8 @@ let equivalent ?(conflict_limit = 500_000) g1 g2 =
   (* Import both sides into one graph: structural hashing unifies shared
      logic, so structurally similar circuits leave only a small residue
      for the SAT solver (often none: the XOR folds to constant false). *)
-  let m = G.create ~num_inputs:n in
+  let hint = G.num_ands g1 + G.num_ands g2 + 4 in
+  let m = G.create ~size_hint:hint ~num_inputs:n () in
   let o1 = G.import m ~src:g1 in
   let o2 = G.import m ~src:g2 in
   let x = G.xor_ m o1 o2 in
@@ -106,7 +107,10 @@ let equivalent_multi ?(conflict_limit = 500_000) m1 m2 =
   if Aig.Multi.num_outputs m1 <> Aig.Multi.num_outputs m2 then
     invalid_arg "Cec.equivalent_multi: output count mismatch";
   let n = G.num_inputs g1 in
-  let m = G.create ~num_inputs:n in
+  let hint =
+    G.num_ands g1 + G.num_ands g2 + (4 * Aig.Multi.num_outputs m1)
+  in
+  let m = G.create ~size_hint:hint ~num_inputs:n () in
   let o1 = import_outputs m m1 in
   let o2 = import_outputs m m2 in
   let xors =
@@ -124,11 +128,17 @@ let counterexample_columns cex =
 (* Simulation-guided SAT sweeping                                      *)
 (* ------------------------------------------------------------------ *)
 
-module WH = Hashtbl.Make (struct
-  type t = Words.t
+(* Sweep signatures are kept as a (base, counterexample) pair rather than
+   one concatenated vector: the base half depends only on the graph and the
+   fixed random patterns, so it is simulated exactly once for the whole
+   sweep, while only the small counterexample half is re-simulated each
+   refinement round.  Classing on the pair is equivalent to classing on the
+   concatenation (two pairs are equal iff the concatenations are). *)
+module WH2 = Hashtbl.Make (struct
+  type t = Words.t * Words.t
 
-  let equal = Words.equal
-  let hash = Words.hash
+  let equal (b1, c1) (b2, c2) = Words.equal b1 b2 && Words.equal c1 c2
+  let hash (b, c) = (Words.hash b * 31) + Words.hash c
 end)
 
 type sweep_stats = {
@@ -162,16 +172,10 @@ let sat_sweep ?(num_patterns = 1024) ?(conflict_limit = 1000) ?(rounds = 8)
     let st = Random.State.make [| 0x57EE9; seed |] in
     let base = Aig.Sim.random_patterns st ~num_inputs:n_inputs ~num_patterns in
     let cexs = ref [] in
-    let columns () =
-      match !cexs with
-      | [] -> base
-      | _ ->
-          let cex = Array.of_list (List.rev !cexs) in
-          let total = num_patterns + Array.length cex in
-          Array.init n_inputs (fun i ->
-              Words.init total (fun j ->
-                  if j < num_patterns then Words.get base.(i) j
-                  else cex.(j - num_patterns).(i)))
+    let cex_columns () =
+      let cex = Array.of_list (List.rev !cexs) in
+      let total = Array.length cex in
+      Array.init n_inputs (fun i -> Words.init total (fun j -> cex.(j).(i)))
     in
     let solver = S.create () in
     let sat, input_vars = encode solver g in
@@ -220,23 +224,40 @@ let sat_sweep ?(num_patterns = 1024) ?(conflict_limit = 1000) ?(rounds = 8)
         | S.Unknown -> `Unknown
       end
     in
+    (* Base signatures: one simulation for the whole sweep.  Phase
+       normalization keys on bit 0 of the base half ([num_patterns >= 64],
+       so bit 0 always exists), exactly as the concatenated signature's
+       bit 0 did before the split. *)
+    let base_engine = Aig.Sim.Engine.create () in
+    Aig.Sim.Engine.run base_engine g base;
+    let base_sig =
+      Array.init nv (fun v -> Aig.Sim.Engine.signature base_engine v)
+    in
+    let base_phase = Array.map (fun w -> Words.get w 0) base_sig in
+    let base_key =
+      Array.mapi
+        (fun v w -> if base_phase.(v) then Words.lognot w else w)
+        base_sig
+    in
+    let cex_engine = Aig.Sim.Engine.create () in
     let round = ref 0 in
     let again = ref true in
     while !again && !round < rounds do
       incr round;
       again := false;
-      let sigs = Aig.Sim.simulate_all g (columns ()) in
-      let tbl = WH.create 257 in
+      Aig.Sim.Engine.run cex_engine g (cex_columns ());
+      let tbl = WH2.create 257 in
       classes := 0;
       for v = 0 to nv - 1 do
         if merged.(v) < 0 && not given_up.(v) then begin
-          let w = sigs.(v) in
-          let key, phase =
-            if Words.get w 0 then (Words.lognot w, true) else (w, false)
+          let phase = base_phase.(v) in
+          let cw = Aig.Sim.Engine.signature cex_engine v in
+          let key =
+            (base_key.(v), if phase then Words.lognot cw else cw)
           in
-          match WH.find_opt tbl key with
+          match WH2.find_opt tbl key with
           | None ->
-              WH.add tbl key (v, phase);
+              WH2.add tbl key (v, phase);
               incr classes
           | Some (r, rphase) ->
               (* Only AND nodes are merged; an input that collides with an
@@ -263,7 +284,7 @@ let sat_sweep ?(num_patterns = 1024) ?(conflict_limit = 1000) ?(rounds = 8)
     (* Rebuild: merged nodes take their representative's literal (the
        representative is always earlier in topological order, so its image
        is already known). *)
-    let fresh = G.create ~num_inputs:n_inputs in
+    let fresh = G.create ~size_hint:(G.num_ands g) ~num_inputs:n_inputs () in
     let map = Array.make nv G.const_false in
     for i = 0 to n_inputs - 1 do
       map.(1 + i) <- G.input fresh i

@@ -264,7 +264,7 @@ let evolve ?initial params d =
   (final, accuracy final d)
 
 let to_aig g =
-  let aig = Aig.Graph.create ~num_inputs:g.num_inputs in
+  let aig = Aig.Graph.create ~num_inputs:g.num_inputs () in
   let n = g.num_inputs in
   let active = active_gates g in
   let signals = Array.make (n + Array.length g.genes) Aig.Graph.const_false in

@@ -8,6 +8,9 @@ let accuracy ?pool ~rng ~k ~train ~score d =
   in
   List.fold_left ( +. ) 0.0 fold_scores /. float_of_int k
 
+let circuit_accuracy ?pool ~rng ~k ~synth d =
+  accuracy ?pool ~rng ~k ~train:synth ~score:Solver.evaluate d
+
 let select ?pool ~rng ~k ~candidates d =
   match candidates with
   | [] -> invalid_arg "Cv.select: no candidates"

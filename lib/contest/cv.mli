@@ -14,6 +14,20 @@ val accuracy :
     parallel, which leaves the result unchanged as long as [train] and
     [score] do not share mutable state (fold order is preserved). *)
 
+val circuit_accuracy :
+  ?pool:Parallel.Pool.t ->
+  rng:Random.State.t ->
+  k:int ->
+  synth:(Data.Dataset.t -> Aig.Graph.t) ->
+  Data.Dataset.t ->
+  float
+(** {!accuracy} specialised to circuit synthesis: trains an AIG per fold
+    with [synth] and scores the held-out fold through the per-domain
+    simulation engine ({!Aig.Sim.Engine.for_domain}), so repeated fold
+    evaluations share one arena and allocate nothing.  With [pool], each
+    worker domain scores on its own engine, keeping parallel runs
+    deterministic. *)
+
 val select :
   ?pool:Parallel.Pool.t ->
   rng:Random.State.t ->

@@ -11,8 +11,13 @@ type t = {
   solve : Benchgen.Suite.instance -> result;
 }
 
+(* Scoring reuses this domain's simulation engine: candidate evaluation is
+   the innermost loop of every solver, and the engine's arena makes it
+   allocation-free.  Bit-identical to [Aig.Sim.accuracy]. *)
 let evaluate aig d =
-  Aig.Sim.accuracy aig (Data.Dataset.columns d) (Data.Dataset.outputs d)
+  let engine = Aig.Sim.Engine.for_domain () in
+  Aig.Sim.Engine.accuracy engine aig (Data.Dataset.columns d)
+    (Data.Dataset.outputs d)
 
 let enforce_budget ?patterns ?(sweep = false) ~seed aig =
   let aig = Aig.Opt.cleanup aig in
@@ -33,7 +38,7 @@ let enforce_budget ?patterns ?(sweep = false) ~seed aig =
 
 let constant_result d =
   let value, _ = Data.Dataset.constant_accuracy d in
-  let g = Aig.Graph.create ~num_inputs:(Data.Dataset.num_inputs d) in
+  let g = Aig.Graph.create ~num_inputs:(Data.Dataset.num_inputs d) () in
   Aig.Graph.set_output g
     (if value then Aig.Graph.const_true else Aig.Graph.const_false);
   { aig = g; technique = "constant" }
@@ -44,33 +49,46 @@ let pick_best ?sweep ~valid candidates =
      instead of raising from inside Teams.solve. *)
   if candidates = [] then constant_result valid
   else begin
-    let scored =
-      List.map
-        (fun (technique, aig) ->
-          let aig =
-            enforce_budget
-              ~patterns:(Data.Dataset.columns valid)
-              ?sweep
-              ~seed:(Hashtbl.hash technique) aig
-          in
-          (* A NaN accuracy (e.g. a degenerate dataset) must lose every
-             comparison, not silently win by making [>] false for the
-             incumbent. *)
-          let acc = evaluate aig valid in
-          let acc = if Float.is_nan acc then neg_infinity else acc in
-          (acc, Aig.Graph.num_ands aig, technique, aig))
-        candidates
-    in
-    let best =
-      List.fold_left
-        (fun (ba, bg, bt, baig) (a, gates, t, aig) ->
-          if a > ba || (a = ba && gates < bg) then (a, gates, t, aig)
-          else (ba, bg, bt, baig))
-        (List.hd scored)
-        (List.tl scored)
-    in
-    let _, _, technique, aig = best in
-    { aig; technique }
+    let columns = Data.Dataset.columns valid in
+    let expected = Data.Dataset.outputs valid in
+    let engine = Aig.Sim.Engine.for_domain () in
+    (* Compare candidates on their disagreement COUNT rather than the
+       accuracy float: with a fixed pattern count the orders coincide
+       ([acc = 1 - d/n] is strictly decreasing in [d]), and the count lets
+       the engine abandon a candidate mid-popcount the moment it exceeds
+       the incumbent's ([~limit] below).  Tie on count -> fewer gates wins,
+       exactly as the float fold did. *)
+    let best = ref None in
+    List.iter
+      (fun (technique, aig) ->
+        let aig =
+          enforce_budget ~patterns:columns ?sweep
+            ~seed:(Hashtbl.hash technique) aig
+        in
+        let gates = Aig.Graph.num_ands aig in
+        match !best with
+        | None ->
+            let d =
+              match
+                Aig.Sim.Engine.disagreements engine aig columns ~expected
+              with
+              | Some d -> d
+              | None -> assert false (* no limit: count is exact *)
+            in
+            best := Some (d, gates, technique, aig)
+        | Some (bd, bg, _, _) -> (
+            match
+              Aig.Sim.Engine.disagreements ~limit:bd engine aig columns
+                ~expected
+            with
+            | None -> () (* provably worse than the incumbent *)
+            | Some d ->
+                if d < bd || (d = bd && gates < bg) then
+                  best := Some (d, gates, technique, aig)))
+      candidates;
+    match !best with
+    | Some (_, _, technique, aig) -> { aig; technique }
+    | None -> assert false
   end
 
 type guarded = {

@@ -259,7 +259,7 @@ let team4 =
             let v = Array.init k (fun b -> if e lsr b land 1 = 1 then 1.0 else 0.0) in
             Nnet.Mlp.probability net v >= 0.5)
       in
-      let g = G.create ~num_inputs:k in
+      let g = G.create ~num_inputs:k () in
       G.set_output g
         (Synth.Lut_synth.lit_of_lut g ~inputs:(Array.init k (G.input g)) ~truth);
       let lifted = lift_aig ~selection ~num_inputs (Aig.Opt.cleanup g) in
@@ -390,7 +390,7 @@ let nn_formula_candidate ~seed d =
          formula_candidates)
   in
   let _, f = best in
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   let inputs = Array.map (G.input g) selection in
   let lit = formula_lit g inputs f in
   (* Polarity: the search scored both the formula and its complement. *)

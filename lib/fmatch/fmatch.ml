@@ -59,21 +59,21 @@ let word_candidates d =
         Array.init k (fun i -> G.input g (k + i)) )
     in
     let build_adder_bit bit () =
-      let g = G.create ~num_inputs:n in
+      let g = G.create ~num_inputs:n () in
       let a, b = operands g in
       let sums, carry = Synth.Arith.adder g a b in
       G.set_output g (if bit = k then carry else sums.(bit));
       Aig.Opt.cleanup g
     in
     let build_comparator swap () =
-      let g = G.create ~num_inputs:n in
+      let g = G.create ~num_inputs:n () in
       let a, b = operands g in
       let a, b = if swap then (b, a) else (a, b) in
       G.set_output g (Synth.Arith.less_than g a b);
       Aig.Opt.cleanup g
     in
     let build_multiplier_bit bit () =
-      let g = G.create ~num_inputs:n in
+      let g = G.create ~num_inputs:n () in
       let a, b = operands g in
       let product = Synth.Arith.multiplier g a b in
       G.set_output g product.(bit);
@@ -116,7 +116,7 @@ let find ?(max_gates = 5000) d =
               name = "symmetric";
               build =
                 (fun () ->
-                  let g = G.create ~num_inputs:(D.num_inputs d) in
+                  let g = G.create ~num_inputs:(D.num_inputs d) () in
                   let inputs = Array.init (D.num_inputs d) (G.input g) in
                   G.set_output g
                     (Synth.Symmetric.lit_of_signature g inputs signature);
@@ -165,7 +165,7 @@ let popcount_tree d =
     let _, const_acc = D.constant_accuracy d in
     if train_acc <= max (const_acc +. 0.15) 0.75 then None
     else begin
-      let g = G.create ~num_inputs:n in
+      let g = G.create ~num_inputs:n () in
       let count_lits = Synth.Arith.popcount g (Array.init n (G.input g)) in
       G.set_output g
         (Synth.Tree_synth.lit_of_tree g

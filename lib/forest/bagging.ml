@@ -65,7 +65,7 @@ let accuracy f d =
   Data.Dataset.accuracy ~predicted:(predict_mask f (Data.Dataset.columns d)) d
 
 let to_aig ~num_inputs f =
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   let lits =
     Array.to_list
       (Array.map

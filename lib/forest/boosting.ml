@@ -169,7 +169,7 @@ let rec quantize = function
       Dtree.Tree.Node { feature; low = quantize low; high = quantize high }
 
 let to_aig ~num_inputs m =
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   let trees = informative m in
   let bits =
     Array.map

@@ -154,7 +154,7 @@ let accuracy net d =
   Data.Dataset.accuracy ~predicted:(predict_mask net (Data.Dataset.columns d)) d
 
 let to_aig net =
-  let g = Aig.Graph.create ~num_inputs:net.num_inputs in
+  let g = Aig.Graph.create ~num_inputs:net.num_inputs () in
   let final =
     Array.fold_left
       (fun source layer ->

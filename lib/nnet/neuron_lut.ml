@@ -5,7 +5,7 @@ let activation_value kind x =
   | Mlp.Sine -> sin x
 
 let to_aig ?(max_fanin = 14) ~num_inputs net =
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   let signals = ref (Array.init num_inputs (Aig.Graph.input g)) in
   Array.iter
     (fun (layer : Mlp.layer) ->
@@ -40,7 +40,9 @@ let to_aig ?(max_fanin = 14) ~num_inputs net =
   Aig.Opt.cleanup g
 
 let quantized_accuracy g d =
-  Aig.Sim.accuracy g (Data.Dataset.columns d) (Data.Dataset.outputs d)
+  let engine = Aig.Sim.Engine.for_domain () in
+  Aig.Sim.Engine.accuracy engine g (Data.Dataset.columns d)
+    (Data.Dataset.outputs d)
 
 let enumerate_to_aig ?(max_inputs = 20) ~num_inputs net =
   if num_inputs > max_inputs then
@@ -55,7 +57,7 @@ let enumerate_to_aig ?(max_inputs = 20) ~num_inputs net =
         in
         Mlp.probability net v >= 0.5)
   in
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   Aig.Graph.set_output g
     (Synth.Lut_synth.lit_of_lut g
        ~inputs:(Array.init num_inputs (Aig.Graph.input g))

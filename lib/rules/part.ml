@@ -118,7 +118,7 @@ let total_literals m =
   List.fold_left (fun acc r -> acc + List.length r.literals) 0 m.rules
 
 let to_aig ~num_inputs m =
-  let g = Aig.Graph.create ~num_inputs in
+  let g = Aig.Graph.create ~num_inputs () in
   let rule_lit r =
     Aig.Graph.and_list g
       (List.map

@@ -17,7 +17,7 @@ let lit_of_cover g inputs cover =
 
 let aig_of_cover ?(complemented = false) cover =
   let n = cover.Sop.Cover.num_vars in
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let inputs = Array.init n (G.input g) in
   let l = lit_of_cover g inputs cover in
   G.set_output g (G.lit_notif l complemented);

@@ -21,7 +21,7 @@ let of_signature s =
         | '0' -> false
         | _ -> invalid_arg "Symmetric.of_signature: expected 0/1")
   in
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let inputs = Array.init n (G.input g) in
   G.set_output g (lit_of_signature g inputs signature);
   g

@@ -10,7 +10,7 @@ let rec lit_of_tree g ~feature_lit tree =
         ~t0:(lit_of_tree g ~feature_lit low)
 
 let aig_of_tree ~num_inputs tree =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   G.set_output g (lit_of_tree g ~feature_lit:(G.input g) tree);
   g
 
@@ -25,7 +25,7 @@ let rec lit_of_feature g inputs feature =
       | Dtree.Fringe.Xor -> G.xor_ g la lb)
 
 let aig_of_fringe_model ~num_inputs (m : Dtree.Fringe.model) =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   let inputs = Array.init num_inputs (G.input g) in
   let feature_lit f = lit_of_feature g inputs m.Dtree.Fringe.features.(f) in
   G.set_output g (lit_of_tree g ~feature_lit m.Dtree.Fringe.tree);

@@ -3,7 +3,9 @@ let word_mask = (1 lsl bits_per_word) - 1
 
 type t = { length : int; words : int array }
 
-let num_words n = (n + bits_per_word - 1) / bits_per_word
+let num_words n =
+  if n < 0 then invalid_arg "Words.num_words: negative length";
+  (n + bits_per_word - 1) / bits_per_word
 
 let create n =
   if n < 0 then invalid_arg "Words.create: negative length";
@@ -49,6 +51,17 @@ let popcount_word w =
   !c
 
 let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let blit_to_array t dst ~pos =
+  Array.blit t.words 0 dst pos (Array.length t.words)
+
+let of_words src ~pos ~length =
+  let t = create length in
+  Array.blit src pos t.words 0 (Array.length t.words);
+  normalize t;
+  t
+
+let word t i = t.words.(i)
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let check_same a b =

@@ -9,6 +9,10 @@ type t
 
 val bits_per_word : int
 
+val num_words : int -> int
+(** [num_words n] is the number of backing words a set of [n] bits
+    occupies — the row stride of flat word arenas ({!Aig.Sim.Engine}). *)
+
 val create : int -> t
 (** [create n] is an all-zero set over [n] elements. *)
 
@@ -22,6 +26,25 @@ val fill : t -> bool -> unit
 (** Set all bits. *)
 
 val popcount : t -> int
+
+val popcount_word : int -> int
+(** Population count of one raw backing word (any [int]); the primitive
+    behind {!popcount}, exposed for fused kernels that count bits straight
+    out of a word arena without materialising a [t]. *)
+
+val blit_to_array : t -> int array -> pos:int -> unit
+(** [blit_to_array t dst ~pos] copies the backing words of [t] into [dst]
+    starting at word index [pos].  [dst] must have room for
+    [num_words (length t)] words at [pos]. *)
+
+val of_words : int array -> pos:int -> length:int -> t
+(** [of_words src ~pos ~length] is a fresh set of [length] bits copied out
+    of the word array [src] at word index [pos].  Bits of the top word
+    beyond [length] are cleared. *)
+
+val word : t -> int -> int
+(** [word t i] is backing word [i] (62 packed bits).  Raises if [i] is out
+    of range of the backing array. *)
 
 val is_empty : t -> bool
 

@@ -5,7 +5,7 @@ let check_bool = Alcotest.(check bool)
 
 (* Build a graph for a named two-input function and check its truth table. *)
 let check_tt name build table =
-  let g = G.create ~num_inputs:2 in
+  let g = G.create ~num_inputs:2 () in
   let a = G.input g 0 and b = G.input g 1 in
   G.set_output g (build g a b);
   List.iteri
@@ -24,7 +24,7 @@ let test_gates () =
   check_tt "xnor" G.xnor_ [ true; false; false; true ]
 
 let test_strashing () =
-  let g = G.create ~num_inputs:2 in
+  let g = G.create ~num_inputs:2 () in
   let a = G.input g 0 and b = G.input g 1 in
   let x = G.and_ g a b in
   let y = G.and_ g b a in
@@ -37,7 +37,7 @@ let test_strashing () =
   check_int "still one node" 1 (G.num_ands g)
 
 let test_mux_levels () =
-  let g = G.create ~num_inputs:3 in
+  let g = G.create ~num_inputs:3 () in
   let s = G.input g 0 and t1 = G.input g 1 and t0 = G.input g 2 in
   G.set_output g (G.mux g ~sel:s ~t1 ~t0);
   for i = 0 to 7 do
@@ -49,7 +49,7 @@ let test_mux_levels () =
 
 let test_and_list_balanced () =
   let n = 64 in
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let inputs = List.init n (G.input g) in
   G.set_output g (G.and_list g inputs);
   check_int "levels log2" 6 (G.levels g);
@@ -60,16 +60,16 @@ let test_and_list_balanced () =
   check_bool "one zero" false (G.eval g almost)
 
 let test_import () =
-  let sub = G.create ~num_inputs:2 in
+  let sub = G.create ~num_inputs:2 () in
   G.set_output sub (G.xor_ sub (G.input sub 0) (G.input sub 1));
-  let g = G.create ~num_inputs:2 in
+  let g = G.create ~num_inputs:2 () in
   let l = G.import g ~src:sub in
   G.set_output g (G.lit_not l);
   check_bool "imported xnor(1,1)" true (G.eval g [| true; true |]);
   check_bool "imported xnor(1,0)" false (G.eval g [| true; false |])
 
 let random_graph st ~num_inputs ~num_nodes =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   let pool = ref (List.init num_inputs (G.input g)) in
   let pick () =
     let l = List.nth !pool (Random.State.int st (List.length !pool)) in
@@ -125,7 +125,7 @@ let test_io_errors () =
   expect_failure "use before definition" "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 2 2\n"
 
 let test_cleanup_drops_dangling () =
-  let g = G.create ~num_inputs:3 in
+  let g = G.create ~num_inputs:3 () in
   let a = G.input g 0 and b = G.input g 1 and c = G.input g 2 in
   let keep = G.and_ g a b in
   let _dangling = G.and_ g (G.and_ g b c) (G.lit_not a) in
@@ -137,7 +137,7 @@ let test_cleanup_drops_dangling () =
   check_bool "function preserved" true (G.eval g' [| true; true; false |])
 
 let test_substitute () =
-  let g = G.create ~num_inputs:2 in
+  let g = G.create ~num_inputs:2 () in
   let a = G.input g 0 and b = G.input g 1 in
   let x = G.and_ g a b in
   G.set_output g (G.or_ g x (G.lit_not a));
@@ -148,7 +148,7 @@ let test_substitute () =
 
 let test_remap_inputs () =
   (* f(x0, x1) = x0 AND NOT x1 lifted to a 5-input space as inputs 3, 1. *)
-  let src = G.create ~num_inputs:2 in
+  let src = G.create ~num_inputs:2 () in
   G.set_output src (G.and_ src (G.input src 0) (G.lit_not (G.input src 1)));
   let lifted =
     Aig.Opt.remap_inputs src ~map:(fun i -> if i = 0 then 3 else 1) ~num_inputs:5
@@ -164,12 +164,12 @@ let test_remap_inputs () =
 
 let test_vote3 () =
   let constant v =
-    let g = G.create ~num_inputs:1 in
+    let g = G.create ~num_inputs:1 () in
     G.set_output g (if v then G.const_true else G.const_false);
     g
   in
   let ident =
-    let g = G.create ~num_inputs:1 in
+    let g = G.create ~num_inputs:1 () in
     G.set_output g (G.input g 0);
     g
   in
@@ -180,7 +180,7 @@ let test_vote3 () =
 let test_approximate_budget () =
   let st = Random.State.make [| 5 |] in
   (* Parity of 16 inputs: every node is in the output cone (45 ANDs). *)
-  let g = G.create ~num_inputs:16 in
+  let g = G.create ~num_inputs:16 () in
   let out =
     List.fold_left (G.xor_ g) G.const_false (List.init 16 (G.input g))
   in
@@ -194,7 +194,7 @@ let test_approximate_budget () =
 let test_approx_keeps_easy_function () =
   (* A single AND of 4 inputs approximated with a generous budget must be
      untouched. *)
-  let g = G.create ~num_inputs:4 in
+  let g = G.create ~num_inputs:4 () in
   G.set_output g (G.and_list g (List.init 4 (G.input g)));
   let st = Random.State.make [| 1 |] in
   let g', stats = Aig.Approx.approximate st g ~budget:10 in
@@ -204,7 +204,7 @@ let test_approx_keeps_easy_function () =
 let test_balance_chain () =
   (* A left-leaning AND chain of 32 literals balances to log depth. *)
   let n = 32 in
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let chain =
     List.fold_left (fun acc i -> G.and_ g acc (G.input g i)) (G.input g 0)
       (List.init (n - 1) (fun i -> i + 1))
@@ -236,7 +236,7 @@ let prop_balance_preserves_function =
 
 let test_multi_output () =
   (* Full adder: sum and carry share logic. *)
-  let g = G.create ~num_inputs:3 in
+  let g = G.create ~num_inputs:3 () in
   let a = G.input g 0 and b = G.input g 1 and cin = G.input g 2 in
   let axb = G.xor_ g a b in
   let sum = G.xor_ g axb cin in
@@ -285,13 +285,150 @@ let prop_import =
     (fun seed ->
       let st = Random.State.make [| seed |] in
       let src = random_graph st ~num_inputs:4 ~num_nodes:20 in
-      let g = G.create ~num_inputs:4 in
+      let g = G.create ~num_inputs:4 () in
       G.set_output g (G.import g ~src);
       List.for_all
         (fun i ->
           let inp = Array.init 4 (fun k -> i lsr k land 1 = 1) in
           G.eval g inp = G.eval src inp)
         (List.init 16 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Simulation engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Aig.Sim.Engine
+
+let prop_engine_matches_simulate =
+  QCheck.Test.make ~count:100 ~name:"engine equals naive simulate/accuracy"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let st = Random.State.make [| 0xe61; seed |] in
+      let num_inputs = 1 + Random.State.int st 6 in
+      let g =
+        random_graph st ~num_inputs ~num_nodes:(1 + Random.State.int st 60)
+      in
+      let n = 1 + Random.State.int st 200 in
+      let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n in
+      let expected = Words.random st n in
+      let e = Engine.create () in
+      Words.equal (Aig.Sim.simulate g columns) (Engine.simulate e g columns)
+      && Aig.Sim.accuracy g columns expected
+         = Engine.accuracy e g columns expected)
+
+let prop_engine_incremental =
+  QCheck.Test.make ~count:100 ~name:"incremental resim equals full resim"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let st = Random.State.make [| 0x17c; seed |] in
+      let num_inputs = 1 + Random.State.int st 5 in
+      let g =
+        random_graph st ~num_inputs ~num_nodes:(1 + Random.State.int st 40)
+      in
+      let n = 1 + Random.State.int st 150 in
+      let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n in
+      let e = Engine.create () in
+      ignore (Engine.simulate e g columns);
+      (* Append new nodes to the already-simulated graph: the next run on
+         the same (graph, columns) pair must take the incremental path and
+         still agree with a from-scratch simulation. *)
+      let pool =
+        ref (List.init num_inputs (G.input g) @ [ G.output g ])
+      in
+      for _ = 1 to 1 + Random.State.int st 20 do
+        let pick () =
+          let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+          G.lit_notif l (Random.State.bool st)
+        in
+        let l = G.and_ g (pick ()) (pick ()) in
+        pool := l :: !pool
+      done;
+      G.set_output g (List.hd !pool);
+      let incr_out = Engine.simulate e g columns in
+      let stats = Engine.stats e in
+      Words.equal incr_out (Aig.Sim.simulate g columns)
+      && stats.Engine.full_runs = 1
+      && stats.Engine.incremental_runs = 1)
+
+let prop_engine_early_exit =
+  QCheck.Test.make ~count:100 ~name:"early-exit disagreement count is exact"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let st = Random.State.make [| 0xee; seed |] in
+      let num_inputs = 1 + Random.State.int st 5 in
+      let g =
+        random_graph st ~num_inputs ~num_nodes:(1 + Random.State.int st 40)
+      in
+      let n = 1 + Random.State.int st 200 in
+      let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n in
+      let expected = Words.random st n in
+      let e = Engine.create () in
+      let exact =
+        match Engine.disagreements e g columns ~expected with
+        | Some d -> d
+        | None -> -1
+      in
+      let limit = Random.State.int st (n + 1) in
+      exact >= 0
+      && exact = Words.popcount (Words.logxor (Aig.Sim.simulate g columns) expected)
+      &&
+      match Engine.disagreements ~limit e g columns ~expected with
+      | Some d -> d = exact && exact <= limit
+      | None -> exact > limit)
+
+let prop_import_skips_unreachable =
+  QCheck.Test.make ~count:100 ~name:"import copies only the reachable cone"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let st = Random.State.make [| 0xdead; seed |] in
+      let src = random_graph st ~num_inputs:4 ~num_nodes:40 in
+      let g = G.create ~num_inputs:4 () in
+      G.set_output g (G.import g ~src);
+      G.num_ands g <= Aig.Opt.size src
+      && List.for_all
+           (fun i ->
+             let inp = Array.init 4 (fun k -> i lsr k land 1 = 1) in
+             G.eval g inp = G.eval src inp)
+           (List.init 16 Fun.id))
+
+let test_strash_stress () =
+  (* Push the open-addressing table through several resizes, then verify
+     every stored pair still dedups to its original node. *)
+  let st = Random.State.make [| 0x5745 |] in
+  let g = random_graph st ~num_inputs:10 ~num_nodes:10_000 in
+  let before = G.num_ands g in
+  let first = 1 + G.num_inputs g in
+  for v = first to first + before - 1 do
+    let f0, f1 = G.fanins g v in
+    check_int "re-AND dedups" (G.lit_of_var v false) (G.and_ g f0 f1)
+  done;
+  check_int "no new nodes" before (G.num_ands g)
+
+let test_size_hint () =
+  let build hint =
+    let g =
+      match hint with
+      | Some size_hint -> G.create ~size_hint ~num_inputs:6 ()
+      | None -> G.create ~num_inputs:6 ()
+    in
+    let st = Random.State.make [| 0x517e |] in
+    let pool = ref (List.init 6 (G.input g)) in
+    for _ = 1 to 500 do
+      let pick () =
+        let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+        G.lit_notif l (Random.State.bool st)
+      in
+      pool := G.and_ g (pick ()) (pick ()) :: !pool
+    done;
+    G.set_output g (List.hd !pool);
+    g
+  in
+  let plain = build None and hinted = build (Some 600) in
+  check_int "same node count" (G.num_ands plain) (G.num_ands hinted);
+  for i = 0 to 63 do
+    let inp = Array.init 6 (fun k -> i lsr k land 1 = 1) in
+    check_bool "same function" (G.eval plain inp) (G.eval hinted inp)
+  done
 
 let suites =
   [ ( "aig",
@@ -310,6 +447,10 @@ let suites =
         Alcotest.test_case "approximate budget" `Quick test_approximate_budget;
         Alcotest.test_case "approximate no-op" `Quick test_approx_keeps_easy_function;
         Alcotest.test_case "balance chain" `Quick test_balance_chain;
-        Alcotest.test_case "multi-output" `Quick test_multi_output ]
+        Alcotest.test_case "multi-output" `Quick test_multi_output;
+        Alcotest.test_case "strash resize stress" `Quick test_strash_stress;
+        Alcotest.test_case "size hint" `Quick test_size_hint ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false)
-          [ prop_cleanup; prop_import; prop_balance_preserves_function ] ) ]
+          [ prop_cleanup; prop_import; prop_balance_preserves_function;
+            prop_engine_matches_simulate; prop_engine_incremental;
+            prop_engine_early_exit; prop_import_skips_unreachable ] ) ]

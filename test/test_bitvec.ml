@@ -137,6 +137,79 @@ let structural_properties =
         && Bitvec.to_int (Bitvec.zero_extend v 80) = a);
   ]
 
+(* Per-bit oracles for the word-level shift/extract/concat paths: the
+   original bit-at-a-time implementations, kept here as references and run
+   on widths spanning several backing words (cross-word carries). *)
+let oracle_shift_left v k =
+  let w = Bitvec.width v in
+  List.fold_left
+    (fun out i ->
+      if i >= k && Bitvec.get v (i - k) then Bitvec.set out i true else out)
+    (Bitvec.zero w)
+    (List.init w Fun.id)
+
+let oracle_shift_right v k =
+  let w = Bitvec.width v in
+  List.fold_left
+    (fun out i ->
+      if i + k < w && Bitvec.get v (i + k) then Bitvec.set out i true else out)
+    (Bitvec.zero w)
+    (List.init w Fun.id)
+
+let oracle_extract v ~lo ~len =
+  List.fold_left
+    (fun out i ->
+      if Bitvec.get v (lo + i) then Bitvec.set out i true else out)
+    (Bitvec.zero len)
+    (List.init len Fun.id)
+
+let oracle_concat ~hi ~lo =
+  let wl = Bitvec.width lo in
+  let out = Bitvec.zero (Bitvec.width hi + wl) in
+  let out =
+    List.fold_left
+      (fun out i -> if Bitvec.get lo i then Bitvec.set out i true else out)
+      out
+      (List.init wl Fun.id)
+  in
+  List.fold_left
+    (fun out i ->
+      if Bitvec.get hi i then Bitvec.set out (wl + i) true else out)
+    out
+    (List.init (Bitvec.width hi) Fun.id)
+
+let wide_arb =
+  (* (seed, width in 1..130): random vectors spanning 1-3 backing words. *)
+  QCheck.make
+    ~print:(fun (s, w) -> Printf.sprintf "seed=%d width=%d" s w)
+    QCheck.Gen.(pair (int_bound 10_000) (int_range 1 130))
+
+let wide_of (seed, w) = Bitvec.random (Random.State.make [| 0xb17; seed |]) w
+
+let word_level_properties =
+  [ prop "shift_left matches per-bit oracle"
+      (QCheck.pair wide_arb (QCheck.int_range 0 140))
+      (fun (sw, k) ->
+        let v = wide_of sw in
+        Bitvec.equal (Bitvec.shift_left v k) (oracle_shift_left v k));
+    prop "shift_right matches per-bit oracle"
+      (QCheck.pair wide_arb (QCheck.int_range 0 140))
+      (fun (sw, k) ->
+        let v = wide_of sw in
+        Bitvec.equal (Bitvec.shift_right v k) (oracle_shift_right v k));
+    prop "extract matches per-bit oracle"
+      (QCheck.pair wide_arb (QCheck.pair (QCheck.int_range 0 129) (QCheck.int_range 0 130)))
+      (fun (sw, (lo, len)) ->
+        let v = wide_of sw in
+        let lo = min lo (Bitvec.width v - 1) in
+        let len = min len (Bitvec.width v - lo) in
+        Bitvec.equal (Bitvec.extract v ~lo ~len) (oracle_extract v ~lo ~len));
+    prop "concat matches per-bit oracle" (QCheck.pair wide_arb wide_arb)
+      (fun (sa, sb) ->
+        let hi = wide_of sa and lo = wide_of sb in
+        Bitvec.equal (Bitvec.concat ~hi ~lo) (oracle_concat ~hi ~lo));
+  ]
+
 let suites =
   [ ( "bitvec",
       [ Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
@@ -148,5 +221,5 @@ let suites =
         Alcotest.test_case "isqrt exact" `Quick test_isqrt_exact;
         Alcotest.test_case "errors" `Quick test_errors ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false)
-          (properties @ structural_properties) ) ]
+          (properties @ structural_properties @ word_level_properties) ) ]
 

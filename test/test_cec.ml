@@ -10,7 +10,7 @@ let result_name = function
 let check_proved name r = Alcotest.(check string) name "proved" (result_name r)
 
 let random_graph st ~num_inputs ~num_nodes =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   let pool = ref (List.init num_inputs (G.input g)) in
   let pick () =
     let l = List.nth !pool (Random.State.int st (List.length !pool)) in
@@ -26,19 +26,19 @@ let random_graph st ~num_inputs ~num_nodes =
 (* ---- miter basics ---- *)
 
 let test_xor_two_ways () =
-  let g1 = G.create ~num_inputs:2 in
+  let g1 = G.create ~num_inputs:2 () in
   G.set_output g1 (G.xor_ g1 (G.input g1 0) (G.input g1 1));
   (* The same function built differently: (a OR b) AND NOT (a AND b). *)
-  let g2 = G.create ~num_inputs:2 in
+  let g2 = G.create ~num_inputs:2 () in
   let a = G.input g2 0 and b = G.input g2 1 in
   G.set_output g2
     (G.and_ g2 (G.or_ g2 a b) (G.lit_not (G.and_ g2 a b)));
   check_proved "xor two ways" (Cec.equivalent g1 g2)
 
 let test_counterexample () =
-  let g1 = G.create ~num_inputs:2 in
+  let g1 = G.create ~num_inputs:2 () in
   G.set_output g1 (G.and_ g1 (G.input g1 0) (G.input g1 1));
-  let g2 = G.create ~num_inputs:2 in
+  let g2 = G.create ~num_inputs:2 () in
   G.set_output g2 (G.or_ g2 (G.input g2 0) (G.input g2 1));
   match Cec.equivalent g1 g2 with
   | Cec.Counterexample cex ->
@@ -52,9 +52,9 @@ let test_counterexample () =
   | r -> Alcotest.failf "expected counterexample, got %s" (result_name r)
 
 let test_constant_cases () =
-  let g1 = G.create ~num_inputs:3 in
+  let g1 = G.create ~num_inputs:3 () in
   G.set_output g1 G.const_true;
-  let g2 = G.create ~num_inputs:3 in
+  let g2 = G.create ~num_inputs:3 () in
   let a = G.input g2 0 in
   G.set_output g2 (G.or_ g2 a (G.lit_not a));
   check_proved "tautology vs constant" (Cec.equivalent g1 g2);
@@ -65,13 +65,13 @@ let test_constant_cases () =
   | r -> Alcotest.failf "expected counterexample, got %s" (result_name r));
   check_bool "input count mismatch rejected" true
     (try
-       ignore (Cec.equivalent g1 (G.create ~num_inputs:2));
+       ignore (Cec.equivalent g1 (G.create ~num_inputs:2 ()));
        false
      with Invalid_argument _ -> true)
 
 let test_multi_output () =
   let mk build =
-    let g = G.create ~num_inputs:3 in
+    let g = G.create ~num_inputs:3 () in
     let a = G.input g 0 and b = G.input g 1 and c = G.input g 2 in
     let outs = build g a b c in
     Aig.Multi.create g (Array.of_list outs)
@@ -142,7 +142,7 @@ let mux_of_rewrites st ~num_inputs =
      the mux, which structural hashing alone cannot. *)
   let cone = random_graph st ~num_inputs ~num_nodes:(4 * num_inputs) in
   let bal = Aig.Opt.balance cone in
-  let g = G.create ~num_inputs:(num_inputs + 1) in
+  let g = G.create ~num_inputs:(num_inputs + 1) () in
   let shift src =
     G.import g
       ~src:
@@ -219,7 +219,7 @@ let test_substitute_many_preserves () =
          original, and substituting the redundant node by the input is
          exactly the rewrite [substitute_many] promises to do safely. *)
       let n = G.num_inputs g in
-      let h = G.create ~num_inputs:n in
+      let h = G.create ~num_inputs:n () in
       let o = G.import h ~src:g in
       let a = G.input h 0 and b = G.input h 1 in
       let red =
@@ -257,19 +257,19 @@ let test_arith_backends () =
   (* Borrow-out of a subtractor and the dedicated comparator are two
      independent constructions of unsigned a < b (24 inputs). *)
   let width = 12 in
-  let g1 = G.create ~num_inputs:(2 * width) in
+  let g1 = G.create ~num_inputs:(2 * width) () in
   let a = word g1 ~base:0 ~width and b = word g1 ~base:width ~width in
   let _, borrow = Synth.Arith.subtractor g1 a b in
   G.set_output g1 borrow;
-  let g2 = G.create ~num_inputs:(2 * width) in
+  let g2 = G.create ~num_inputs:(2 * width) () in
   let a = word g2 ~base:0 ~width and b = word g2 ~base:width ~width in
   G.set_output g2 (Synth.Arith.less_than g2 a b);
   prove "subtractor borrow vs less_than" g1 g2;
   (* equals_const against a hand-built conjunction (22 inputs). *)
   let k = 0x2A9F55 land ((1 lsl 22) - 1) in
-  let g3 = G.create ~num_inputs:22 in
+  let g3 = G.create ~num_inputs:22 () in
   G.set_output g3 (Synth.Arith.equals_const g3 (word g3 ~base:0 ~width:22) k);
-  let g4 = G.create ~num_inputs:22 in
+  let g4 = G.create ~num_inputs:22 () in
   G.set_output g4
     (G.and_list g4
        (List.init 22 (fun i ->
@@ -280,7 +280,7 @@ let test_lut_parity_backends () =
   (* A 4-input XOR LUT composed with the parity of the remaining bits must
      equal the parity of all 22 bits. *)
   let n = 22 in
-  let g1 = G.create ~num_inputs:n in
+  let g1 = G.create ~num_inputs:n () in
   let lut_inputs = Array.init 4 (G.input g1) in
   let truth =
     Array.init 16 (fun i ->
@@ -293,7 +293,7 @@ let test_lut_parity_backends () =
     Synth.Arith.parity g1 (Array.init (n - 4) (fun i -> G.input g1 (4 + i)))
   in
   G.set_output g1 (G.xor_ g1 lut rest);
-  let g2 = G.create ~num_inputs:n in
+  let g2 = G.create ~num_inputs:n () in
   G.set_output g2 (Synth.Arith.parity g2 (Array.init n (G.input g2)));
   prove "lut xor4 + parity vs parity" g1 g2
 
@@ -302,14 +302,14 @@ let test_majority_backends () =
      symmetric-signature builder, and popcount + threshold. *)
   let n = 21 in
   let threshold = (n / 2) + 1 in
-  let g1 = G.create ~num_inputs:n in
+  let g1 = G.create ~num_inputs:n () in
   G.set_output g1 (Synth.Majority.majority g1 (List.init n (G.input g1)));
-  let g2 = G.create ~num_inputs:n in
+  let g2 = G.create ~num_inputs:n () in
   let signature = Array.init (n + 1) (fun c -> c >= threshold) in
   G.set_output g2
     (Synth.Symmetric.lit_of_signature g2 (Array.init n (G.input g2)) signature);
   prove "majority vs symmetric signature" g1 g2;
-  let g3 = G.create ~num_inputs:n in
+  let g3 = G.create ~num_inputs:n () in
   let pc = Synth.Arith.popcount g3 (Array.init n (G.input g3)) in
   let const_word k =
     Array.init (Array.length pc) (fun i ->
@@ -330,7 +330,7 @@ let test_sop_backend () =
   let c2 = cube [ (3, '0'); (10, '1') ] in
   let cover = Sop.Cover.of_strings [ c1; c2 ] in
   let g1 = Synth.Sop_synth.aig_of_cover cover in
-  let g2 = G.create ~num_inputs:n in
+  let g2 = G.create ~num_inputs:n () in
   let x i = G.input g2 i in
   G.set_output g2
     (G.or_ g2
@@ -357,7 +357,7 @@ let test_tree_backend () =
   in
   let tree = build 5 1 in
   let g1 = Synth.Tree_synth.aig_of_tree ~num_inputs:n tree in
-  let g2 = G.create ~num_inputs:n in
+  let g2 = G.create ~num_inputs:n () in
   let rec lit_of = function
     | Dtree.Tree.Leaf true -> G.const_true
     | Dtree.Tree.Leaf false -> G.const_false

@@ -26,7 +26,7 @@ let test_xaig_learns_xor () =
 let test_bootstrap_preserves_seed_function () =
   (* A genome bootstrapped from an AIG computes the same function before
      any evolution. *)
-  let g = Aig.Graph.create ~num_inputs:4 in
+  let g = Aig.Graph.create ~num_inputs:4 () in
   let x = Array.init 4 (Aig.Graph.input g) in
   Aig.Graph.set_output g
     (Aig.Graph.or_ g (Aig.Graph.and_ g x.(0) x.(1)) (Aig.Graph.xor_ g x.(2) x.(3)));

@@ -7,7 +7,7 @@ let bits_of_int n v = Array.init n (fun k -> v lsr k land 1 = 1)
 
 (* Compare an AIG builder against a Bitvec oracle on random inputs. *)
 let check_against_oracle ~name ~num_inputs ~samples build oracle =
-  let g = G.create ~num_inputs in
+  let g = G.create ~num_inputs () in
   G.set_output g (build g);
   let st = Random.State.make [| Hashtbl.hash name |] in
   for _ = 1 to samples do
@@ -63,7 +63,7 @@ let test_multiplier_vs_bitvec () =
 
 let test_divider_vs_bitvec () =
   let k = 6 in
-  let g = G.create ~num_inputs:(2 * k) in
+  let g = G.create ~num_inputs:(2 * k) () in
   let a = Array.init k (G.input g) and b = Array.init k (fun i -> G.input g (k + i)) in
   let quotient, remainder = Synth.Arith.divider g a b in
   let st = Random.State.make [| 61 |] in
@@ -89,7 +89,7 @@ let test_divider_vs_bitvec () =
 let test_square_root_vs_bitvec () =
   List.iter
     (fun k ->
-      let g = G.create ~num_inputs:k in
+      let g = G.create ~num_inputs:k () in
       let root = Synth.Arith.square_root g (Array.init k (G.input g)) in
       check_int "root width" ((k + 1) / 2) (Array.length root);
       for v = 0 to (1 lsl k) - 1 do
@@ -112,7 +112,7 @@ let test_parity_popcount_equals () =
     (fun g -> Synth.Arith.parity g (Array.init n (G.input g)))
     (fun bits -> Array.fold_left ( <> ) false bits);
   (* popcount: verify every output bit. *)
-  let g = G.create ~num_inputs:n in
+  let g = G.create ~num_inputs:n () in
   let count = Synth.Arith.popcount g (Array.init n (G.input g)) in
   check_int "popcount width" 4 (Array.length count);
   for v = 0 to (1 lsl n) - 1 do
@@ -126,7 +126,7 @@ let test_parity_popcount_equals () =
   done
 
 let test_equals_const () =
-  let g = G.create ~num_inputs:4 in
+  let g = G.create ~num_inputs:4 () in
   let word = Array.init 4 (G.input g) in
   G.set_output g (Synth.Arith.equals_const g word 5);
   for v = 0 to 15 do
@@ -138,7 +138,7 @@ let test_equals_const () =
 let test_majority_exact () =
   List.iter
     (fun n ->
-      let g = G.create ~num_inputs:n in
+      let g = G.create ~num_inputs:n () in
       G.set_output g (Synth.Majority.majority g (List.init n (G.input g)));
       for v = 0 to (1 lsl n) - 1 do
         let bits = bits_of_int n v in
@@ -151,7 +151,7 @@ let test_majority_exact () =
     [ 1; 3; 5; 7; 9 ]
 
 let test_majority5_tree_structure () =
-  let g = G.create ~num_inputs:125 in
+  let g = G.create ~num_inputs:125 () in
   let lits = Array.init 125 (G.input g) in
   G.set_output g (Synth.Majority.majority5_tree g lits);
   (* Unanimous inputs must decide the vote at every layer. *)
@@ -188,7 +188,7 @@ let test_lut_synthesis () =
   for _ = 1 to 30 do
     let k = 1 + Random.State.int st 5 in
     let truth = Array.init (1 lsl k) (fun _ -> Random.State.bool st) in
-    let g = G.create ~num_inputs:k in
+    let g = G.create ~num_inputs:k () in
     G.set_output g
       (Synth.Lut_synth.lit_of_lut g ~inputs:(Array.init k (G.input g)) ~truth);
     for v = 0 to (1 lsl k) - 1 do
