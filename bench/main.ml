@@ -241,6 +241,46 @@ let incremental_refresh_loop ~rounds =
 
 let speedup_of r = if r.engine_ns > 0.0 then r.naive_ns /. r.engine_ns else 0.0
 
+(* ------------------------------------------------------------------ *)
+(* Per-phase GC accounting (Gc.quick_stat deltas around each stage)     *)
+(* ------------------------------------------------------------------ *)
+
+type gc_sample = {
+  gc_phase : string;
+  gc_wall_s : float;
+  gc_minor : int;
+  gc_major : int;
+  gc_top_heap_words : int;  (* process peak up to the end of the phase *)
+}
+
+let with_gc phase f =
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    {
+      gc_phase = phase;
+      gc_wall_s = wall;
+      gc_minor = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      gc_major = s1.Gc.major_collections - s0.Gc.major_collections;
+      gc_top_heap_words = s1.Gc.top_heap_words;
+    } )
+
+let gc_section samples =
+  Contest.Report.heading "GC per phase (Gc.quick_stat deltas)";
+  Contest.Report.table
+    ~header:[ "phase"; "wall (s)"; "minor"; "major"; "top heap words" ]
+    (List.map
+       (fun g ->
+         [ g.gc_phase;
+           Printf.sprintf "%.2f" g.gc_wall_s;
+           string_of_int g.gc_minor;
+           string_of_int g.gc_major;
+           string_of_int g.gc_top_heap_words ])
+       samples)
+
 let engine_loops ~quick () =
   Contest.Report.heading "Repeated-evaluation loops (naive vs engine)";
   let loops =
@@ -280,10 +320,10 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
-let write_bench_json path ~mode ~seed ~kernels ~loops ~suite_wall_s =
+let write_bench_json path ~mode ~seed ~kernels ~loops ~gc ~suite_wall_s =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lsml-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"lsml-bench/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
   Buffer.add_string buf "  \"kernels\": [\n";
@@ -307,6 +347,19 @@ let write_bench_json path ~mode ~seed ~kernels ~loops ~suite_wall_s =
            (json_float (speedup_of r))
            (if i = List.length loops - 1 then "" else ",")))
     loops;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"gc\": [\n";
+  List.iteri
+    (fun i g ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"phase\": \"%s\", \"wall_s\": %s, \"minor_collections\": \
+            %d, \"major_collections\": %d, \"top_heap_words\": %d}%s\n"
+           (json_escape g.gc_phase)
+           (json_float g.gc_wall_s)
+           g.gc_minor g.gc_major g.gc_top_heap_words
+           (if i = List.length gc - 1 then "" else ",")))
+    gc;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"suite_wall_s\": %s\n" (json_float suite_wall_s));
@@ -493,20 +546,23 @@ let () =
       end)
     selected;
   if perf_only || quick || json_path <> None then begin
-    let kernels = perf ~quick () in
-    let loops = engine_loops ~quick () in
-    let suite_wall_s =
-      if quick then quick_suite_wall ()
-      else begin
-        sat_sweep_perf ();
-        parallel_scaling ~jobs ()
-      end
+    let kernels, gc_kernels = with_gc "kernels" (fun () -> perf ~quick ()) in
+    let loops, gc_loops = with_gc "loops" (fun () -> engine_loops ~quick ()) in
+    let suite_wall_s, gc_suite =
+      with_gc "suite" (fun () ->
+          if quick then quick_suite_wall ()
+          else begin
+            sat_sweep_perf ();
+            parallel_scaling ~jobs ()
+          end)
     in
+    let gc = [ gc_kernels; gc_loops; gc_suite ] in
+    gc_section gc;
     Option.iter
       (fun path ->
         write_bench_json path
           ~mode:(if quick then "quick" else "perf")
-          ~seed ~kernels ~loops ~suite_wall_s)
+          ~seed ~kernels ~loops ~gc ~suite_wall_s)
       json_path
   end
   else begin

@@ -25,6 +25,27 @@ let read_aag path =
   try Aig.Io.read_file path
   with Aig.Io.Parse_error { line; msg } -> parse_error_exit path line msg
 
+(* Telemetry export helpers shared by solve/suite.  Notices go to stderr:
+   report bytes on stdout must be identical with and without telemetry. *)
+let write_trace_notice path =
+  Telemetry.write_trace path;
+  Printf.eprintf "trace written to %s (open in https://ui.perfetto.dev)\n%!"
+    path
+
+let write_metrics_notice path =
+  Telemetry.write_metrics path;
+  Printf.eprintf "metrics written to %s\n%!" path
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "trace.json") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an instrumentation timeline of the run and write it to \
+           $(docv) (default trace.json) in Chrome trace_event JSON; open \
+           it in https://ui.perfetto.dev or chrome://tracing.")
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -91,12 +112,13 @@ let sweep_flag =
            reduction) before writing it.")
 
 let solve_cmd =
-  let run team train valid out sweep =
+  let run team train valid out sweep trace =
     match solver_of_name team with
     | None ->
         Printf.eprintf "unknown team %s\n" team;
         exit 2
     | Some solver ->
+        if trace <> None then Telemetry.enable ();
         let train = Data.Pla.to_dataset (read_pla train) in
         let valid = Data.Pla.to_dataset (read_pla valid) in
         (* Wrap the PLA data as an instance; the solver never reads the
@@ -126,7 +148,8 @@ let solve_cmd =
           r.Contest.Solver.technique (Aig.Graph.num_ands aig)
           (Aig.Graph.levels aig)
           (Contest.Solver.evaluate aig valid)
-          out
+          out;
+        Option.iter write_trace_notice trace
   in
   Cmd.v
     (Cmd.info "solve"
@@ -136,7 +159,7 @@ let solve_cmd =
       $ pla_arg "train" "Training set (PLA)."
       $ pla_arg "valid" "Validation set (PLA)."
       $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG.")
-      $ sweep_flag)
+      $ sweep_flag $ trace_arg)
 
 (* ---- eval ---- *)
 
@@ -170,7 +193,7 @@ let aag_pos n docv doc =
   Arg.(required & pos n (some file) None & info [] ~docv ~doc)
 
 let verify_cmd =
-  let run a b limit =
+  let run a b limit verbose =
     let ga = read_aag a in
     let gb = read_aag b in
     if Aig.Graph.num_inputs ga <> Aig.Graph.num_inputs gb then begin
@@ -178,7 +201,14 @@ let verify_cmd =
         (Aig.Graph.num_inputs ga) b (Aig.Graph.num_inputs gb);
       exit 2
     end;
-    match Cec.equivalent ~conflict_limit:limit ga gb with
+    let result, st = Cec.equivalent_stats ~conflict_limit:limit ga gb in
+    if verbose then
+      Printf.printf
+        "sat: decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n"
+        st.Sat.Solver.decisions st.Sat.Solver.conflicts
+        st.Sat.Solver.propagations st.Sat.Solver.restarts
+        st.Sat.Solver.learned;
+    match result with
     | Cec.Proved ->
         Printf.printf "equivalent\n";
         exit 0
@@ -205,7 +235,15 @@ let verify_cmd =
       $ aag_pos 1 "B.aag" "Second circuit."
       $ Arg.(
           value & opt int 500_000
-          & info [ "conflicts" ] ~docv:"N" ~doc:"SAT conflict limit."))
+          & info [ "conflicts" ] ~docv:"N" ~doc:"SAT conflict limit.")
+      $ Arg.(
+          value & flag
+          & info [ "verbose" ]
+              ~doc:
+                "Also print the SAT solver's work statistics (decisions, \
+                 conflicts, propagations, restarts, learned clauses).  \
+                 All-zero stats mean structural hashing settled the \
+                 question without a SAT call."))
 
 (* ---- sweep ---- *)
 
@@ -380,12 +418,55 @@ let resume_arg =
            instead of re-running them.  The journal's configuration \
            fingerprint must match this invocation's.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "metrics.prom") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write run counters and histograms (SAT, engine, pool, espresso, \
+           guard, GC) to $(docv) (default metrics.prom) in Prometheus text \
+           format.")
+
+let perf_arg =
+  Arg.(
+    value & flag
+    & info [ "perf" ]
+        ~doc:
+          "Print a per-phase GC section after the report: wall time, \
+           minor/major collections, and peak heap words per suite phase.")
+
+(* The --perf GC section, built from the "phase" spans run_suite records:
+   each carries its GC deltas (via Gc.quick_stat) as span args. *)
+let print_gc_section () =
+  let phases =
+    List.filter
+      (fun (s : Telemetry.span_record) -> s.Telemetry.span_cat = "phase")
+      (Telemetry.spans ())
+  in
+  print_endline "\nGC per phase:";
+  Printf.printf "  %-18s %10s %10s %8s %16s\n" "phase" "wall (s)" "minor"
+    "major" "top heap words";
+  List.iter
+    (fun (s : Telemetry.span_record) ->
+      let arg name =
+        match List.assoc_opt name s.Telemetry.span_args with
+        | Some (Telemetry.Int i) -> string_of_int i
+        | _ -> "-"
+      in
+      Printf.printf "  %-18s %10.2f %10s %8s %16s\n" s.Telemetry.span_name
+        (s.Telemetry.span_dur /. 1e6)
+        (arg "gc_minor") (arg "gc_major") (arg "top_heap_words"))
+    phases
+
 let suite_cmd =
-  let run ids teams full seed jobs time_limit fuel journal resume =
+  let run ids teams full seed jobs time_limit fuel journal resume trace
+      metrics perf =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
     end;
+    if trace <> None || metrics <> None || perf then Telemetry.enable ();
     let teams =
       match teams with
       | None -> Contest.Teams.all
@@ -433,7 +514,10 @@ let suite_cmd =
         config
     in
     Contest.Experiments.table3 run;
-    Contest.Experiments.failure_summary run
+    Contest.Experiments.failure_summary run;
+    if perf then print_gc_section ();
+    Option.iter write_trace_notice trace;
+    Option.iter write_metrics_notice metrics
   in
   Cmd.v
     (Cmd.info "suite"
@@ -444,10 +528,13 @@ let suite_cmd =
           degrades its own row to the constant-function fallback instead \
           of aborting the run.  With $(b,--journal) the run checkpoints \
           after every row and $(b,--resume) continues an interrupted run \
-          byte-identically.")
+          byte-identically.  $(b,--trace) and $(b,--metrics) record and \
+          export an instrumentation timeline and counters; recording off \
+          (the default) leaves the report byte-identical.")
     Term.(
       const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg
-      $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg)
+      $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg $ trace_arg
+      $ metrics_arg $ perf_arg)
 
 (* ---- run (end to end) ---- *)
 

@@ -88,8 +88,18 @@ let approximate_once ?(num_patterns = 1024) ?patterns ?(protect_levels = 4)
       replacements = !replacements;
     } )
 
+let c_replacements = Telemetry.counter "approx.replacements"
+
 let approximate ?num_patterns ?patterns ?(protect_levels = 4) ?batch_divisor st
     g ~budget =
+  Telemetry.span_ret ~cat:"aig" "approx"
+    ~args:(fun (result, stats) ->
+      [
+        ("before", Telemetry.Int stats.nodes_before);
+        ("after", Telemetry.Int (Graph.num_ands result));
+        ("replacements", Telemetry.Int stats.replacements);
+      ])
+  @@ fun () ->
   (* The paper's threshold on levels is "explored through try and error" to
      keep the output from collapsing to a constant; reproduce that search:
      retry with more protected levels while the result degenerates and a
@@ -114,4 +124,6 @@ let approximate ?num_patterns ?patterns ?(protect_levels = 4) ?batch_divisor st
       | Some fallback -> fallback
       | None -> (result, stats)
   in
-  attempt protect_levels 4
+  let ((_, stats) as r) = attempt protect_levels 4 in
+  Telemetry.add c_replacements stats.replacements;
+  r

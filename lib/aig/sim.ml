@@ -58,6 +58,10 @@ let accuracy g columns expected =
 
 module Engine = struct
   let word_mask = (1 lsl Words.bits_per_word) - 1
+  let c_full_runs = Telemetry.counter "engine.full_runs"
+  let c_incremental_runs = Telemetry.counter "engine.incremental_runs"
+  let c_words_simulated = Telemetry.counter "engine.words_simulated"
+  let c_early_exits = Telemetry.counter "engine.early_exits"
 
   type stats = {
     full_runs : int;
@@ -167,9 +171,11 @@ module Engine = struct
         ensure_capacity e (Graph.num_vars g * e.wpc) ~preserve:true;
         sim_ands e g ~from:e.watermark;
         e.ands_simulated <- e.ands_simulated + (n_ands - e.watermark);
+        Telemetry.add c_words_simulated ((n_ands - e.watermark) * e.wpc);
         e.watermark <- n_ands
       end;
-      e.incremental_runs <- e.incremental_runs + 1
+      e.incremental_runs <- e.incremental_runs + 1;
+      Telemetry.incr c_incremental_runs
     end
     else begin
       e.bound <- false;
@@ -186,7 +192,9 @@ module Engine = struct
       e.watermark <- n_ands;
       e.bound <- true;
       e.full_runs <- e.full_runs + 1;
-      e.ands_simulated <- e.ands_simulated + n_ands
+      e.ands_simulated <- e.ands_simulated + n_ands;
+      Telemetry.incr c_full_runs;
+      Telemetry.add c_words_simulated (n_ands * e.wpc)
     end
 
   let num_patterns e = e.n
@@ -245,7 +253,11 @@ module Engine = struct
       d := !d + Words.popcount_word (ow lxor Array.unsafe_get scratch !k);
       incr k
     done;
-    if !d > limit then None else Some !d
+    if !d > limit then begin
+      Telemetry.incr c_early_exits;
+      None
+    end
+    else Some !d
 
   let accuracy e g columns expected =
     match disagreements e g columns ~expected with

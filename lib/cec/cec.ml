@@ -59,19 +59,37 @@ let encode solver g =
 (* Miter-based equivalence                                             *)
 (* ------------------------------------------------------------------ *)
 
-let prove_miter ~conflict_limit m xlit =
+(* The stats of an equivalence check whose miter folded away during
+   strashing: no SAT call happened. *)
+let zero_stats =
+  {
+    S.decisions = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+  }
+
+let prove_miter_stats ~conflict_limit m xlit =
   G.set_output m xlit;
   let solver = S.create () in
   let sat, input_vars = encode solver m in
   S.add_clause solver
     [ S.lit_of_var sat.(G.var_of_lit xlit) (G.is_complemented xlit) ];
-  match S.solve ~conflict_limit solver with
-  | S.Unsat -> Proved
-  | S.Sat -> Counterexample (Array.map (S.value solver) input_vars)
-  | S.Unknown ->
-      Unknown (Printf.sprintf "SAT conflict limit (%d) exceeded" conflict_limit)
+  let r =
+    match S.solve ~conflict_limit solver with
+    | S.Unsat -> Proved
+    | S.Sat -> Counterexample (Array.map (S.value solver) input_vars)
+    | S.Unknown ->
+        Unknown
+          (Printf.sprintf "SAT conflict limit (%d) exceeded" conflict_limit)
+  in
+  (r, S.stats solver)
 
-let equivalent ?(conflict_limit = 500_000) g1 g2 =
+let prove_miter ~conflict_limit m xlit =
+  fst (prove_miter_stats ~conflict_limit m xlit)
+
+let equivalent_stats ?(conflict_limit = 500_000) g1 g2 =
   if G.num_inputs g1 <> G.num_inputs g2 then
     invalid_arg "Cec.equivalent: input count mismatch";
   let n = G.num_inputs g1 in
@@ -83,9 +101,12 @@ let equivalent ?(conflict_limit = 500_000) g1 g2 =
   let o1 = G.import m ~src:g1 in
   let o2 = G.import m ~src:g2 in
   let x = G.xor_ m o1 o2 in
-  if x = G.const_false then Proved
-  else if x = G.const_true then Counterexample (Array.make n false)
-  else prove_miter ~conflict_limit m x
+  if x = G.const_false then (Proved, zero_stats)
+  else if x = G.const_true then (Counterexample (Array.make n false), zero_stats)
+  else prove_miter_stats ~conflict_limit m x
+
+let equivalent ?conflict_limit g1 g2 =
+  fst (equivalent_stats ?conflict_limit g1 g2)
 
 let import_outputs m (mo : Aig.Multi.t) =
   let g = mo.Aig.Multi.graph in

@@ -23,6 +23,12 @@ val equivalent : ?conflict_limit:int -> Aig.Graph.t -> Aig.Graph.t -> result
     [conflict_limit] (default 500_000) bounds the SAT effort before
     answering [Unknown]. *)
 
+val equivalent_stats :
+  ?conflict_limit:int -> Aig.Graph.t -> Aig.Graph.t -> result * Sat.Solver.stats
+(** {!equivalent} plus the SAT effort the proof took.  All-zero stats
+    mean the miter folded to a constant during strashing and no SAT call
+    was needed. *)
+
 val equivalent_multi : ?conflict_limit:int -> Aig.Multi.t -> Aig.Multi.t -> result
 (** Multi-output equivalence: the miter ORs one XOR per output pair; a
     counterexample distinguishes at least one output. *)

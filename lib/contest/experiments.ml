@@ -59,9 +59,17 @@ let solve_one_guarded ~progress ?time_limit ?fuel ?journal (solver : Solver.t)
   | None ->
       let t0 = Unix.gettimeofday () in
       let g = Solver.solve_guarded ?time_limit ?fuel ~key solver inst in
+      (* Wall time is recorded only on degraded rows: failure_summary
+         reports the time lost to crashes/timeouts, while clean rows keep
+         wall_s = 0.0 so reports stay bit-identical across runs (the
+         jobs=1 vs jobs=N and resume identity invariants). *)
+      let degraded =
+        g.Solver.timeouts > 0 || g.Solver.crashes > 0 || g.Solver.fell_back
+      in
+      let wall_s = if degraded then Unix.gettimeofday () -. t0 else 0.0 in
       let m =
         Score.measure ~timeouts:g.Solver.timeouts ~crashes:g.Solver.crashes
-          ~fell_back:g.Solver.fell_back inst g.Solver.result
+          ~fell_back:g.Solver.fell_back ~wall_s inst g.Solver.result
       in
       if progress then
         Printf.eprintf "[run] %-7s %s  acc=%.3f gates=%d%s  (%.1fs)\n%!"
@@ -77,9 +85,42 @@ let solve_one_guarded ~progress ?time_limit ?fuel ?journal (solver : Solver.t)
       | None -> ());
       m
 
+let c_gc_minor = Telemetry.counter "gc.minor_collections"
+let c_gc_major = Telemetry.counter "gc.major_collections"
+
+(* Phase spans carry this phase's GC work as args (minor/major collection
+   deltas and the process peak heap) and feed the same deltas into the gc
+   counters.  Their args are inherently nondeterministic, so the
+   determinism tests compare traces with the "phase" category excluded. *)
+let phase_span name f =
+  if not (Telemetry.enabled ()) then f ()
+  else begin
+    let s0 = Gc.quick_stat () in
+    let r =
+      Telemetry.span_ret ~cat:"phase" name
+        ~args:(fun _ ->
+          let s1 = Gc.quick_stat () in
+          [
+            ( "gc_minor",
+              Telemetry.Int (s1.Gc.minor_collections - s0.Gc.minor_collections)
+            );
+            ( "gc_major",
+              Telemetry.Int (s1.Gc.major_collections - s0.Gc.major_collections)
+            );
+            ("top_heap_words", Telemetry.Int s1.Gc.top_heap_words);
+          ])
+        f
+    in
+    let s1 = Gc.quick_stat () in
+    Telemetry.add c_gc_minor (s1.Gc.minor_collections - s0.Gc.minor_collections);
+    Telemetry.add c_gc_major (s1.Gc.major_collections - s0.Gc.major_collections);
+    r
+  end
+
 let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
     ?fuel ?journal config =
-  let instances = instances_of config in
+  phase_span "suite" @@ fun () ->
+  let instances = phase_span "suite.instantiate" (fun () -> instances_of config) in
   (* Every (team, benchmark) solve is an independent task; results land in
      slots keyed by task index, so the report rows come out in canonical
      team-then-benchmark order for any [jobs] count. *)
@@ -89,11 +130,22 @@ let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
          (fun solver -> List.map (fun inst -> (solver, inst)) instances)
          teams)
   in
+  (* Per-task elapsed seconds, written by each worker into its own slot.
+     Only read for tasks that died outside the guard (the [Error] branch
+     below), where no other timing survives the crash. *)
+  let task_wall = Array.make (Array.length tasks) 0.0 in
   let outcomes =
+    phase_span "suite.solve" @@ fun () ->
     Parallel.Pool.with_pool ~jobs (fun pool ->
         Parallel.Pool.run_isolated pool ~n:(Array.length tasks) (fun i ->
             let solver, inst = tasks.(i) in
-            solve_one_guarded ~progress ?time_limit ?fuel ?journal solver inst))
+            let t0 = Unix.gettimeofday () in
+            Fun.protect
+              ~finally:(fun () ->
+                task_wall.(i) <- Unix.gettimeofday () -. t0)
+              (fun () ->
+                solve_one_guarded ~progress ?time_limit ?fuel ?journal solver
+                  inst)))
   in
   let metrics =
     Array.mapi
@@ -118,7 +170,8 @@ let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
             | Some m -> m
             | None ->
                 let m =
-                  Score.measure ~crashes:1 ~fell_back:true inst
+                  Score.measure ~crashes:1 ~fell_back:true
+                    ~wall_s:task_wall.(i) inst
                     (Solver.constant_result inst.S.train)
                 in
                 (match journal with
@@ -184,15 +237,20 @@ let failure_summary run =
     (total (fun m -> m.Score.crashes))
     (total (fun (m : Score.metrics) -> if m.Score.fell_back then 1 else 0));
   if degraded <> [] then begin
+    let time_lost =
+      List.fold_left (fun acc (_, m) -> acc +. m.Score.wall_s) 0.0 degraded
+    in
+    Printf.printf "time lost to degraded tasks: %.1fs\n" time_lost;
     Report.table
-      ~header:[ "task"; "technique"; "t/o"; "crash"; "fallback" ]
+      ~header:[ "task"; "technique"; "t/o"; "crash"; "fallback"; "wall (s)" ]
       (List.map
          (fun (team, (m : Score.metrics)) ->
            [ Printf.sprintf "%s/%s" team (S.benchmark m.Score.benchmark).S.name;
              m.Score.technique;
              string_of_int m.Score.timeouts;
              string_of_int m.Score.crashes;
-             (if m.Score.fell_back then "yes" else "") ])
+             (if m.Score.fell_back then "yes" else "");
+             Printf.sprintf "%.1f" m.Score.wall_s ])
          degraded)
   end
 

@@ -8,9 +8,10 @@ type metrics = {
   timeouts : int;
   crashes : int;
   fell_back : bool;
+  wall_s : float;
 }
 
-let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false)
+let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false) ?(wall_s = 0.0)
     (instance : Benchgen.Suite.instance) (result : Solver.result) =
   let aig = result.Solver.aig in
   {
@@ -23,6 +24,7 @@ let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false)
     timeouts;
     crashes;
     fell_back;
+    wall_s;
   }
 
 (* Journal payload for one metrics row.  Floats go through %h (hex) so the
@@ -31,13 +33,14 @@ let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false)
    guarantee that.  The technique goes last because it is the only field
    that could ever contain a space. *)
 let metrics_to_line m =
-  Printf.sprintf "%d %h %h %d %d %d %d %b %s" m.benchmark m.test_acc
-    m.valid_acc m.gates m.levels m.timeouts m.crashes m.fell_back m.technique
+  Printf.sprintf "%d %h %h %d %d %d %d %h %b %s" m.benchmark m.test_acc
+    m.valid_acc m.gates m.levels m.timeouts m.crashes m.wall_s m.fell_back
+    m.technique
 
 let metrics_of_line line =
   match String.split_on_char ' ' line with
   | benchmark :: test_acc :: valid_acc :: gates :: levels :: timeouts
-    :: crashes :: fell_back :: (_ :: _ as technique) -> (
+    :: crashes :: wall_s :: fell_back :: (_ :: _ as technique) -> (
       match
         ( int_of_string_opt benchmark,
           float_of_string_opt test_acc,
@@ -46,6 +49,7 @@ let metrics_of_line line =
           int_of_string_opt levels,
           int_of_string_opt timeouts,
           int_of_string_opt crashes,
+          float_of_string_opt wall_s,
           bool_of_string_opt fell_back )
       with
       | ( Some benchmark,
@@ -55,6 +59,7 @@ let metrics_of_line line =
           Some levels,
           Some timeouts,
           Some crashes,
+          Some wall_s,
           Some fell_back ) ->
           Some
             {
@@ -67,6 +72,7 @@ let metrics_of_line line =
               timeouts;
               crashes;
               fell_back;
+              wall_s;
             }
       | _ -> None)
   | _ -> None

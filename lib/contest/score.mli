@@ -10,18 +10,23 @@ type metrics = {
   timeouts : int;  (** guarded attempts that exhausted their budget *)
   crashes : int;  (** guarded attempts that raised *)
   fell_back : bool;  (** the result is a degraded fallback *)
+  wall_s : float;
+      (** elapsed solve seconds, recorded only on degraded rows
+          (timeouts, crashes, or fallback) so clean runs stay
+          deterministic; 0.0 otherwise *)
 }
 
 val measure :
   ?timeouts:int ->
   ?crashes:int ->
   ?fell_back:bool ->
+  ?wall_s:float ->
   Benchgen.Suite.instance ->
   Solver.result ->
   metrics
 (** Evaluate a solver result on the instance's validation and test sets.
-    The optional resilience counters (default 0 / 0 / [false]) come from
-    {!Solver.solve_guarded}. *)
+    The optional resilience counters (default 0 / 0 / [false] / 0.0) come
+    from {!Solver.solve_guarded}. *)
 
 val metrics_to_line : metrics -> string
 (** One-line serialization for {!Resil.Journal} payloads.  Floats use

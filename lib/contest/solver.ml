@@ -61,30 +61,47 @@ let pick_best ?sweep ~valid candidates =
     let best = ref None in
     List.iter
       (fun (technique, aig) ->
-        let aig =
-          enforce_budget ~patterns:columns ?sweep
-            ~seed:(Hashtbl.hash technique) aig
-        in
-        let gates = Aig.Graph.num_ands aig in
-        match !best with
-        | None ->
-            let d =
+        (* One span per candidate: its size and disagreement count (or the
+           early-exit mark) are the args, so a trace shows which technique
+           won each benchmark and by how much. *)
+        let (_ : int * int option) =
+          Telemetry.span_ret ~cat:"candidate" "candidate.eval"
+            ~args:(fun (gates, d) ->
+              ("technique", Telemetry.Str technique)
+              :: ("gates", Telemetry.Int gates)
+              ::
+              (match d with
+              | Some d -> [ ("disagreements", Telemetry.Int d) ]
+              | None -> [ ("early_exit", Telemetry.Int 1) ]))
+          @@ fun () ->
+          let aig =
+            enforce_budget ~patterns:columns ?sweep
+              ~seed:(Hashtbl.hash technique) aig
+          in
+          let gates = Aig.Graph.num_ands aig in
+          match !best with
+          | None ->
+              let d =
+                match
+                  Aig.Sim.Engine.disagreements engine aig columns ~expected
+                with
+                | Some d -> d
+                | None -> assert false (* no limit: count is exact *)
+              in
+              best := Some (d, gates, technique, aig);
+              (gates, Some d)
+          | Some (bd, bg, _, _) -> (
               match
-                Aig.Sim.Engine.disagreements engine aig columns ~expected
+                Aig.Sim.Engine.disagreements ~limit:bd engine aig columns
+                  ~expected
               with
-              | Some d -> d
-              | None -> assert false (* no limit: count is exact *)
-            in
-            best := Some (d, gates, technique, aig)
-        | Some (bd, bg, _, _) -> (
-            match
-              Aig.Sim.Engine.disagreements ~limit:bd engine aig columns
-                ~expected
-            with
-            | None -> () (* provably worse than the incumbent *)
-            | Some d ->
-                if d < bd || (d = bd && gates < bg) then
-                  best := Some (d, gates, technique, aig)))
+              | None -> (gates, None) (* provably worse than the incumbent *)
+              | Some d ->
+                  if d < bd || (d = bd && gates < bg) then
+                    best := Some (d, gates, technique, aig);
+                  (gates, Some d))
+        in
+        ())
       candidates;
     match !best with
     | Some (_, _, technique, aig) -> { aig; technique }
@@ -99,8 +116,24 @@ type guarded = {
   fell_back : bool;
 }
 
+let status_name = function
+  | Resil.Guard.Completed -> "completed"
+  | Resil.Guard.Recovered -> "recovered"
+  | Resil.Guard.Timed_out -> "timed_out"
+  | Resil.Guard.Crashed _ -> "crashed"
+
 let solve_guarded ?time_limit ?fuel ~key solver
     (inst : Benchgen.Suite.instance) =
+  Telemetry.span_ret ~cat:"solver" "solve"
+    ~args:(fun g ->
+      [
+        ("team", Telemetry.Str solver.name);
+        ("bench", Telemetry.Str inst.Benchgen.Suite.spec.Benchgen.Suite.name);
+        ("technique", Telemetry.Str g.result.technique);
+        ("gates", Telemetry.Int (Aig.Graph.num_ands g.result.aig));
+        ("status", Telemetry.Str (status_name g.status));
+      ])
+  @@ fun () ->
   let outcome =
     Resil.Guard.run ?time_limit ?fuel ~key
       ~fallback:(fun () -> constant_result inst.Benchgen.Suite.train)

@@ -22,6 +22,19 @@ let guarded thunks =
   List.filter_map
     (fun thunk ->
       match
+        (* Span per candidate model: the technique name and model size are
+           the args (a dropped candidate records its crash instead). *)
+        Telemetry.span_ret ~cat:"candidate" "candidate.train"
+          ~args:(fun r ->
+            match r with
+            | Ok (name, aig) ->
+                [
+                  ("technique", Telemetry.Str name);
+                  ("gates", Telemetry.Int (G.num_ands aig));
+                ]
+            | Error (c : Resil.Guard.crash) ->
+                [ ("dropped", Telemetry.Str c.Resil.Guard.exn) ])
+        @@ fun () ->
         Resil.Guard.capture (fun () ->
             Resil.Fault.point fault_candidate;
             thunk ())

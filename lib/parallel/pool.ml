@@ -1,4 +1,8 @@
 let fault_worker = Resil.Fault.declare "parallel.pool.worker"
+let c_tasks = Telemetry.counter "pool.tasks"
+let c_batches = Telemetry.counter "pool.batches"
+let c_steals = Telemetry.counter "pool.steals"
+let h_batch_tasks = Telemetry.histogram "pool.batch_tasks"
 
 type job = unit -> unit
 
@@ -46,6 +50,7 @@ let drain pool b w =
     else
       match Deque.steal b.deques.((w + k) mod size) with
       | Some job ->
+          Telemetry.incr c_steals;
           job ();
           finish_one pool b;
           own ()
@@ -135,6 +140,8 @@ let post pool deques ~n =
    interrupted-then-resumed runs. *)
 let collect pool ~n f =
   if n < 0 then invalid_arg "Pool.run: negative task count";
+  Telemetry.add c_tasks n;
+  Telemetry.observe h_batch_tasks n;
   let slots = Array.make n None in
   let exec i =
     let r =
@@ -165,6 +172,7 @@ let collect pool ~n f =
   (match posted with
   | None -> for i = 0 to n - 1 do exec i done
   | Some b ->
+      Telemetry.incr c_batches;
       drain pool b 0;
       Mutex.lock pool.mutex;
       while Atomic.get b.pending > 0 do

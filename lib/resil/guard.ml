@@ -22,26 +22,50 @@ let attempt_one ?time_limit ?fuel ~key ~attempt f =
   Fault.with_context ~key ~attempt (fun () ->
       Budget.with_budget b (fun () -> f ~attempt))
 
+let c_timeouts = Telemetry.counter "guard.timeouts"
+let c_crashes = Telemetry.counter "guard.crashes"
+let c_recovered = Telemetry.counter "guard.recovered"
+let c_fallbacks = Telemetry.counter "guard.fallbacks"
+
+(* Guard outcomes become instant events in the trace: a crash or fallback
+   shows up as a mark on the timeline of the domain where it happened. *)
+let note name ~key ?exn counter =
+  Telemetry.incr counter;
+  if Telemetry.enabled () then
+    Telemetry.instant ~cat:"guard"
+      ~args:
+        (("key", Telemetry.Str key)
+        :: (match exn with None -> [] | Some e -> [ ("exn", Telemetry.Str e) ]))
+      name
+
 let run ?time_limit ?fuel ~key ~fallback f =
   match attempt_one ?time_limit ?fuel ~key ~attempt:0 f with
   | v -> { value = v; status = Completed; timeouts = 0; crashes = 0; fell_back = false }
   | exception Budget.Timed_out ->
+      note "guard.timeout" ~key c_timeouts;
+      note "guard.fallback" ~key c_fallbacks;
       { value = fallback (); status = Timed_out; timeouts = 1; crashes = 0;
         fell_back = true }
   | exception e ->
       let c0 = describe e (Printexc.get_raw_backtrace ()) in
+      note "guard.crash" ~key ~exn:c0.exn c_crashes;
       (* One retry with a fresh budget; the attempt number perturbs both
          the fault context and any seed the technique derives from it. *)
       (match attempt_one ?time_limit ?fuel ~key ~attempt:1 f with
       | v ->
+          note "guard.recovered" ~key c_recovered;
           { value = v; status = Recovered; timeouts = 0; crashes = 1;
             fell_back = false }
       | exception Budget.Timed_out ->
+          note "guard.timeout" ~key c_timeouts;
+          note "guard.fallback" ~key c_fallbacks;
           { value = fallback (); status = Timed_out; timeouts = 1; crashes = 1;
             fell_back = true }
       | exception e2 ->
           let c1 = describe e2 (Printexc.get_raw_backtrace ()) in
           ignore c0;
+          note "guard.crash" ~key ~exn:c1.exn c_crashes;
+          note "guard.fallback" ~key c_fallbacks;
           { value = fallback (); status = Crashed c1; timeouts = 0; crashes = 2;
             fell_back = true })
 

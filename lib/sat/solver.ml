@@ -555,7 +555,7 @@ let search s assumptions ~restart_limit ~conflict_budget =
   done;
   !ret
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) s =
+let solve_core ?(assumptions = []) ?(conflict_limit = max_int) s =
   Resil.Fault.point fault_solve;
   if not s.ok then Unsat
   else begin
@@ -604,3 +604,36 @@ let stats s =
     restarts = s.n_restarts;
     learned = s.learnts.len;
   }
+
+let c_decisions = Telemetry.counter "sat.decisions"
+let c_conflicts = Telemetry.counter "sat.conflicts"
+let c_propagations = Telemetry.counter "sat.propagations"
+let c_restarts = Telemetry.counter "sat.restarts"
+let c_solve_calls = Telemetry.counter "sat.solve_calls"
+let h_conflicts = Telemetry.histogram "sat.conflicts_per_call"
+
+let result_name = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
+
+(* Stats flow into telemetry as per-call deltas so hot CDCL loops never
+   touch telemetry cells; a span wraps each call with its outcome. *)
+let solve ?assumptions ?conflict_limit s =
+  if not (Telemetry.enabled ()) then solve_core ?assumptions ?conflict_limit s
+  else begin
+    let before = stats s in
+    let r =
+      Telemetry.span_ret ~cat:"sat" "sat.solve"
+        ~args:(fun r -> [ ("result", Telemetry.Str (result_name r)) ])
+        (fun () -> solve_core ?assumptions ?conflict_limit s)
+    in
+    let after = stats s in
+    Telemetry.incr c_solve_calls;
+    Telemetry.add c_decisions (after.decisions - before.decisions);
+    Telemetry.add c_conflicts (after.conflicts - before.conflicts);
+    Telemetry.add c_propagations (after.propagations - before.propagations);
+    Telemetry.add c_restarts (after.restarts - before.restarts);
+    Telemetry.observe h_conflicts (after.conflicts - before.conflicts);
+    r
+  end

@@ -1,4 +1,6 @@
 let fault_minimize = Resil.Fault.declare "espresso.minimize"
+let c_passes = Telemetry.counter "espresso.passes"
+let c_expand_calls = Telemetry.counter "espresso.expand_calls"
 
 type config = {
   max_passes : int;
@@ -12,6 +14,7 @@ let default_config = { max_passes = 3; literal_order_by_gain = true }
    the columns of the positive/negative samples. *)
 let expand_cube config ~on_cols ~off_cols cube =
   Resil.Budget.check ();
+  Telemetry.incr c_expand_calls;
   let n = Cube.num_vars cube in
   let bound =
     List.filter (fun i -> Cube.lit cube i <> Cube.Free) (List.init n Fun.id)
@@ -101,6 +104,7 @@ let cost cover = (Cover.num_cubes cover, Cover.total_literals cover)
 
 let minimize ?(config = default_config) d =
   Resil.Fault.point fault_minimize;
+  Telemetry.span ~cat:"sop" "espresso.minimize" @@ fun () ->
   let num_vars = Data.Dataset.num_inputs d in
   let on = Data.Dataset.select d (Data.Dataset.outputs d) in
   let off = Data.Dataset.select d (Words.lognot (Data.Dataset.outputs d)) in
@@ -113,6 +117,7 @@ let minimize ?(config = default_config) d =
     let off_cols = Data.Dataset.columns off in
     let initial = (Cover.of_on_set d).Cover.cubes in
     let pass cubes =
+      Telemetry.incr c_passes;
       (* EXPAND + single-cube containment *)
       let expanded =
         List.fold_left

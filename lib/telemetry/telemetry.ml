@@ -1,0 +1,541 @@
+type arg = Str of string | Int of int | Float of float
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+type event =
+  | Ev_begin of { b_name : string; b_cat : string; b_ts : float }
+  | Ev_end of { e_ts : float; e_args : (string * arg) list }
+  | Ev_instant of {
+      i_name : string;
+      i_cat : string;
+      i_ts : float;
+      i_args : (string * arg) list;
+    }
+
+(* Histograms use power-of-two buckets: bucket [i] holds samples with
+   value <= 2^i.  62 buckets cover the full positive int range; the
+   overflow slot at index [buckets] is +Inf. *)
+let hist_buckets = 62
+
+type hist_cells = {
+  buckets : int array; (* length hist_buckets + 1, last = +Inf *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let fresh_cells () =
+  {
+    buckets = Array.make (hist_buckets + 1) 0;
+    h_count = 0;
+    h_sum = 0;
+    h_min = max_int;
+    h_max = min_int;
+  }
+
+(* One per domain, reached via DLS: recording touches only this. *)
+type dstate = {
+  tid : int;
+  mutable evs : event array;
+  mutable n_evs : int;
+  mutable cells : int array; (* counter id -> value *)
+  mutable hcells : hist_cells array; (* histogram id -> cells *)
+}
+
+let registry_mu = Mutex.create ()
+let registry : dstate list ref = ref []
+
+(* Name interning: id assignment is global so per-domain cell arrays
+   line up by index at merge time. *)
+let counter_ids : (string, int) Hashtbl.t = Hashtbl.create 32
+let counter_names : string list ref = ref [] (* reversed *)
+let hist_ids : (string, int) Hashtbl.t = Hashtbl.create 8
+let hist_names : string list ref = ref []
+
+type counter = int
+type histogram = int
+
+let counter name =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt counter_ids name with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length counter_ids in
+          Hashtbl.add counter_ids name id;
+          counter_names := name :: !counter_names;
+          id)
+
+let histogram name =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt hist_ids name with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length hist_ids in
+          Hashtbl.add hist_ids name id;
+          hist_names := name :: !hist_names;
+          id)
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        {
+          tid = (Domain.self () :> int);
+          evs = [||];
+          n_evs = 0;
+          cells = [||];
+          hcells = [||];
+        }
+      in
+      Mutex.protect registry_mu (fun () -> registry := d :: !registry);
+      d)
+
+let dstate () = Domain.DLS.get dls_key
+
+let push d ev =
+  let cap = Array.length d.evs in
+  if d.n_evs = cap then begin
+    let evs = Array.make (max 256 (2 * cap)) ev in
+    Array.blit d.evs 0 evs 0 cap;
+    d.evs <- evs
+  end;
+  d.evs.(d.n_evs) <- ev;
+  d.n_evs <- d.n_evs + 1
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun d ->
+          d.n_evs <- 0;
+          d.evs <- [||];
+          Array.fill d.cells 0 (Array.length d.cells) 0;
+          Array.iter
+            (fun h ->
+              Array.fill h.buckets 0 (Array.length h.buckets) 0;
+              h.h_count <- 0;
+              h.h_sum <- 0;
+              h.h_min <- max_int;
+              h.h_max <- min_int)
+            d.hcells)
+        !registry)
+
+(* Spans *)
+
+let span ?(cat = "") name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let d = dstate () in
+    push d (Ev_begin { b_name = name; b_cat = cat; b_ts = now_us () });
+    match f () with
+    | v ->
+        push d (Ev_end { e_ts = now_us (); e_args = [] });
+        v
+    | exception e ->
+        push d
+          (Ev_end
+             { e_ts = now_us (); e_args = [ ("error", Str (Printexc.to_string e)) ] });
+        raise e
+  end
+
+let span_ret ?(cat = "") name ~args f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let d = dstate () in
+    push d (Ev_begin { b_name = name; b_cat = cat; b_ts = now_us () });
+    match f () with
+    | v ->
+        push d (Ev_end { e_ts = now_us (); e_args = args v });
+        v
+    | exception e ->
+        push d
+          (Ev_end
+             { e_ts = now_us (); e_args = [ ("error", Str (Printexc.to_string e)) ] });
+        raise e
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if Atomic.get enabled_flag then
+    let d = dstate () in
+    push d
+      (Ev_instant { i_name = name; i_cat = cat; i_ts = now_us (); i_args = args })
+
+(* Counters and histograms *)
+
+let ensure_cells d id =
+  let cap = Array.length d.cells in
+  if id >= cap then begin
+    let cells = Array.make (max 16 (2 * (id + 1))) 0 in
+    Array.blit d.cells 0 cells 0 cap;
+    d.cells <- cells
+  end
+
+let add c n =
+  if Atomic.get enabled_flag then begin
+    let d = dstate () in
+    ensure_cells d c;
+    d.cells.(c) <- d.cells.(c) + n
+  end
+
+let incr c = add c 1
+
+let ensure_hcells d id =
+  let cap = Array.length d.hcells in
+  if id >= cap then begin
+    let hcells = Array.init (max 4 (2 * (id + 1))) (fun _ -> fresh_cells ()) in
+    Array.blit d.hcells 0 hcells 0 cap;
+    d.hcells <- hcells
+  end
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and b = ref 1 in
+    while !i < hist_buckets && v > !b do
+      Stdlib.incr i;
+      b := !b * 2
+    done;
+    !i
+  end
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let d = dstate () in
+    ensure_hcells d h;
+    let c = d.hcells.(h) in
+    c.buckets.(bucket_of v) <- c.buckets.(bucket_of v) + 1;
+    c.h_count <- c.h_count + 1;
+    c.h_sum <- c.h_sum + v;
+    if v < c.h_min then c.h_min <- v;
+    if v > c.h_max then c.h_max <- v
+  end
+
+(* Merged views *)
+
+type span_record = {
+  span_name : string;
+  span_cat : string;
+  span_tid : int;
+  span_ts : float;
+  span_dur : float;
+  span_depth : int;
+  span_args : (string * arg) list;
+}
+
+type instant_record = {
+  inst_name : string;
+  inst_cat : string;
+  inst_tid : int;
+  inst_ts : float;
+  inst_args : (string * arg) list;
+}
+
+let domains_sorted () =
+  Mutex.protect registry_mu (fun () ->
+      List.sort (fun a b -> compare a.tid b.tid) !registry)
+
+(* Reconstruct matched spans for one domain, in begin (program) order.
+   The bracketed API guarantees stack discipline, so a plain stack walk
+   recovers nesting; an unmatched begin is closed at the domain's last
+   event timestamp. *)
+let domain_spans d =
+  let out = ref [] in
+  let stack = ref [] in
+  let last_ts = ref 0. in
+  let seq = ref 0 in
+  for i = 0 to d.n_evs - 1 do
+    match d.evs.(i) with
+    | Ev_begin { b_name; b_cat; b_ts } ->
+        last_ts := b_ts;
+        let slot = !seq in
+        Stdlib.incr seq;
+        stack := (slot, b_name, b_cat, b_ts, List.length !stack) :: !stack
+    | Ev_end { e_ts; e_args } -> (
+        last_ts := e_ts;
+        match !stack with
+        | [] -> () (* stray end: recorder misuse; drop *)
+        | (slot, name, cat, ts, depth) :: rest ->
+            stack := rest;
+            out :=
+              ( slot,
+                {
+                  span_name = name;
+                  span_cat = cat;
+                  span_tid = d.tid;
+                  span_ts = ts;
+                  span_dur = e_ts -. ts;
+                  span_depth = depth;
+                  span_args = e_args;
+                } )
+              :: !out)
+    | Ev_instant { i_ts; _ } -> last_ts := i_ts
+  done;
+  List.iter
+    (fun (slot, name, cat, ts, depth) ->
+      out :=
+        ( slot,
+          {
+            span_name = name;
+            span_cat = cat;
+            span_tid = d.tid;
+            span_ts = ts;
+            span_dur = !last_ts -. ts;
+            span_depth = depth;
+            span_args = [];
+          } )
+        :: !out)
+    !stack;
+  List.sort (fun (a, _) (b, _) -> compare a b) !out |> List.map snd
+
+let spans () = List.concat_map domain_spans (domains_sorted ())
+
+let instants () =
+  List.concat_map
+    (fun d ->
+      let out = ref [] in
+      for i = d.n_evs - 1 downto 0 do
+        match d.evs.(i) with
+        | Ev_instant { i_name; i_cat; i_ts; i_args } ->
+            out :=
+              {
+                inst_name = i_name;
+                inst_cat = i_cat;
+                inst_tid = d.tid;
+                inst_ts = i_ts;
+                inst_args = i_args;
+              }
+              :: !out
+        | _ -> ()
+      done;
+      !out)
+    (domains_sorted ())
+
+let counters () =
+  let names =
+    Mutex.protect registry_mu (fun () -> List.rev !counter_names)
+  in
+  let ds = domains_sorted () in
+  List.mapi
+    (fun id name ->
+      let total =
+        List.fold_left
+          (fun acc d ->
+            if id < Array.length d.cells then acc + d.cells.(id) else acc)
+          0 ds
+      in
+      (name, total))
+    names
+  |> List.sort compare
+
+type histogram_snapshot = {
+  hist_name : string;
+  hist_count : int;
+  hist_sum : int;
+  hist_min : int;
+  hist_max : int;
+  hist_buckets : (int * int) list;
+}
+
+let histograms () =
+  let names = Mutex.protect registry_mu (fun () -> List.rev !hist_names) in
+  let ds = domains_sorted () in
+  List.mapi
+    (fun id name ->
+      let merged = fresh_cells () in
+      List.iter
+        (fun d ->
+          if id < Array.length d.hcells then begin
+            let c = d.hcells.(id) in
+            Array.iteri
+              (fun i v -> merged.buckets.(i) <- merged.buckets.(i) + v)
+              c.buckets;
+            merged.h_count <- merged.h_count + c.h_count;
+            merged.h_sum <- merged.h_sum + c.h_sum;
+            if c.h_min < merged.h_min then merged.h_min <- c.h_min;
+            if c.h_max > merged.h_max then merged.h_max <- c.h_max
+          end)
+        ds;
+      (* Cumulative buckets, trimmed past the last non-empty bound. *)
+      let cum = ref 0 and bound = ref 1 and out = ref [] in
+      let top = ref 0 in
+      Array.iteri (fun i v -> if v > 0 then top := i) merged.buckets;
+      for i = 0 to min !top (hist_buckets - 1) do
+        cum := !cum + merged.buckets.(i);
+        out := (!bound, !cum) :: !out;
+        bound := !bound * 2
+      done;
+      {
+        hist_name = name;
+        hist_count = merged.h_count;
+        hist_sum = merged.h_sum;
+        hist_min = (if merged.h_count = 0 then 0 else merged.h_min);
+        hist_max = (if merged.h_count = 0 then 0 else merged.h_max);
+        hist_buckets = List.rev !out;
+      })
+    names
+  |> List.sort compare
+
+(* Exporters *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_arg = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.6g" f
+      else Printf.sprintf "\"%s\"" (string_of_float f)
+
+let json_args args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_arg v))
+       args)
+
+let trace_json () =
+  let sps = spans () in
+  let ins = instants () in
+  let cts = counters () in
+  let base =
+    List.fold_left
+      (fun acc s -> Float.min acc s.span_ts)
+      (List.fold_left (fun acc i -> Float.min acc i.inst_ts) infinity ins)
+      sps
+  in
+  let base = if Float.is_finite base then base else 0. in
+  let last =
+    List.fold_left
+      (fun acc s -> Float.max acc (s.span_ts +. s.span_dur))
+      (List.fold_left (fun acc i -> Float.max acc i.inst_ts) base ins)
+      sps
+  in
+  let b = Buffer.create 4096 in
+  let sep = ref "" in
+  let emit fmt =
+    Buffer.add_string b !sep;
+    sep := ",\n";
+    Printf.ksprintf (Buffer.add_string b) fmt
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"lsml\"}}";
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun s -> s.span_tid) sps @ List.map (fun i -> i.inst_tid) ins)
+  in
+  List.iter
+    (fun tid ->
+      emit
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+        tid tid)
+    tids;
+  List.iter
+    (fun s ->
+      emit
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+        (json_escape s.span_name)
+        (json_escape (if s.span_cat = "" then "span" else s.span_cat))
+        (s.span_ts -. base) (Float.max 0. s.span_dur) s.span_tid
+        (json_args s.span_args))
+    sps;
+  List.iter
+    (fun i ->
+      emit
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{%s}}"
+        (json_escape i.inst_name)
+        (json_escape (if i.inst_cat = "" then "instant" else i.inst_cat))
+        (i.inst_ts -. base) i.inst_tid (json_args i.inst_args))
+    ins;
+  List.iter
+    (fun (name, v) ->
+      emit
+        "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":0,\"args\":{\"value\":%d}}"
+        (json_escape name) (last -. base) v)
+    cts;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let write_trace path = write_file path (trace_json ())
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let prometheus () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let n = "lsml_" ^ sanitize name ^ "_total" in
+      Printf.ksprintf (Buffer.add_string b) "# TYPE %s counter\n%s %d\n" n n v)
+    (counters ());
+  List.iter
+    (fun h ->
+      let n = "lsml_" ^ sanitize h.hist_name in
+      Printf.ksprintf (Buffer.add_string b) "# TYPE %s histogram\n" n;
+      List.iter
+        (fun (le, cum) ->
+          Printf.ksprintf (Buffer.add_string b) "%s_bucket{le=\"%d\"} %d\n" n le
+            cum)
+        h.hist_buckets;
+      Printf.ksprintf (Buffer.add_string b) "%s_bucket{le=\"+Inf\"} %d\n" n
+        h.hist_count;
+      Printf.ksprintf (Buffer.add_string b) "%s_sum %d\n%s_count %d\n" n
+        h.hist_sum n h.hist_count)
+    (histograms ());
+  (* Per-span aggregates: count and total seconds by (name, cat). *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let key = (s.span_name, s.span_cat) in
+      let c, d = try Hashtbl.find tbl key with Not_found -> (0, 0.) in
+      Hashtbl.replace tbl key (c + 1, d +. s.span_dur))
+    (spans ());
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  if rows <> [] then begin
+    Buffer.add_string b "# TYPE lsml_span_count counter\n";
+    List.iter
+      (fun ((name, cat), (c, _)) ->
+        Printf.ksprintf (Buffer.add_string b)
+          "lsml_span_count{name=\"%s\",cat=\"%s\"} %d\n" name cat c)
+      rows;
+    Buffer.add_string b "# TYPE lsml_span_seconds_total counter\n";
+    List.iter
+      (fun ((name, cat), (_, d)) ->
+        Printf.ksprintf (Buffer.add_string b)
+          "lsml_span_seconds_total{name=\"%s\",cat=\"%s\"} %.6f\n" name cat
+          (d /. 1e6))
+      rows
+  end;
+  Buffer.contents b
+
+let write_metrics path = write_file path (prometheus ())

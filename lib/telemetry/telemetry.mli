@@ -1,0 +1,154 @@
+(** Zero-dependency, Domain-safe instrumentation: spans, counters,
+    histograms, and trace export.
+
+    The subsystem is a write-mostly event recorder.  Each domain owns an
+    append-only buffer of span/instant events plus flat cell arrays for
+    counters and histograms, all reached through domain-local storage —
+    recording never takes a lock and never shares mutable state across
+    domains.  At the end of a run the per-domain buffers are merged
+    deterministically (domains ordered by id, events in program order
+    within a domain) and exported as Chrome/Perfetto [trace_event] JSON
+    or a Prometheus-style text page.
+
+    Telemetry is globally off by default.  Every recording entry point
+    starts with a single mutable-flag check and allocates nothing on the
+    disabled path, so instrumented hot loops cost one predictable branch
+    when telemetry is off; default runs stay byte-identical.
+
+    Timestamps come from [Unix.gettimeofday] (the repo's clock
+    elsewhere), in microseconds as the trace_event format expects.  They
+    are wall-clock, not strictly monotonic under NTP steps; consumers
+    that need ordering should rely on the per-domain program order the
+    merge preserves, which is why the determinism tests compare event
+    sets modulo timestamps.
+
+    Lifecycle contract: {!enable}, {!disable}, {!reset} and the
+    merge/export functions must be called from quiescent code (no
+    instrumented work in flight on other domains) — in practice before
+    and after a suite run, never inside one. *)
+
+type arg = Str of string | Int of int | Float of float
+(** Span/instant argument values, rendered into trace JSON args. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events and zero every counter/histogram cell in
+    every registered domain buffer.  Counter and histogram registrations
+    (the names) survive. *)
+
+(** {1 Spans}
+
+    Spans are recorded as begin/end event pairs in the owning domain's
+    buffer.  The bracketed helpers guarantee stack discipline (an end
+    for every begin, well nested, even on exceptions), which the merge
+    relies on to reconstruct durations and nesting depth. *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span ~cat name f] runs [f ()] inside a span.  If [f] raises, the
+    span is closed with an ["error"] argument and the exception is
+    re-raised.  Disabled: exactly [f ()]. *)
+
+val span_ret :
+  ?cat:string -> string -> args:('a -> (string * arg) list) -> (unit -> 'a) -> 'a
+(** Like {!span} but the closing arguments are computed from [f]'s
+    result — the pattern for "one span per candidate model with its
+    accuracy/size as args".  [args] is not called on the disabled path
+    or when [f] raises. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** Point event (crashes, fallbacks, cache hits). *)
+
+(** {1 Counters and histograms}
+
+    Handles are interned by name: declaring the same name twice returns
+    the same handle.  Cells are per-domain and merged by summation, so
+    recording is lock-free; totals are only meaningful at quiescence. *)
+
+type counter
+
+val counter : string -> counter
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one sample.  Buckets are powers of two (le 1, 2, 4, ...);
+    negative samples land in the first bucket. *)
+
+(** {1 Merged views}
+
+    All views merge every domain's buffer: domains in increasing id
+    order, events in program order within a domain.  The result is
+    deterministic given deterministic instrumented work — identical
+    event sets for [jobs=1] and [jobs=N] runs modulo timestamps, span
+    durations, and domain ids. *)
+
+type span_record = {
+  span_name : string;
+  span_cat : string;
+  span_tid : int;  (** recording domain's id *)
+  span_ts : float;  (** begin time, microseconds *)
+  span_dur : float;  (** microseconds *)
+  span_depth : int;  (** 0 for top-level spans of the domain *)
+  span_args : (string * arg) list;
+}
+
+type instant_record = {
+  inst_name : string;
+  inst_cat : string;
+  inst_tid : int;
+  inst_ts : float;
+  inst_args : (string * arg) list;
+}
+
+val spans : unit -> span_record list
+(** Completed spans (begin matched with end).  A begin with no end —
+    possible only through recorder misuse, not through the bracketed
+    API — is closed at its domain's last event timestamp. *)
+
+val instants : unit -> instant_record list
+
+val counters : unit -> (string * int) list
+(** Name-sorted totals, summed across domains.  Counters that were
+    declared but never bumped report 0. *)
+
+type histogram_snapshot = {
+  hist_name : string;
+  hist_count : int;
+  hist_sum : int;
+  hist_min : int;  (** 0 when empty *)
+  hist_max : int;
+  hist_buckets : (int * int) list;
+      (** (inclusive upper bound, cumulative count) pairs, increasing;
+          the last bucket's count equals [hist_count] *)
+}
+
+val histograms : unit -> histogram_snapshot list
+
+(** {1 Exporters} *)
+
+val trace_json : unit -> string
+(** Chrome/Perfetto [trace_event] JSON: one ["X"] (complete) event per
+    span, ["i"] per instant, one ["C"] counter sample per counter at the
+    trace end, plus process/thread metadata.  Timestamps are rebased to
+    the earliest recorded event.  Open the file in
+    [https://ui.perfetto.dev] or [chrome://tracing]. *)
+
+val write_trace : string -> unit
+(** [trace_json] to a file. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition: [lsml_<name>_total] counters,
+    [lsml_<name>] histograms ([_bucket]/[_sum]/[_count]), and per-span
+    aggregates [lsml_span_count]/[lsml_span_seconds_total] labelled by
+    span name and category.  Dots in names become underscores. *)
+
+val write_metrics : string -> unit
+(** [prometheus] to a file. *)

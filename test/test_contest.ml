@@ -67,6 +67,7 @@ let test_scoring () =
           timeouts = 0;
           crashes = 0;
           fell_back = false;
+          wall_s = 0.0;
         })
       team_acc
   in
@@ -345,6 +346,7 @@ let test_metrics_line_roundtrip () =
       timeouts = 1;
       crashes = 2;
       fell_back = true;
+      wall_s = 12.75;
     }
   in
   (match Contest.Score.metrics_of_line (Contest.Score.metrics_to_line m) with

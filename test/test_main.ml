@@ -23,4 +23,5 @@ let () =
          Test_bdd.suites;
          Test_sat.suites;
          Test_cec.suites;
+         Test_telemetry.suites;
          Test_report.suites ])

@@ -1,0 +1,443 @@
+module T = Telemetry
+module P = Parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Telemetry state is global; every test runs against a clean, enabled
+   recorder and leaves the subsystem disabled and empty for the rest of
+   the binary (other suites rely on the disabled default). *)
+let with_telemetry f =
+  T.reset ();
+  T.enable ();
+  Fun.protect f ~finally:(fun () ->
+      T.disable ();
+      T.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path: recording is a no-op and wrappers are transparent     *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_path () =
+  T.reset ();
+  check_bool "disabled by default" false (T.enabled ());
+  let c = T.counter "tst.off_hits" in
+  let h = T.histogram "tst.off_sizes" in
+  let r =
+    T.span ~cat:"tst" "off.outer" (fun () ->
+        T.incr c;
+        T.add c 41;
+        T.observe h 7;
+        T.instant ~cat:"tst" "off.blip";
+        T.span_ret ~cat:"tst" "off.inner"
+          ~args:(fun _ -> Alcotest.fail "args must not run when disabled")
+          (fun () -> 17))
+  in
+  check_int "span is transparent" 17 r;
+  check_int "no spans recorded" 0 (List.length (T.spans ()));
+  check_int "no instants recorded" 0 (List.length (T.instants ()));
+  check_int "counter untouched" 0 (List.assoc "tst.off_hits" (T.counters ()));
+  let snap =
+    List.find (fun s -> s.T.hist_name = "tst.off_sizes") (T.histograms ())
+  in
+  check_int "histogram untouched" 0 snap.T.hist_count;
+  (* Exceptions still propagate unchanged. *)
+  check_bool "exception passes through" true
+    (try
+       T.span "off.raise" (fun () : unit -> raise Exit);
+       false
+     with Exit -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting, ordering, and result-derived args                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  let r =
+    T.span ~cat:"tst" "outer" (fun () ->
+        T.span ~cat:"tst" "child1" (fun () -> ());
+        T.span_ret ~cat:"tst" "child2"
+          ~args:(fun n -> [ ("n", T.Int n); ("tag", T.Str "ok") ])
+          (fun () -> 42))
+  in
+  check_int "span_ret returns result" 42 r;
+  let sps = T.spans () in
+  Alcotest.(check (list string))
+    "begin order, outer first"
+    [ "outer"; "child1"; "child2" ]
+    (List.map (fun s -> s.T.span_name) sps);
+  let by_name n = List.find (fun s -> s.T.span_name = n) sps in
+  let outer = by_name "outer" in
+  let child1 = by_name "child1" in
+  let child2 = by_name "child2" in
+  check_int "outer at depth 0" 0 outer.T.span_depth;
+  check_int "child1 nested" 1 child1.T.span_depth;
+  check_int "child2 nested" 1 child2.T.span_depth;
+  check_string "category recorded" "tst" outer.T.span_cat;
+  List.iter
+    (fun s ->
+      check_bool (s.T.span_name ^ " duration non-negative") true
+        (s.T.span_dur >= 0.))
+    sps;
+  check_bool "outer spans its children" true
+    (outer.T.span_ts <= child1.T.span_ts
+    && child2.T.span_ts +. child2.T.span_dur
+       <= outer.T.span_ts +. outer.T.span_dur +. 1.0);
+  check_bool "same domain" true
+    (outer.T.span_tid = child1.T.span_tid
+    && child1.T.span_tid = child2.T.span_tid);
+  Alcotest.(check (list string))
+    "result-derived args" [ "n"; "tag" ]
+    (List.map fst child2.T.span_args);
+  check_bool "arg values" true
+    (List.assoc "n" child2.T.span_args = T.Int 42
+    && List.assoc "tag" child2.T.span_args = T.Str "ok")
+
+let test_span_closes_on_exception () =
+  with_telemetry @@ fun () ->
+  check_bool "exception re-raised" true
+    (try
+       T.span ~cat:"tst" "boom" (fun () : unit -> failwith "kaput");
+       false
+     with Failure _ -> true);
+  match T.spans () with
+  | [ s ] ->
+      check_string "span still recorded" "boom" s.T.span_name;
+      check_bool "closed with an error arg" true
+        (List.mem_assoc "error" s.T.span_args)
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_histograms () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.hits" in
+  let c' = T.counter "tst.hits" in
+  T.incr c;
+  T.add c' 4;
+  check_int "interned by name" 5 (List.assoc "tst.hits" (T.counters ()));
+  let h = T.histogram "tst.sizes" in
+  List.iter (T.observe h) [ 1; 2; 3; 100 ];
+  let snap =
+    List.find (fun s -> s.T.hist_name = "tst.sizes") (T.histograms ())
+  in
+  check_int "count" 4 snap.T.hist_count;
+  check_int "sum" 106 snap.T.hist_sum;
+  check_int "min" 1 snap.T.hist_min;
+  check_int "max" 100 snap.T.hist_max;
+  (* Buckets are cumulative: bounds strictly increasing, counts
+     non-decreasing, and the last bucket covers every sample. *)
+  let rec monotone = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+        le1 < le2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  check_bool "buckets monotone" true (monotone snap.T.hist_buckets);
+  let _, last = List.nth snap.T.hist_buckets (List.length snap.T.hist_buckets - 1) in
+  check_int "last bucket is total" snap.T.hist_count last;
+  check_int "le=1 holds one sample" 1
+    (List.assoc 1 snap.T.hist_buckets);
+  check_int "le=128 holds all" 4 (List.assoc 128 snap.T.hist_buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Merge determinism: jobs=1 and jobs=4 record the same event set       *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical view of a run: everything except timestamps, durations,
+   and domain ids, which legitimately vary with scheduling.  Pool-level
+   counters (steals, batches) are schedule-dependent by design and are
+   not part of the comparison. *)
+let canonical_run ~jobs =
+  T.reset ();
+  T.enable ();
+  Fun.protect ~finally:T.disable @@ fun () ->
+  let c = T.counter "tst.tasks_done" in
+  let h = T.histogram "tst.task_arg" in
+  let out =
+    P.with_pool ~jobs (fun pool ->
+        P.run pool ~n:16 (fun i ->
+            T.span_ret ~cat:"tst"
+              (Printf.sprintf "tsk.%02d" i)
+              ~args:(fun sq -> [ ("square", T.Int sq) ])
+              (fun () ->
+                T.incr c;
+                T.observe h i;
+                if i mod 4 = 0 then
+                  T.instant ~cat:"tst" (Printf.sprintf "blip.%02d" i);
+                i * i)))
+  in
+  let spans =
+    T.spans ()
+    |> List.filter (fun s -> s.T.span_cat = "tst")
+    |> List.map (fun s -> (s.T.span_name, s.T.span_depth, s.T.span_args))
+    |> List.sort compare
+  in
+  let instants =
+    T.instants ()
+    |> List.filter (fun i -> i.T.inst_cat = "tst")
+    |> List.map (fun i -> (i.T.inst_name, i.T.inst_args))
+    |> List.sort compare
+  in
+  let hist =
+    List.find (fun s -> s.T.hist_name = "tst.task_arg") (T.histograms ())
+  in
+  (out, spans, instants, List.assoc "tst.tasks_done" (T.counters ()), hist)
+
+let test_merge_determinism () =
+  let out1, sp1, in1, c1, h1 = canonical_run ~jobs:1 in
+  let out4, sp4, in4, c4, h4 = canonical_run ~jobs:4 in
+  T.reset ();
+  Alcotest.(check (array int)) "task results agree" out1 out4;
+  check_int "16 spans each" 16 (List.length sp1);
+  check_bool "span sets identical modulo time/domain" true (sp1 = sp4);
+  check_int "4 instants each" 4 (List.length in1);
+  check_bool "instant sets identical" true (in1 = in4);
+  check_int "counter total jobs=1" 16 c1;
+  check_int "counter total jobs=4" 16 c4;
+  check_bool "histograms identical" true (h1 = h4)
+
+(* ------------------------------------------------------------------ *)
+(* Trace JSON well-formedness (round-trip through a tiny parser)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON reader — enough to prove the exporter emits parseable
+   JSON with the trace_event structure, without a json dependency. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Jstr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "json parse error at %d: %s" !pos msg in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = Stdlib.incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'u' ->
+              (* Keep the escape verbatim; the tests never compare
+                 unicode payloads. *)
+              Buffer.add_string b "\\u"
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | '\255' -> fail "unterminated string"
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while num_char (peek ()) do advance () done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elems (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+    | '"' -> Jstr (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_trace_json_roundtrip () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.json_hits" in
+  T.span ~cat:"tst" "json \"outer\"\n" (fun () ->
+      T.add c 3;
+      T.instant ~cat:"tst" ~args:[ ("x", T.Float 1.5) ] "json.blip");
+  let doc = parse_json (T.trace_json ()) in
+  let events =
+    match doc with
+    | Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Arr evs) -> evs
+        | _ -> Alcotest.fail "traceEvents array missing")
+    | _ -> Alcotest.fail "top level must be an object"
+  in
+  let field name = function
+    | Obj fs -> List.assoc_opt name fs
+    | _ -> None
+  in
+  let phase ev =
+    match field "ph" ev with Some (Jstr p) -> p | _ -> Alcotest.fail "ph missing"
+  in
+  List.iter
+    (fun ev ->
+      check_bool "every event is an object with a name" true
+        (match field "name" ev with Some (Jstr _) -> true | _ -> false))
+    events;
+  let of_phase p = List.filter (fun ev -> phase ev = p) events in
+  check_int "one X event per span" (List.length (T.spans ()))
+    (List.length (of_phase "X"));
+  check_int "one i event per instant" (List.length (T.instants ()))
+    (List.length (of_phase "i"));
+  let x = List.hd (of_phase "X") in
+  check_bool "span name escaped and round-tripped" true
+    (field "name" x = Some (Jstr "json \"outer\"\n"));
+  check_bool "ts and dur numeric and sane" true
+    (match (field "ts" x, field "dur" x) with
+    | Some (Num ts), Some (Num dur) -> ts >= 0. && dur >= 0.
+    | _ -> false);
+  let counter_sample =
+    List.find_opt
+      (fun ev -> field "name" ev = Some (Jstr "tst.json_hits"))
+      (of_phase "C")
+  in
+  check_bool "counter sampled at trace end" true
+    (match counter_sample with
+    | Some ev -> (
+        match field "args" ev with
+        | Some (Obj [ ("value", Num v) ]) -> v = 3.0
+        | _ -> false)
+    | None -> false);
+  check_bool "process metadata present" true
+    (List.exists (fun ev -> phase ev = "M") events)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text format                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_format () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.prom.hits" in
+  T.add c 7;
+  let h = T.histogram "tst.prom.sizes" in
+  T.observe h 3;
+  T.span ~cat:"tst" "prom.work" (fun () -> ());
+  let page = T.prometheus () in
+  let lines = String.split_on_char '\n' page in
+  let has l = List.mem l lines in
+  check_bool "counter line, dots sanitized" true
+    (has "lsml_tst_prom_hits_total 7");
+  check_bool "counter TYPE line" true
+    (has "# TYPE lsml_tst_prom_hits_total counter");
+  check_bool "histogram TYPE line" true
+    (has "# TYPE lsml_tst_prom_sizes histogram");
+  check_bool "histogram +Inf bucket" true
+    (has "lsml_tst_prom_sizes_bucket{le=\"+Inf\"} 1");
+  check_bool "histogram sum and count" true
+    (has "lsml_tst_prom_sizes_sum 3" && has "lsml_tst_prom_sizes_count 1");
+  let starts_with p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  check_bool "span aggregate count labelled by name" true
+    (List.exists
+       (fun l ->
+         starts_with "lsml_span_count{" l
+         && starts_with "lsml_span_count{name=\"prom.work\"" l)
+       lines);
+  check_bool "span aggregate seconds" true
+    (List.exists (starts_with "lsml_span_seconds_total{") lines);
+  (* Every non-comment, non-blank line is "name_or_labels value". *)
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then
+        match String.rindex_opt l ' ' with
+        | Some i ->
+            check_bool (l ^ " has numeric value") true
+              (float_of_string_opt
+                 (String.sub l (i + 1) (String.length l - i - 1))
+              <> None)
+        | None -> Alcotest.failf "malformed exposition line: %s" l)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* reset clears events but keeps registrations                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reset () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.reset_me" in
+  T.add c 9;
+  T.span "reset.span" (fun () -> ());
+  T.reset ();
+  check_int "events dropped" 0 (List.length (T.spans ()));
+  check_int "cells zeroed, name survives" 0
+    (List.assoc "tst.reset_me" (T.counters ()));
+  T.incr c;
+  check_int "handle still live after reset" 1
+    (List.assoc "tst.reset_me" (T.counters ()))
+
+let suites =
+  [ ( "telemetry",
+      [ Alcotest.test_case "disabled path" `Quick test_disabled_path;
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span exception" `Quick test_span_closes_on_exception;
+        Alcotest.test_case "counters histograms" `Quick
+          test_counters_and_histograms;
+        Alcotest.test_case "merge determinism" `Quick test_merge_determinism;
+        Alcotest.test_case "trace json roundtrip" `Quick
+          test_trace_json_roundtrip;
+        Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+        Alcotest.test_case "reset" `Quick test_reset ] ) ]
