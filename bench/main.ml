@@ -20,7 +20,7 @@ let usage_error msg =
 
 let all_experiments =
   [ "table3"; "fig1"; "fig2"; "fig3"; "fig4"; "table4"; "fig16_17"; "table5";
-    "table6"; "table7"; "fig5_6"; "fig7"; "fig11_12"; "fig21"; "fig32_33"; "fig26_27"; "appendix_bdd"; "ablations" ]
+    "table6"; "table7"; "fig5_6"; "fig7"; "fig11_12"; "fig21"; "fig32_33"; "fig26_27"; "appendix_bdd"; "ablations"; "corpus" ]
 
 let needs_shared_run = [ "table3"; "fig2"; "fig3"; "fig4"; "fig32_33" ]
 
@@ -601,6 +601,31 @@ let () =
         | "fig26_27" -> E.fig26_27 standalone_config
         | "appendix_bdd" -> E.appendix_bdd standalone_config
         | "ablations" -> E.ablations standalone_config
+        | "corpus" ->
+            (* Corpus factory smoke: write a generated corpus to disk, read
+               it back, and run it through the grid — the same round trip
+               the sharded CI pipeline exercises at 1000 benchmarks. *)
+            let path = Filename.temp_file "lsml-bench" ".lsmlc" in
+            Fun.protect
+              ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+              (fun () ->
+                let config =
+                  { Corpus.Gen.default_config with Corpus.Gen.count = 50; seed }
+                in
+                Corpus.Gen.generate_file ~path config;
+                Corpus.Format.with_file path (fun corpus ->
+                    Printf.printf "Corpus factory smoke (%d benchmarks, team10):\n"
+                      (Corpus.Format.count corpus);
+                    let options =
+                      {
+                        Corpus.Runner.default_options with
+                        Corpus.Runner.teams = [ Contest.Teams.team10 ];
+                        jobs;
+                        progress = false;
+                      }
+                    in
+                    Corpus.Runner.print_report corpus
+                      (Corpus.Runner.run options corpus)))
         | _ -> assert false)
       selected
   end

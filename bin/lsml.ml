@@ -9,6 +9,18 @@ let solver_of_name name =
   List.find_opt (fun (t : Contest.Solver.t) -> t.Contest.Solver.name = name)
     Contest.Teams.all
 
+let teams_of_spec = function
+  | None -> Contest.Teams.all
+  | Some spec ->
+      List.map
+        (fun name ->
+          match solver_of_name name with
+          | Some t -> t
+          | None ->
+              Printf.eprintf "unknown team %s\n" name;
+              exit 2)
+        (String.split_on_char ',' spec)
+
 let sizes_of_full full = if full then S.contest_sizes else S.reduced_sizes
 
 (* File-reading commands report malformed inputs as a friendly diagnostic
@@ -428,6 +440,24 @@ let metrics_arg =
            guard, GC) to $(docv) (default metrics.prom) in Prometheus text \
            format.")
 
+let fail_degraded_arg =
+  Arg.(
+    value & flag
+    & info [ "fail-degraded" ]
+        ~doc:
+          "Exit 1 when any (team, benchmark) row timed out, crashed, or \
+           fell back to the constant function — a CI gate on top of the \
+           always-printed failure summary.")
+
+(* The --fail-degraded CI gate, shared by suite and corpus run. *)
+let check_degraded fail_degraded per_team =
+  let degraded = Contest.Experiments.degraded_rows per_team in
+  if fail_degraded && degraded <> [] then begin
+    Printf.eprintf "lsml: %d degraded rows (--fail-degraded)\n"
+      (List.length degraded);
+    exit 1
+  end
+
 let perf_arg =
   Arg.(
     value & flag
@@ -461,25 +491,13 @@ let print_gc_section () =
 
 let suite_cmd =
   let run ids teams full seed jobs time_limit fuel journal resume trace
-      metrics perf =
+      metrics perf fail_degraded =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
     end;
     if trace <> None || metrics <> None || perf then Telemetry.enable ();
-    let teams =
-      match teams with
-      | None -> Contest.Teams.all
-      | Some spec ->
-          List.map
-            (fun name ->
-              match solver_of_name name with
-              | Some t -> t
-              | None ->
-                  Printf.eprintf "unknown team %s\n" name;
-                  exit 2)
-            (String.split_on_char ',' spec)
-    in
+    let teams = teams_of_spec teams in
     Resil.Fault.configure_from_env ();
     let config = Contest.Experiments.config_with ~full ?ids ~seed () in
     let journal =
@@ -500,10 +518,10 @@ let suite_cmd =
                 path;
               exit 2
             end;
-            Some (Resil.Journal.create ~path ~meta)
+            Some (Resil.Journal.create ~path ~meta ())
           end
           else
-            match Resil.Journal.load ~path ~meta with
+            match Resil.Journal.load ~path ~meta () with
             | Ok j -> Some j
             | Error msg ->
                 Printf.eprintf "cannot resume from %s: %s\n" path msg;
@@ -517,7 +535,8 @@ let suite_cmd =
     Contest.Experiments.failure_summary run;
     if perf then print_gc_section ();
     Option.iter write_trace_notice trace;
-    Option.iter write_metrics_notice metrics
+    Option.iter write_metrics_notice metrics;
+    check_degraded fail_degraded run.Contest.Experiments.per_team
   in
   Cmd.v
     (Cmd.info "suite"
@@ -534,7 +553,7 @@ let suite_cmd =
     Term.(
       const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg
       $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg $ trace_arg
-      $ metrics_arg $ perf_arg)
+      $ metrics_arg $ perf_arg $ fail_degraded_arg)
 
 (* ---- run (end to end) ---- *)
 
@@ -559,10 +578,249 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a team solver on a generated benchmark end to end.")
     Term.(const run $ id_arg $ team_arg $ full_arg $ seed_arg)
 
+(* ---- corpus (generated benchmark corpora, sharded runs) ---- *)
+
+let read_corpus path f =
+  try Corpus.Format.with_file path f
+  with Corpus.Format.Parse_error { offset; msg } ->
+    Printf.eprintf "lsml: %s: byte %d: %s\n" path offset msg;
+    exit 2
+
+let corpus_pos =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"CORPUS" ~doc:"Corpus file (see $(b,corpus generate)).")
+
+let sizes_conv =
+  let parse s =
+    match
+      List.map int_of_string_opt (String.split_on_char '/' (String.trim s))
+    with
+    | [ Some t; Some v; Some te ] when t > 0 && v > 0 && te > 0 ->
+        Ok { S.train = t; valid = v; test = te }
+    | _ -> Error (`Msg (Printf.sprintf "bad sizes %S: want TRAIN/VALID/TEST, e.g. 96/48/48" s))
+  in
+  let print ppf (s : S.sizes) =
+    Format.fprintf ppf "%d/%d/%d" s.S.train s.S.valid s.S.test
+  in
+  Arg.conv (parse, print)
+
+let shard_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Corpus.Shard.parse s) in
+  let print ppf s = Format.pp_print_string ppf (Corpus.Shard.to_string s) in
+  Arg.conv (parse, print)
+
+let shard_arg =
+  Arg.(
+    value
+    & opt (some shard_conv) None
+    & info [ "shard" ] ~docv:"K/N"
+        ~doc:
+          "Run only shard $(docv) (1-based) of the corpus: benchmark $(i,i) \
+           belongs to shard K of N iff $(i,i) mod N = K-1, so the N shards \
+           cover every benchmark exactly once.  Requires $(b,--journal); \
+           merge the shard journals with $(b,corpus merge).")
+
+let families_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Corpus.Gen.parse_families s) in
+  let print ppf fs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Benchgen.Families.family_name fs))
+  in
+  Arg.conv (parse, print)
+
+let noise_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Corpus.Gen.parse_noise s) in
+  let print ppf ns =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int ns))
+  in
+  Arg.conv (parse, print)
+
+let corpus_generate_cmd =
+  let default = Corpus.Gen.default_config in
+  let run out count seed sizes families noise =
+    let config =
+      { Corpus.Gen.count; seed; sizes; families; noise_sweep = noise }
+    in
+    Corpus.Gen.generate_file ~path:out config;
+    read_corpus out (fun t ->
+        Printf.printf "wrote %s: %d benchmarks, %d bytes\n  meta: %s\n" out
+          (Corpus.Format.count t) (Corpus.Format.size t) (Corpus.Format.meta t))
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a benchmark corpus: a single seekable binary file of \
+          sampled train/valid/test sets over the generator families \
+          (arithmetic cones, threshold, random symmetric, skewed-onset, \
+          near-parity), optionally under a label-noise sweep.  The corpus \
+          is deterministic in its parameters, which are recorded in the \
+          file's meta header.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "corpus.lsmlc"
+          & info [ "out" ] ~docv:"FILE" ~doc:"Output corpus file.")
+      $ Arg.(
+          value & opt int default.Corpus.Gen.count
+          & info [ "count" ] ~docv:"N" ~doc:"Number of benchmarks.")
+      $ seed_arg
+      $ Arg.(
+          value & opt sizes_conv default.Corpus.Gen.sizes
+          & info [ "sizes" ] ~docv:"T/V/T"
+              ~doc:"Samples per benchmark as TRAIN/VALID/TEST.")
+      $ Arg.(
+          value & opt families_conv default.Corpus.Gen.families
+          & info [ "families" ] ~docv:"LIST"
+              ~doc:
+                "Comma-separated generator families: arith, threshold, \
+                 symmetric, skewed, near-parity (default: all).")
+      $ Arg.(
+          value & opt noise_conv default.Corpus.Gen.noise_sweep
+          & info [ "noise" ] ~docv:"LIST"
+              ~doc:
+                "Label-noise sweep in permille, e.g. 0,25,100; each family \
+                 cycles through the rates (default: 0)."))
+
+let corpus_info_cmd =
+  let run path list_entries =
+    read_corpus path (fun t ->
+        Printf.printf "%s: %d benchmarks, %d bytes\nmeta: %s\n" path
+          (Corpus.Format.count t) (Corpus.Format.size t) (Corpus.Format.meta t);
+        if list_entries then
+          for i = 0 to Corpus.Format.count t - 1 do
+            let e = Corpus.Format.entry t i in
+            Printf.printf "%s  %-10s  %3d inputs  %d/%d/%d samples  %s\n"
+              e.Corpus.Format.name e.Corpus.Format.category
+              e.Corpus.Format.num_inputs e.Corpus.Format.train_samples
+              e.Corpus.Format.valid_samples e.Corpus.Format.test_samples
+              e.Corpus.Format.description
+          done)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a corpus file's meta header and index.")
+    Term.(
+      const run $ corpus_pos
+      $ Arg.(value & flag & info [ "list" ] ~doc:"Also list every benchmark."))
+
+let corpus_run_cmd =
+  let run path shard teams jobs time_limit fuel journal resume fail_degraded =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 2
+    end;
+    let teams = teams_of_spec teams in
+    Resil.Fault.configure_from_env ();
+    read_corpus path @@ fun corpus ->
+    let options = { Corpus.Runner.teams; jobs; progress = true; time_limit; fuel } in
+    let meta = Corpus.Runner.meta_of_options options corpus in
+    let shard_pair =
+      Option.map (fun (s : Corpus.Shard.t) -> (s.Corpus.Shard.index, s.Corpus.Shard.count)) shard
+    in
+    if shard <> None && journal = None then begin
+      Printf.eprintf
+        "--shard requires --journal FILE (shard results live in the journal \
+         and are assembled by corpus merge)\n";
+      exit 2
+    end;
+    let journal =
+      match (journal, resume) with
+      | None, false -> None
+      | None, true ->
+          Printf.eprintf "--resume requires --journal FILE\n";
+          exit 2
+      | Some jpath, resume -> (
+          if not resume then begin
+            if Sys.file_exists jpath then begin
+              Printf.eprintf
+                "journal %s already exists; pass --resume to continue it or \
+                 delete it to start over\n"
+                jpath;
+              exit 2
+            end;
+            Some (Resil.Journal.create ?shard:shard_pair ~path:jpath ~meta ())
+          end
+          else
+            match Resil.Journal.load ?shard:shard_pair ~path:jpath ~meta () with
+            | Ok j -> Some j
+            | Error msg ->
+                Printf.eprintf "cannot resume from %s: %s\n" jpath msg;
+                exit 2)
+    in
+    let per_team = Corpus.Runner.run ?shard ?journal options corpus in
+    (match shard with
+    | Some s ->
+        (* A shard's report would cover a quarter of a corpus; the real
+           output is its journal.  The merged report is printed by
+           [corpus merge], byte-identical to an unsharded run's. *)
+        Printf.printf "shard %s: %d benchmarks x %d teams journaled\n"
+          (Corpus.Shard.to_string s)
+          (match per_team with [] -> 0 | (_, ms) :: _ -> List.length ms)
+          (List.length per_team)
+    | None -> Corpus.Runner.print_report corpus per_team);
+    check_degraded fail_degraded per_team
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run team solvers over a corpus (or one $(b,--shard) of it) and \
+          print the report.  Shards journal their rows under a shard tag; \
+          $(b,corpus merge) reassembles the shard journals and prints a \
+          report byte-identical to an unsharded run's.")
+    Term.(
+      const run $ corpus_pos $ shard_arg $ teams_arg $ jobs_arg
+      $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg
+      $ fail_degraded_arg)
+
+let corpus_merge_cmd =
+  let run path sources out teams time_limit fuel =
+    let teams = teams_of_spec teams in
+    read_corpus path @@ fun corpus ->
+    let options =
+      { Corpus.Runner.teams; jobs = 1; progress = false; time_limit; fuel }
+    in
+    match Corpus.Runner.merge ~sources ~path:out options corpus with
+    | Error msg ->
+        Printf.eprintf "lsml: merge failed: %s\n" msg;
+        exit 2
+    | Ok per_team ->
+        Corpus.Runner.print_report corpus per_team;
+        Printf.eprintf "merged %d shard journals into %s\n"
+          (List.length sources) out
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge per-shard journals of a corpus run into one unsharded \
+          journal and print the report.  Validates that the sources are \
+          exactly shards 1..N of the same run configuration; both the \
+          merged journal and the report are byte-identical to what a \
+          single unsharded run produces.")
+    Term.(
+      const run $ corpus_pos
+      $ Arg.(
+          non_empty
+          & pos_right 0 file []
+          & info [] ~docv:"JOURNAL" ~doc:"Per-shard journal files.")
+      $ Arg.(
+          value & opt string "merged.journal"
+          & info [ "out" ] ~docv:"FILE" ~doc:"Merged journal output path.")
+      $ teams_arg $ time_limit_arg $ fuel_arg)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Benchmark corpus factory: generate corpora at any scale, run \
+          them sharded across processes, and merge the shard journals \
+          into one byte-identical report.")
+    [ corpus_generate_cmd; corpus_info_cmd; corpus_run_cmd; corpus_merge_cmd ]
+
 let () =
   let doc = "learning incompletely-specified Boolean functions (IWLS 2020 contest)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lsml" ~doc)
           [ list_cmd; generate_cmd; solve_cmd; eval_cmd; verify_cmd;
-            sweep_cmd; run_cmd; suite_cmd; pareto_cmd; stats_cmd ]))
+            sweep_cmd; run_cmd; suite_cmd; pareto_cmd; stats_cmd; corpus_cmd ]))

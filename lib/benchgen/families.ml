@@ -1,0 +1,230 @@
+module S = Suite
+
+type family =
+  | Arith_cone
+  | Threshold
+  | Symmetric_rand
+  | Skewed_onset
+  | Near_parity
+
+let all_families =
+  [ Arith_cone; Threshold; Symmetric_rand; Skewed_onset; Near_parity ]
+
+let family_name = function
+  | Arith_cone -> "arith"
+  | Threshold -> "threshold"
+  | Symmetric_rand -> "symmetric"
+  | Skewed_onset -> "skewed"
+  | Near_parity -> "near-parity"
+
+let family_of_name = function
+  | "arith" -> Some Arith_cone
+  | "threshold" -> Some Threshold
+  | "symmetric" -> Some Symmetric_rand
+  | "skewed" -> Some Skewed_onset
+  | "near-parity" -> Some Near_parity
+  | _ -> None
+
+type spec = {
+  family : family;
+  num_inputs : int;
+  param : int;
+  fseed : int;
+  noise_permille : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic hashing of input vectors.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Onset membership for the random-function families must be a pure
+   function of (seed, input vector) that is identical on every machine:
+   a finalizer-style integer mixer folded over the set bit positions.
+   OCaml ints are 63-bit on every supported 64-bit platform, and the
+   constants below fit in 62 bits, so overflow wraps identically
+   everywhere. *)
+let mix h =
+  let h = h lxor (h lsr 33) in
+  let h = h * 0xff51afd7ed558c in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0xc4ceb9fe1a85ec in
+  h lxor (h lsr 32)
+
+let hash_bits ~seed bits =
+  let h = ref (mix (seed + 0x51ed2701)) in
+  Array.iteri (fun i b -> if b then h := mix (!h + ((i + 1) * 0x9e3779b9))) bits;
+  mix (!h + Array.length bits) land max_int
+
+(* [hash_permille ~seed bits < p] holds for about p/1000 of all vectors. *)
+let hash_permille ~seed bits = hash_bits ~seed bits mod 1000
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Arith_cone param encodes [kind * 64 + bit]: which arithmetic function
+   and which output bit of it.  The operand width is derived from
+   num_inputs (two words for all kinds but sqrt). *)
+let arith_kinds = 5
+
+let arith_oracle spec =
+  let kind = spec.param / 64 and bit = spec.param mod 64 in
+  match kind with
+  | 0 ->
+      let k = spec.num_inputs / 2 in
+      Arith_bench.adder_bit ~k ~bit:(min bit k)
+  | 1 ->
+      let k = spec.num_inputs / 2 in
+      Arith_bench.multiplier_bit ~k ~bit:(min bit ((2 * k) - 1))
+  | 2 ->
+      let k = spec.num_inputs / 2 in
+      Arith_bench.comparator ~k
+  | 3 ->
+      (* Bitvec.isqrt of a k-bit word has (k+1)/2 bits. *)
+      Arith_bench.sqrt_bit ~k:spec.num_inputs
+        ~bit:(min bit (((spec.num_inputs + 1) / 2) - 1))
+  | 4 ->
+      let k = spec.num_inputs / 2 in
+      Arith_bench.remainder_msb ~k
+  | _ -> invalid_arg "Families.arith_oracle: bad kind"
+
+let signature_of_fseed ~num_inputs fseed =
+  let st = Random.State.make [| 0x519; fseed |] in
+  String.init (num_inputs + 1) (fun _ -> if Random.State.bool st then '1' else '0')
+
+let base_oracle spec =
+  match spec.family with
+  | Arith_cone -> arith_oracle spec
+  | Threshold ->
+      let t = spec.param in
+      fun bits ->
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits >= t
+  | Symmetric_rand ->
+      Arith_bench.symmetric
+        ~signature:(signature_of_fseed ~num_inputs:spec.num_inputs spec.fseed)
+  | Skewed_onset ->
+      let p = spec.param and seed = spec.fseed in
+      fun bits -> hash_permille ~seed bits < p
+  | Near_parity ->
+      let p = spec.param and seed = spec.fseed in
+      fun bits ->
+        Array.fold_left ( <> ) false bits <> (hash_permille ~seed bits < p)
+
+let oracle spec =
+  let base = base_oracle spec in
+  if spec.noise_permille = 0 then base
+  else begin
+    (* Label noise is a deterministic per-vector flip, so the disjoint
+       train/valid/test draw still never labels a vector inconsistently. *)
+    let seed = spec.fseed lxor 0x6e015e in
+    let p = spec.noise_permille in
+    fun bits -> base bits <> (hash_permille ~seed bits < p)
+  end
+
+let category spec =
+  match spec.family with
+  | Arith_cone -> (
+      match spec.param / 64 with
+      | 0 -> S.Adder
+      | 1 -> S.Multiplier
+      | 2 -> S.Comparator
+      | 3 -> S.Square_root
+      | _ -> S.Divider)
+  | Threshold | Symmetric_rand -> S.Symmetric
+  | Skewed_onset | Near_parity -> S.Logic_cone
+
+let slug spec =
+  let noise =
+    if spec.noise_permille = 0 then ""
+    else Printf.sprintf "-n%03d" spec.noise_permille
+  in
+  Printf.sprintf "%s%d-p%d-s%d%s"
+    (family_name spec.family)
+    spec.num_inputs spec.param spec.fseed noise
+
+let description spec =
+  let base =
+    match spec.family with
+    | Arith_cone -> (
+        let kind = spec.param / 64 and bit = spec.param mod 64 in
+        let k = spec.num_inputs / 2 in
+        match kind with
+        | 0 -> Printf.sprintf "bit %d of %d-bit adder" (min bit k) k
+        | 1 -> Printf.sprintf "bit %d of %d-bit multiplier" (min bit ((2 * k) - 1)) k
+        | 2 -> Printf.sprintf "%d-bit comparator (a < b)" k
+        | 3 ->
+            Printf.sprintf "bit %d of %d-bit square root"
+              (min bit (((spec.num_inputs + 1) / 2) - 1))
+              spec.num_inputs
+        | _ -> Printf.sprintf "MSB of %d-bit remainder" k)
+    | Threshold ->
+        Printf.sprintf "%d-input threshold (popcount >= %d)" spec.num_inputs
+          spec.param
+    | Symmetric_rand ->
+        Printf.sprintf "%d-input random symmetric (seed %d)" spec.num_inputs
+          spec.fseed
+    | Skewed_onset ->
+        Printf.sprintf "%d-input random function, onset %.1f%%" spec.num_inputs
+          (float_of_int spec.param /. 10.0)
+    | Near_parity ->
+        Printf.sprintf "%d-input parity flipped on %.1f%% of inputs"
+          spec.num_inputs
+          (float_of_int spec.param /. 10.0)
+  in
+  if spec.noise_permille = 0 then base
+  else Printf.sprintf "%s, %.1f%% label noise" base
+         (float_of_int spec.noise_permille /. 10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(families = all_families) ?(noise_sweep = [ 0 ]) ~seed ~count () =
+  if families = [] then invalid_arg "Families.generate: empty family list";
+  if noise_sweep = [] then invalid_arg "Families.generate: empty noise sweep";
+  let families = Array.of_list families and noise = Array.of_list noise_sweep in
+  let nf = Array.length families in
+  List.init count (fun i ->
+      let family = families.(i mod nf) in
+      let noise_permille = noise.((i / nf) mod Array.length noise) in
+      let st = Random.State.make [| 0xfa3; seed; i |] in
+      let fseed = Random.State.int st 0x3FFFFFFF in
+      match family with
+      | Arith_cone ->
+          let kind = Random.State.int st arith_kinds in
+          let k = 4 + Random.State.int st 9 in
+          let num_inputs = if kind = 3 then 8 + Random.State.int st 17 else 2 * k in
+          let max_bit = if kind = 3 then (num_inputs + 1) / 2 else 2 * k in
+          let bit = Random.State.int st max_bit in
+          { family; num_inputs; param = (kind * 64) + bit; fseed; noise_permille }
+      | Threshold ->
+          let num_inputs = 8 + Random.State.int st 17 in
+          let param = 1 + Random.State.int st (num_inputs - 1) in
+          { family; num_inputs; param; fseed; noise_permille }
+      | Symmetric_rand ->
+          let num_inputs = 8 + Random.State.int st 17 in
+          { family; num_inputs; param = 0; fseed; noise_permille }
+      | Skewed_onset ->
+          let num_inputs = 10 + Random.State.int st 15 in
+          (* onset between 5% and 45%: skewed but not constant *)
+          let param = 50 + Random.State.int st 400 in
+          { family; num_inputs; param; fseed; noise_permille }
+      | Near_parity ->
+          let num_inputs = 10 + Random.State.int st 15 in
+          (* flip the parity on 1%-10% of the input space *)
+          let param = 10 + Random.State.int st 90 in
+          { family; num_inputs; param; fseed; noise_permille })
+
+let benchmark_of ~id spec =
+  {
+    S.id;
+    name = Printf.sprintf "c%05d-%s" id (slug spec);
+    category = category spec;
+    num_inputs = spec.num_inputs;
+    description = description spec;
+  }
+
+let instantiate ?(sizes = S.reduced_sizes) ~id spec =
+  S.instantiate_oracle ~sizes
+    ~key:[| 0xc09b; spec.fseed; id |]
+    ~spec:(benchmark_of ~id spec) (oracle spec)

@@ -1,0 +1,68 @@
+(** Corpus generator families (OpenLS-DGF direction).
+
+    Where {!Suite} reproduces the paper's fixed 100-benchmark grid, this
+    module generates *families* of benchmarks at any scale: arithmetic
+    cones over randomized widths and output bits, symmetric and threshold
+    functions, skewed-onset random functions, adversarial near-parity
+    functions, and a label-noise sweep applicable to any base family.
+    Every oracle is a pure function of its {!spec}, so a corpus is fully
+    reproducible from (seed, count) alone. *)
+
+type family =
+  | Arith_cone  (** adder / multiplier / comparator / sqrt / remainder bits *)
+  | Threshold  (** [popcount >= t] *)
+  | Symmetric_rand  (** random (n+1)-signature symmetric function *)
+  | Skewed_onset  (** hash-random function with onset probability p *)
+  | Near_parity  (** parity, flipped on a small hash-random input subset *)
+
+val all_families : family list
+
+val family_name : family -> string
+val family_of_name : string -> family option
+
+type spec = {
+  family : family;
+  num_inputs : int;
+  param : int;
+      (** family parameter: threshold count, onset/flip permille, or
+          arith [kind * 64 + bit] *)
+  fseed : int;  (** family-specific seed (signature, hash keys) *)
+  noise_permille : int;
+      (** label-noise rate in permille; 0 disables the noise wrapper *)
+}
+
+val oracle : spec -> bool array -> bool
+(** Deterministic oracle for the spec, label noise included: noise flips
+    the base label on a fixed pseudo-random fraction of the input space,
+    so repeated queries of one vector always agree. *)
+
+val category : spec -> Suite.category
+(** Closest suite category, so corpus instances flow through the team
+    solvers' category-aware paths unchanged. *)
+
+val slug : spec -> string
+(** Short name fragment, e.g. ["threshold16-p9-s123"]. *)
+
+val description : spec -> string
+
+val generate :
+  ?families:family list ->
+  ?noise_sweep:int list ->
+  seed:int ->
+  count:int ->
+  unit ->
+  spec list
+(** [count] specs cycling over [families] (default all five) and, per
+    family cycle, over [noise_sweep] (default [[0]], i.e. no noise);
+    widths and parameters are drawn deterministically from [seed].
+    Raises [Invalid_argument] on an empty family list or noise sweep. *)
+
+val benchmark_of : id:int -> spec -> Suite.benchmark
+(** Suite-compatible descriptor; the name embeds the corpus index, e.g.
+    ["c00042-threshold16-p9-s123"]. *)
+
+val instantiate : ?sizes:Suite.sizes -> id:int -> spec -> Suite.instance
+(** Sample train/valid/test sets for the spec (disjoint input vectors,
+    deterministic in [(spec, id, sizes)]).  Default sizes are the
+    reduced 1500/1500/1500 — corpus generation typically passes much
+    smaller ones. *)

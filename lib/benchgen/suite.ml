@@ -195,35 +195,48 @@ let random_bits st n = Array.init n (fun _ -> Random.State.bool st)
 let key_of_bits bits =
   String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
 
-let instantiate ?(sizes = contest_sizes) ~seed spec =
-  let st = Random.State.make [| 0xbe7c; seed; spec.id |] in
-  let total = sizes.train + sizes.valid + sizes.test in
-  let rows =
-    match oracle spec with
-    | Some f ->
-        let seen = Hashtbl.create (2 * total) in
-        let rec draw acc remaining guard =
-          if remaining = 0 || guard = 0 then acc
-          else begin
-            let bits = random_bits st spec.num_inputs in
-            let key = key_of_bits bits in
-            if Hashtbl.mem seen key then draw acc remaining (guard - 1)
-            else begin
-              Hashtbl.add seen key ();
-              draw ((bits, f bits) :: acc) (remaining - 1) (guard - 1)
-            end
-          end
-        in
-        draw [] total (20 * total)
-    | None -> (
-        match image_source spec with
-        | Some (images, comparison) ->
-            List.init total (fun _ -> Image_bench.sample images ~comparison st)
-        | None -> assert false)
+(* Duplicate-free sampling: input vectors are unique across all three
+   sets, so a deterministic oracle never labels the same vector twice. *)
+let sample_disjoint st ~num_inputs ~total f =
+  let seen = Hashtbl.create (2 * total) in
+  let rec draw acc remaining guard =
+    if remaining = 0 || guard = 0 then acc
+    else begin
+      let bits = random_bits st num_inputs in
+      let key = key_of_bits bits in
+      if Hashtbl.mem seen key then draw acc remaining (guard - 1)
+      else begin
+        Hashtbl.add seen key ();
+        draw ((bits, f bits) :: acc) (remaining - 1) (guard - 1)
+      end
+    end
   in
+  draw [] total (20 * total)
+
+let split_sets ~(sizes : sizes) spec rows =
   let d = Data.Dataset.create ~num_inputs:spec.num_inputs rows in
   let train, rest = Data.Dataset.split_at d (min sizes.train (Data.Dataset.num_samples d)) in
   let valid, test =
     Data.Dataset.split_at rest (min sizes.valid (Data.Dataset.num_samples rest))
   in
   { spec; train; valid; test }
+
+let instantiate_oracle ?(sizes = contest_sizes) ~key ~spec f =
+  let st = Random.State.make key in
+  let total = sizes.train + sizes.valid + sizes.test in
+  split_sets ~sizes spec (sample_disjoint st ~num_inputs:spec.num_inputs ~total f)
+
+let instantiate ?(sizes = contest_sizes) ~seed spec =
+  let key = [| 0xbe7c; seed; spec.id |] in
+  match oracle spec with
+  | Some f -> instantiate_oracle ~sizes ~key ~spec f
+  | None ->
+      let st = Random.State.make key in
+      let total = sizes.train + sizes.valid + sizes.test in
+      let rows =
+        match image_source spec with
+        | Some (images, comparison) ->
+            List.init total (fun _ -> Image_bench.sample images ~comparison st)
+        | None -> assert false
+      in
+      split_sets ~sizes spec rows

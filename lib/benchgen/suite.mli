@@ -60,3 +60,12 @@ val instantiate : ?sizes:sizes -> seed:int -> benchmark -> instance
     oracles the three sets have disjoint input vectors; for the image
     benchmarks samples are drawn independently (duplicates across sets are
     as unlikely as in the originals). *)
+
+val instantiate_oracle :
+  ?sizes:sizes -> key:int array -> spec:benchmark -> (bool array -> bool) ->
+  instance
+(** Sample an instance of an arbitrary oracle: train/valid/test input
+    vectors are disjoint and the whole draw is deterministic in the RNG
+    [key].  This is the sampling primitive behind {!instantiate}, exposed
+    for external benchmark sources (the corpus factory) whose specs are
+    not part of the 100-benchmark suite. *)

@@ -117,10 +117,8 @@ let phase_span name f =
     r
   end
 
-let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
-    ?fuel ?journal config =
-  phase_span "suite" @@ fun () ->
-  let instances = phase_span "suite.instantiate" (fun () -> instances_of config) in
+let solve_grid ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
+    ?fuel ?journal instances =
   (* Every (team, benchmark) solve is an independent task; results land in
      slots keyed by task index, so the report rows come out in canonical
      team-then-benchmark order for any [jobs] count. *)
@@ -182,21 +180,27 @@ let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
       outcomes
   in
   let num_instances = List.length instances in
+  List.mapi
+    (fun ti (solver : Solver.t) ->
+      ( solver.Solver.name,
+        List.init num_instances (fun j -> metrics.((ti * num_instances) + j)) ))
+    teams
+
+let run_suite ?(teams = Teams.all) ?(progress = true) ?(jobs = 1) ?time_limit
+    ?fuel ?journal config =
+  phase_span "suite" @@ fun () ->
+  let instances = phase_span "suite.instantiate" (fun () -> instances_of config) in
   let per_team =
-    List.mapi
-      (fun ti (solver : Solver.t) ->
-        ( solver.Solver.name,
-          List.init num_instances (fun j -> metrics.((ti * num_instances) + j)) ))
-      teams
+    solve_grid ~teams ~progress ~jobs ?time_limit ?fuel ?journal instances
   in
   { config; instances; per_team }
 
 (* ------------------------------------------------------------------ *)
 
-let table3 run =
+let table3_of per_team =
   Report.heading "Table III: performance of the different teams";
   let rows =
-    run.per_team
+    per_team
     |> List.map (fun (team, ms) -> Score.team_summary ~team ms)
     |> Score.sort_rows
     |> List.map (fun (r : Score.team_row) ->
@@ -215,21 +219,25 @@ let table3 run =
         "crash"; "fb" ]
     rows
 
+let table3 run = table3_of run.per_team
+
+let degraded_rows per_team =
+  List.concat_map
+    (fun (team, ms) ->
+      List.filter_map
+        (fun (m : Score.metrics) ->
+          if m.Score.timeouts > 0 || m.Score.crashes > 0 || m.Score.fell_back
+          then Some (team, m)
+          else None)
+        ms)
+    per_team
+
 (* End-of-run failure summary.  The "degraded rows:" line is a stable
    marker: the CI resilience job greps for it to assert that an injected-
-   fault run completed with degraded rows instead of dying. *)
-let failure_summary run =
-  let degraded =
-    List.concat_map
-      (fun (team, ms) ->
-        List.filter_map
-          (fun (m : Score.metrics) ->
-            if m.Score.timeouts > 0 || m.Score.crashes > 0 || m.Score.fell_back
-            then Some (team, m)
-            else None)
-          ms)
-      run.per_team
-  in
+   fault run completed with degraded rows instead of dying, and the
+   --fail-degraded gate quotes its count in the exit message. *)
+let print_failure_summary ~name_of per_team =
+  let degraded = degraded_rows per_team in
   let total f = List.fold_left (fun acc (_, m) -> acc + f m) 0 degraded in
   Printf.printf "\ndegraded rows: %d (timeouts=%d crashes=%d fallbacks=%d)\n"
     (List.length degraded)
@@ -245,7 +253,7 @@ let failure_summary run =
       ~header:[ "task"; "technique"; "t/o"; "crash"; "fallback"; "wall (s)" ]
       (List.map
          (fun (team, (m : Score.metrics)) ->
-           [ Printf.sprintf "%s/%s" team (S.benchmark m.Score.benchmark).S.name;
+           [ Printf.sprintf "%s/%s" team (name_of m.Score.benchmark);
              m.Score.technique;
              string_of_int m.Score.timeouts;
              string_of_int m.Score.crashes;
@@ -253,6 +261,11 @@ let failure_summary run =
              Printf.sprintf "%.1f" m.Score.wall_s ])
          degraded)
   end
+
+let failure_summary run =
+  print_failure_summary
+    ~name_of:(fun id -> (S.benchmark id).S.name)
+    run.per_team
 
 let fig1 () =
   Report.heading "Fig. 1: representations used by the teams";

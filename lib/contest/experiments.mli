@@ -50,6 +50,21 @@ val run_suite :
     journaled rows, so mixing [--resume] with [time_limit] is still
     deterministic for the replayed prefix only). *)
 
+val solve_grid :
+  ?teams:Solver.t list ->
+  ?progress:bool ->
+  ?jobs:int ->
+  ?time_limit:float ->
+  ?fuel:int ->
+  ?journal:Resil.Journal.t ->
+  Benchgen.Suite.instance list ->
+  (string * Score.metrics list) list
+(** The team-by-benchmark grid behind {!run_suite}, over an explicit
+    instance list from any source — the suite generator or an external
+    benchmark corpus.  Semantics (guarding, journaling, jobs-count
+    byte-identity) are exactly {!run_suite}'s; rows come back in
+    canonical team-then-instance order. *)
+
 val task_key : Solver.t -> Benchgen.Suite.instance -> string
 (** ["team3/ex07"] — the journal key and fault-context key of a task. *)
 
@@ -62,6 +77,23 @@ val journal_meta :
 val failure_summary : run -> unit
 (** Print the end-of-run failure summary: a stable "degraded rows:" count
     line (grepped by CI) and one row per timeout/crash/fallback task. *)
+
+val degraded_rows :
+  (string * Score.metrics list) list -> (string * Score.metrics) list
+(** The (team, metrics) pairs that timed out, crashed, or fell back —
+    what {!failure_summary} tabulates and [--fail-degraded] counts. *)
+
+val print_failure_summary :
+  name_of:(int -> string) ->
+  (string * Score.metrics list) list ->
+  unit
+(** {!failure_summary} over explicit rows, resolving benchmark ids to
+    names through [name_of] (suite runs use [Suite.benchmark]; corpus
+    runs use the corpus index). *)
+
+val table3_of : (string * Score.metrics list) list -> unit
+(** {!table3} over explicit per-team rows (used by corpus reports, whose
+    rows may come from merged shard journals rather than a {!run}). *)
 
 (** {1 Experiments driven by the shared run} *)
 

@@ -1,0 +1,274 @@
+module D = Data.Dataset
+
+let magic = "lsmlcorp"
+let version = 1
+
+exception Parse_error of { offset : int; msg : string }
+
+let parse_error offset fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { offset; msg })) fmt
+
+type entry = {
+  name : string;
+  category : string;
+  description : string;
+  num_inputs : int;
+  train_samples : int;
+  valid_samples : int;
+  test_samples : int;
+}
+
+type located = { entry : entry; offset : int; length : int }
+
+(* ------------------------------------------------------------------ *)
+(* Sizes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One dataset packs (num_inputs + 1) bits per sample — inputs then the
+   output bit — row-major, padded to a whole byte per dataset. *)
+let dataset_bytes ~num_inputs samples = (((num_inputs + 1) * samples) + 7) / 8
+
+let blob_length e =
+  dataset_bytes ~num_inputs:e.num_inputs e.train_samples
+  + dataset_bytes ~num_inputs:e.num_inputs e.valid_samples
+  + dataset_bytes ~num_inputs:e.num_inputs e.test_samples
+
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Corpus.Format: %s %d out of u16 range" what v)
+
+let index_entry_size e =
+  check_u16 "name length" (String.length e.name);
+  check_u16 "category length" (String.length e.category);
+  check_u16 "description length" (String.length e.description);
+  check_u16 "num_inputs" e.num_inputs;
+  2 + String.length e.name + 2 + String.length e.category + 2
+  + String.length e.description + 2 + 4 + 4 + 4 + 8 + 8
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_u16 buf v = Buffer.add_uint16_le buf v
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let add_u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_str16 buf s =
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let pack_dataset buf d =
+  let columns = D.columns d in
+  let outputs = D.outputs d in
+  let n = D.num_inputs d and s = D.num_samples d in
+  let acc = ref 0 and nbits = ref 0 in
+  let push b =
+    if b then acc := !acc lor (1 lsl !nbits);
+    incr nbits;
+    if !nbits = 8 then begin
+      Buffer.add_char buf (Char.chr !acc);
+      acc := 0;
+      nbits := 0
+    end
+  in
+  for j = 0 to s - 1 do
+    for i = 0 to n - 1 do
+      push (Words.get columns.(i) j)
+    done;
+    push (Words.get outputs j)
+  done;
+  if !nbits > 0 then Buffer.add_char buf (Char.chr !acc)
+
+let write ~path ~meta ~entries ~data =
+  let entries = Array.of_list entries in
+  let count = Array.length entries in
+  let index_size =
+    Array.fold_left (fun acc e -> acc + index_entry_size e) 0 entries
+  in
+  let header_size = 8 + 2 + 2 + 4 + 4 + String.length meta + index_size in
+  (* Blob offsets are a pure function of the declared sample counts, so
+     header and index go out in one pass before any dataset exists. *)
+  let offsets = Array.make count 0 in
+  let total = ref header_size in
+  Array.iteri
+    (fun i e ->
+      offsets.(i) <- !total;
+      total := !total + blob_length e)
+    entries;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      let buf = Buffer.create (64 * 1024) in
+      Buffer.add_string buf magic;
+      add_u16 buf version;
+      add_u16 buf 0;
+      add_u32 buf count;
+      add_u32 buf (String.length meta);
+      Buffer.add_string buf meta;
+      Array.iteri
+        (fun i e ->
+          add_str16 buf e.name;
+          add_str16 buf e.category;
+          add_str16 buf e.description;
+          add_u16 buf e.num_inputs;
+          add_u32 buf e.train_samples;
+          add_u32 buf e.valid_samples;
+          add_u32 buf e.test_samples;
+          add_u64 buf offsets.(i);
+          add_u64 buf (blob_length e))
+        entries;
+      if Buffer.length buf <> header_size then
+        invalid_arg "Corpus.Format.write: header size mismatch";
+      Buffer.output_buffer oc buf;
+      Array.iteri
+        (fun i e ->
+          let train, valid, test = data i in
+          let check what d expected =
+            if D.num_samples d <> expected || D.num_inputs d <> e.num_inputs
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Corpus.Format.write: %s of %s does not match its index \
+                    entry"
+                   what e.name)
+          in
+          check "train set" train e.train_samples;
+          check "valid set" valid e.valid_samples;
+          check "test set" test e.test_samples;
+          let blob = Buffer.create (blob_length e) in
+          pack_dataset blob train;
+          pack_dataset blob valid;
+          pack_dataset blob test;
+          if Buffer.length blob <> blob_length e then
+            invalid_arg "Corpus.Format.write: blob size mismatch";
+          Buffer.output_buffer oc blob)
+        entries);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  ic : in_channel;
+  file_size : int;
+  meta : string;
+  index : located array;
+}
+
+let meta t = t.meta
+let count t = Array.length t.index
+let size t = t.file_size
+
+let locate t i =
+  if i < 0 || i >= Array.length t.index then
+    invalid_arg "Corpus.Format: benchmark index out of range";
+  t.index.(i)
+
+let entry t i = (locate t i).entry
+
+(* Cursor over the in_channel that turns every short read into a
+   truncation Parse_error carrying the file offset. *)
+let read_exactly ic ~pos len what =
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with End_of_file ->
+     parse_error pos "truncated corpus: %s needs %d bytes" what len);
+  b
+
+let open_file path =
+  let ic = open_in_bin path in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then close_in ic)
+    (fun () ->
+      let file_size = in_channel_length ic in
+      let pos = ref 0 in
+      let read len what =
+        let b = read_exactly ic ~pos:!pos len what in
+        pos := !pos + len;
+        b
+      in
+      let u16 what = Bytes.get_uint16_le (read 2 what) 0 in
+      let u32 what = Int32.to_int (Bytes.get_int32_le (read 4 what) 0) in
+      let u64 what = Int64.to_int (Bytes.get_int64_le (read 8 what) 0) in
+      let str16 what = Bytes.to_string (read (u16 (what ^ " length")) what) in
+      let m = Bytes.to_string (read 8 "magic") in
+      if m <> magic then
+        parse_error 0 "bad corpus magic %S (want %S)" m magic;
+      let v = u16 "version" in
+      if v <> version then
+        parse_error 8 "unsupported corpus version %d (want %d)" v version;
+      ignore (u16 "reserved");
+      let n = u32 "benchmark count" in
+      if n < 0 then parse_error 12 "negative benchmark count";
+      let meta_len = u32 "meta length" in
+      if meta_len < 0 || meta_len > file_size then
+        parse_error 16 "corrupt meta length %d" meta_len;
+      let meta = Bytes.to_string (read meta_len "meta") in
+      let index =
+        Array.init n (fun i ->
+            let at = !pos in
+            let name = str16 "benchmark name" in
+            let category = str16 "category" in
+            let description = str16 "description" in
+            let num_inputs = u16 "num_inputs" in
+            let train_samples = u32 "train sample count" in
+            let valid_samples = u32 "valid sample count" in
+            let test_samples = u32 "test sample count" in
+            let offset = u64 "blob offset" in
+            let length = u64 "blob length" in
+            let entry =
+              { name; category; description; num_inputs; train_samples;
+                valid_samples; test_samples }
+            in
+            if num_inputs = 0 then
+              parse_error at "benchmark %d has zero inputs" i;
+            if length <> blob_length entry then
+              parse_error at
+                "benchmark %s: blob length %d does not match its sample \
+                 counts (want %d)"
+                name length (blob_length entry);
+            if offset < 0 || offset + length > file_size then
+              parse_error at
+                "truncated corpus: benchmark %s needs bytes %d-%d of a \
+                 %d-byte file"
+                name offset (offset + length) file_size;
+            { entry; offset; length })
+      in
+      ok := true;
+      { ic; file_size; meta; index })
+
+let close t = close_in t.ic
+
+let with_file path f =
+  let t = open_file path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let unpack_dataset bytes ~pos ~num_inputs ~samples =
+  let bit k =
+    let b = pos + (k / 8) in
+    Char.code (Bytes.get bytes b) land (1 lsl (k mod 8)) <> 0
+  in
+  let rows =
+    List.init samples (fun j ->
+        let base = j * (num_inputs + 1) in
+        (Array.init num_inputs (fun i -> bit (base + i)), bit (base + num_inputs)))
+  in
+  D.create ~num_inputs rows
+
+let read_datasets t i =
+  let { entry = e; offset; length } = locate t i in
+  seek_in t.ic offset;
+  let bytes =
+    try read_exactly t.ic ~pos:offset length "benchmark blob"
+    with Parse_error _ ->
+      parse_error offset "truncated corpus: benchmark %s blob" e.name
+  in
+  let n = e.num_inputs in
+  let p0 = 0 in
+  let p1 = p0 + dataset_bytes ~num_inputs:n e.train_samples in
+  let p2 = p1 + dataset_bytes ~num_inputs:n e.valid_samples in
+  ( unpack_dataset bytes ~pos:p0 ~num_inputs:n ~samples:e.train_samples,
+    unpack_dataset bytes ~pos:p1 ~num_inputs:n ~samples:e.valid_samples,
+    unpack_dataset bytes ~pos:p2 ~num_inputs:n ~samples:e.test_samples )

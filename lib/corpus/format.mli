@@ -1,0 +1,83 @@
+(** Seekable binary container for benchmark corpora.
+
+    Layout (all integers little-endian), version 1:
+
+    {v
+    magic    8 bytes  "lsmlcorp"
+    version  u16      1
+    reserved u16      0
+    count    u32      number of benchmarks
+    meta_len u32      length of the meta string
+    meta     bytes    generator fingerprint (free-form text)
+    index    count entries, each:
+      name_len u16, name bytes
+      category_len u16, category bytes
+      description_len u16, description bytes
+      num_inputs u16
+      train_samples u32, valid_samples u32, test_samples u32
+      offset u64   absolute file offset of this benchmark's blob
+      length u64   blob length in bytes
+    blobs    one per benchmark, in index order
+    v}
+
+    A blob is the train, valid and test datasets concatenated.  Each
+    dataset packs [(num_inputs + 1)] bits per sample — the input bits in
+    index order, then the output bit — row-major, least-significant bit
+    first within each byte, padded to a whole byte per dataset.  Offsets
+    are a pure function of the index, so any benchmark can be loaded
+    with one seek without touching the rest of the file. *)
+
+exception Parse_error of { offset : int; msg : string }
+(** Raised by {!open_file} and {!read_datasets} on a malformed or
+    truncated corpus; [offset] is the file position of the problem. *)
+
+type entry = {
+  name : string;
+  category : string;  (** {!Benchgen.Suite.category_name} string *)
+  description : string;
+  num_inputs : int;
+  train_samples : int;
+  valid_samples : int;
+  test_samples : int;
+}
+
+val blob_length : entry -> int
+(** Packed byte length of an entry's blob, derived from its counts. *)
+
+val write :
+  path:string ->
+  meta:string ->
+  entries:entry list ->
+  data:(int -> Data.Dataset.t * Data.Dataset.t * Data.Dataset.t) ->
+  unit
+(** Write a corpus.  [data i] supplies the (train, valid, test) datasets
+    of the [i]-th entry; it is called once per entry, in order, after the
+    header and index have been written, so datasets can be generated on
+    demand and never all held at once.  The file is written to
+    [path ^ ".tmp"] and renamed into place.  Raises [Invalid_argument]
+    if a dataset disagrees with its index entry. *)
+
+(** {1 Reading} *)
+
+type t
+
+val open_file : string -> t
+(** Open and validate a corpus: magic, version, index bounds.  Raises
+    {!Parse_error} on any malformed input and [Sys_error] if the file
+    cannot be opened. *)
+
+val close : t -> unit
+val with_file : string -> (t -> 'a) -> 'a
+
+val meta : t -> string
+val count : t -> int
+val size : t -> int
+(** Total file size in bytes. *)
+
+val entry : t -> int -> entry
+(** Index entry of the [i]-th benchmark.  Raises [Invalid_argument] when
+    out of range. *)
+
+val read_datasets : t -> int -> Data.Dataset.t * Data.Dataset.t * Data.Dataset.t
+(** Seek to and decode the [i]-th benchmark's (train, valid, test)
+    datasets. *)

@@ -1,0 +1,91 @@
+module S = Benchgen.Suite
+module E = Contest.Experiments
+module Score = Contest.Score
+module Solver = Contest.Solver
+
+type options = {
+  teams : Solver.t list;
+  jobs : int;
+  progress : bool;
+  time_limit : float option;
+  fuel : int option;
+}
+
+let default_options =
+  {
+    teams = Contest.Teams.all;
+    jobs = 1;
+    progress = true;
+    time_limit = None;
+    fuel = None;
+  }
+
+(* Same role as Experiments.journal_meta: every parameter that changes
+   the rows is part of the fingerprint, so shards of different corpora,
+   team lists or budgets refuse to merge.  The corpus generator meta
+   stands in for (seed, sizes, ids). *)
+let journal_meta ?time_limit ?fuel ~teams ~corpus_meta () =
+  Printf.sprintf "corpus=%S teams=%s limit=%s fuel=%s frate=%h fseed=%d"
+    corpus_meta
+    (String.concat "," (List.map (fun (t : Solver.t) -> t.Solver.name) teams))
+    (match time_limit with None -> "none" | Some s -> Printf.sprintf "%h" s)
+    (match fuel with None -> "none" | Some f -> string_of_int f)
+    (Resil.Fault.rate ()) (Resil.Fault.seed ())
+
+let meta_of_options o corpus =
+  journal_meta ?time_limit:o.time_limit ?fuel:o.fuel ~teams:o.teams
+    ~corpus_meta:(Format.meta corpus) ()
+
+let run ?shard ?journal o corpus =
+  let instances = Gen.instances ?shard corpus in
+  E.solve_grid ~teams:o.teams ~progress:o.progress ~jobs:o.jobs
+    ?time_limit:o.time_limit ?fuel:o.fuel ?journal instances
+
+let name_of corpus i = (Format.entry corpus i).Format.name
+
+(* Rebuild the canonical per-team rows from a complete (typically merged)
+   journal.  Because metrics round-trip through the journal bit-exactly,
+   the report printed from these rows is byte-identical to the one an
+   in-process unsharded run prints. *)
+let rows_of_journal ~teams corpus journal =
+  let exception Bad of string in
+  let n = Format.count corpus in
+  try
+    let expected = List.length teams * n in
+    if Resil.Journal.length journal <> expected then
+      raise
+        (Bad
+           (Printf.sprintf "journal has %d rows, expected %d (%d teams x %d \
+                            benchmarks)"
+              (Resil.Journal.length journal)
+              expected (List.length teams) n));
+    Ok
+      (List.map
+         (fun (t : Solver.t) ->
+           let metrics =
+             List.init n (fun i ->
+                 let key = t.Solver.name ^ "/" ^ name_of corpus i in
+                 match Resil.Journal.find journal key with
+                 | None ->
+                     raise
+                       (Bad (Printf.sprintf "journal is missing row %s" key))
+                 | Some payload -> (
+                     match Score.metrics_of_line payload with
+                     | None ->
+                         raise
+                           (Bad
+                              (Printf.sprintf "journal row %s is corrupt" key))
+                     | Some m -> m))
+           in
+           (t.Solver.name, metrics))
+         teams)
+  with Bad msg -> Error msg
+
+let merge ~sources ~path o corpus =
+  match Resil.Journal.merge ~sources ~path ~meta:(meta_of_options o corpus) with
+  | Error _ as e -> e
+  | Ok journal -> rows_of_journal ~teams:o.teams corpus journal
+
+let print_report corpus per_team =
+  E.table3_of per_team;
+  E.print_failure_summary ~name_of:(name_of corpus) per_team

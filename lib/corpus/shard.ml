@@ -1,0 +1,19 @@
+type t = { index : int; count : int }
+
+let parse s =
+  match String.split_on_char '/' s with
+  | [ k; n ] -> (
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some k, Some n when n >= 1 && k >= 1 && k <= n ->
+          Ok { index = k; count = n }
+      | _ ->
+          Error
+            (Printf.sprintf "bad shard %S: want K/N with 1 <= K <= N" s))
+  | _ -> Error (Printf.sprintf "bad shard %S: want K/N, e.g. 2/4" s)
+
+let to_string { index; count } = Printf.sprintf "%d/%d" index count
+let member { index; count } i = i mod count = index - 1
+
+let select ?shard total =
+  let keep = match shard with None -> fun _ -> true | Some s -> member s in
+  List.filter keep (List.init total Fun.id)

@@ -1,0 +1,17 @@
+(** Deterministic 1-based K/N partition of corpus indices.
+
+    Benchmark [i] belongs to shard [k] of [n] iff [i mod n = k - 1], so
+    the [n] shards cover every index exactly once and interleave round
+    robin — each shard sees the same mix of families and widths instead
+    of a contiguous (and therefore skewed) slice. *)
+
+type t = { index : int; count : int }
+
+val parse : string -> (t, string) result
+(** Parse ["K/N"] (e.g. ["2/4"]); requires [1 <= K <= N]. *)
+
+val to_string : t -> string
+val member : t -> int -> bool
+val select : ?shard:t -> int -> int list
+(** Indices [0 .. total-1] belonging to [shard], ascending; all of them
+    when [shard] is omitted. *)

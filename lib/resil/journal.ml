@@ -11,12 +11,48 @@ let path t = t.path
 let length t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.rows)
 let find t key = Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.rows key)
 
+let sorted_rows rows =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) rows []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let rows t = Mutex.protect t.mutex (fun () -> sorted_rows t.rows)
+
 let check_field what s =
   String.iter
     (fun c ->
       if c = '\t' || c = '\n' || c = '\r' then
         invalid_arg (Printf.sprintf "Journal: %s contains %C" what c))
     s
+
+(* Shard namespacing: a shard journal carries its shard tag as a meta
+   suffix, so the file format stays v1, resuming shard 2 of 4 with shard
+   3's journal is a meta mismatch, and {!merge} can both validate shard
+   coverage and strip the tags back off to reconstruct the exact meta
+   line an unsharded run would have written. *)
+let shard_suffix = function
+  | None -> ""
+  | Some (k, n) ->
+      if n < 1 || k < 1 || k > n then
+        invalid_arg (Printf.sprintf "Journal: bad shard %d/%d" k n);
+      Printf.sprintf " shard=%d/%d" k n
+
+let split_shard_meta full =
+  match String.rindex_opt full ' ' with
+  | Some i when i + 7 <= String.length full
+                && String.sub full (i + 1) 6 = "shard=" -> (
+      let tag = String.sub full (i + 7) (String.length full - i - 7) in
+      match String.index_opt tag '/' with
+      | Some j -> (
+          match
+            ( int_of_string_opt (String.sub tag 0 j),
+              int_of_string_opt
+                (String.sub tag (j + 1) (String.length tag - j - 1)) )
+          with
+          | Some k, Some n when n >= 1 && k >= 1 && k <= n ->
+              (String.sub full 0 i, Some (k, n))
+          | _ -> (full, None))
+      | None -> (full, None))
+  | _ -> (full, None)
 
 (* Rewrite-then-rename: the journal is small (one row per suite task), so
    rewriting beats the bookkeeping needed to make true appends crash-safe.
@@ -25,19 +61,13 @@ let check_field what s =
    schedule-dependent completion order, yet any two runs that performed
    the same tasks leave identical journals. *)
 let persist t =
-  let keys =
-    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.rows [])
-  in
   let tmp = t.path ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc (magic ^ "\n");
   output_string oc (t.meta ^ "\n");
   List.iter
-    (fun key ->
-      match Hashtbl.find_opt t.rows key with
-      | Some payload -> output_string oc (key ^ "\t" ^ payload ^ "\n")
-      | None -> ())
-    keys;
+    (fun (key, payload) -> output_string oc (key ^ "\t" ^ payload ^ "\n"))
+    (sorted_rows t.rows);
   close_out oc;
   Sys.rename tmp t.path
 
@@ -48,51 +78,138 @@ let record t ~key payload =
       Hashtbl.replace t.rows key payload;
       persist t)
 
-let create ~path ~meta =
+let create ?shard ~path ~meta () =
   check_field "meta" meta;
+  let meta = meta ^ shard_suffix shard in
   let t = { path; meta; rows = Hashtbl.create 64; mutex = Mutex.create () } in
   persist t;
   t
 
-let load ~path ~meta =
-  check_field "meta" meta;
-  if not (Sys.file_exists path) then Ok (create ~path ~meta)
-  else begin
-    let ic = open_in path in
-    let result =
-      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+(* Shared reader: header check plus the raw rows, used by load and merge. *)
+let read_raw path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  match input_line ic with
+  | exception End_of_file -> Error "journal is empty (missing header)"
+  | first when first <> magic ->
+      Error (Printf.sprintf "bad journal magic %S (want %S)" first magic)
+  | _ -> (
       match input_line ic with
-      | exception End_of_file -> Error "journal is empty (missing header)"
-      | first when first <> magic ->
-          Error (Printf.sprintf "bad journal magic %S (want %S)" first magic)
-      | _ -> (
-          match input_line ic with
-          | exception End_of_file -> Error "journal missing meta line"
-          | file_meta when file_meta <> meta ->
-              Error
-                (Printf.sprintf
-                   "journal was written by a different configuration\n\
-                   \  file: %s\n  run:  %s" file_meta meta)
-          | _ ->
-              let rows = Hashtbl.create 64 in
-              let rec loop lineno =
-                match input_line ic with
-                | exception End_of_file -> Ok ()
-                | line -> (
-                    match String.index_opt line '\t' with
-                    | None ->
-                        Error (Printf.sprintf "malformed journal row at line %d" lineno)
-                    | Some i ->
-                        let key = String.sub line 0 i in
-                        let payload =
-                          String.sub line (i + 1) (String.length line - i - 1)
-                        in
-                        Hashtbl.replace rows key payload;
-                        loop (lineno + 1))
-              in
-              (match loop 3 with
-              | Error _ as e -> e
-              | Ok () -> Ok { path; meta; rows; mutex = Mutex.create () }))
-    in
-    result
-  end
+      | exception End_of_file -> Error "journal missing meta line"
+      | file_meta ->
+          let rows = Hashtbl.create 64 in
+          let rec loop lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok ()
+            | line -> (
+                match String.index_opt line '\t' with
+                | None ->
+                    Error (Printf.sprintf "malformed journal row at line %d" lineno)
+                | Some i ->
+                    let key = String.sub line 0 i in
+                    let payload =
+                      String.sub line (i + 1) (String.length line - i - 1)
+                    in
+                    Hashtbl.replace rows key payload;
+                    loop (lineno + 1))
+          in
+          (match loop 3 with
+          | Error _ as e -> e
+          | Ok () -> Ok (file_meta, rows)))
+
+let load ?shard ~path ~meta () =
+  check_field "meta" meta;
+  let meta = meta ^ shard_suffix shard in
+  if not (Sys.file_exists path) then
+    Ok
+      (let t = { path; meta; rows = Hashtbl.create 64; mutex = Mutex.create () } in
+       persist t;
+       t)
+  else
+    match read_raw path with
+    | Error _ as e -> e
+    | Ok (file_meta, _) when file_meta <> meta ->
+        Error
+          (Printf.sprintf
+             "journal was written by a different configuration\n\
+             \  file: %s\n  run:  %s" file_meta meta)
+    | Ok (_, rows) -> Ok { path; meta; rows; mutex = Mutex.create () }
+
+let merge ~sources ~path ~meta =
+  check_field "meta" meta;
+  let ( let* ) = Result.bind in
+  let* parts =
+    List.fold_left
+      (fun acc src ->
+        let* acc = acc in
+        if not (Sys.file_exists src) then
+          Error (Printf.sprintf "%s: shard journal does not exist" src)
+        else
+          match read_raw src with
+          | Error msg -> Error (Printf.sprintf "%s: %s" src msg)
+          | Ok (file_meta, rows) -> (
+              match split_shard_meta file_meta with
+              | _, None ->
+                  Error
+                    (Printf.sprintf "%s: journal carries no shard tag" src)
+              | base, Some (k, n) when base = meta ->
+                  Ok ((src, k, n, rows) :: acc)
+              | base, Some _ ->
+                  Error
+                    (Printf.sprintf
+                       "%s: shard was run under a different configuration\n\
+                       \  file: %s\n  run:  %s" src base meta)))
+      (Ok []) sources
+  in
+  let parts = List.rev parts in
+  let* n =
+    match parts with
+    | [] -> Error "no shard journals to merge"
+    | (_, _, n, _) :: rest ->
+        if List.for_all (fun (_, _, n', _) -> n' = n) rest then Ok n
+        else Error "shard journals disagree on the shard count N"
+  in
+  let* () =
+    if List.length parts <> n then
+      Error
+        (Printf.sprintf "expected %d shard journals (K/%d), got %d" n n
+           (List.length parts))
+    else Ok ()
+  in
+  let seen_shard = Array.make (n + 1) None in
+  let* () =
+    List.fold_left
+      (fun acc (src, k, _, _) ->
+        let* () = acc in
+        match seen_shard.(k) with
+        | Some other ->
+            Error (Printf.sprintf "%s and %s are both shard %d/%d" other src k n)
+        | None ->
+            seen_shard.(k) <- Some src;
+            Ok ())
+      (Ok ()) parts
+  in
+  let merged = Hashtbl.create 256 in
+  let owner = Hashtbl.create 256 in
+  let* () =
+    List.fold_left
+      (fun acc (src, _, _, rows) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (key, payload) ->
+            let* () = acc in
+            match Hashtbl.find_opt owner key with
+            | Some other ->
+                Error
+                  (Printf.sprintf "row %S appears in both %s and %s" key other
+                     src)
+            | None ->
+                Hashtbl.replace owner key src;
+                Hashtbl.replace merged key payload;
+                Ok ())
+          (Ok ()) (sorted_rows rows))
+      (Ok ()) parts
+  in
+  let t = { path; meta; rows = merged; mutex = Mutex.create () } in
+  persist t;
+  Ok t

@@ -17,15 +17,32 @@
 
 type t
 
-val create : path:string -> meta:string -> t
+val create : ?shard:int * int -> path:string -> meta:string -> unit -> t
 (** Fresh journal at [path] (truncating any existing file) with the
-    given configuration fingerprint.  Writes the header immediately. *)
+    given configuration fingerprint.  Writes the header immediately.
 
-val load : path:string -> meta:string -> (t, string) result
+    [shard:(k, n)] namespaces the journal as shard [k] of [n] (1-based):
+    the tag is appended to the meta line, so shard journals of one
+    corpus run share a base fingerprint yet can never be confused for
+    each other — or for the unsharded run — on {!load}.  Raises
+    [Invalid_argument] unless [1 <= k <= n]. *)
+
+val load : ?shard:int * int -> path:string -> meta:string -> unit -> (t, string) result
 (** Reopen an existing journal for resumption.  Fails with a message
-    if the file has the wrong magic, a different [meta] line, or a
-    malformed row.  A missing file yields an empty journal (so
-    [--resume] on a never-started run just starts it). *)
+    if the file has the wrong magic, a different [meta] line (shard tag
+    included), or a malformed row.  A missing file yields an empty
+    journal (so [--resume] on a never-started run just starts it). *)
+
+val merge : sources:string list -> path:string -> meta:string -> (t, string) result
+(** Merge per-shard journals into one unsharded journal at [path].
+
+    Every source must carry a shard tag [k/n] over the same base [meta]
+    and the same [n]; together the sources must be exactly shards
+    [1..n], with no row key appearing twice.  The merged journal drops
+    the shard tags, so its bytes are identical to the journal a
+    single-process run of the same configuration would have written
+    (rows are sorted; payloads are deterministic).  Any violation is an
+    [Error] naming the offending file. *)
 
 val find : t -> string -> string option
 (** Payload previously recorded under a key, if any. *)
@@ -34,6 +51,10 @@ val record : t -> key:string -> string -> unit
 (** [record j ~key payload] adds or replaces the row and persists the
     whole journal atomically.  Keys and payloads must not contain tab
     or newline ([Invalid_argument] otherwise).  Thread-safe. *)
+
+val rows : t -> (string * string) list
+(** All (key, payload) rows in sorted key order — the order {!record}
+    persists them in. *)
 
 val length : t -> int
 val path : t -> string

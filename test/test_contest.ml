@@ -390,16 +390,16 @@ let test_run_suite_resume_identity () =
         Contest.Experiments.run_suite ~progress:false ~teams ~journal:j config
       in
       (* Reference: uninterrupted run journaling to A. *)
-      let a = run_with (Resil.Journal.create ~path:ja ~meta) in
+      let a = run_with (Resil.Journal.create ~path:ja ~meta ()) in
       (* Interrupted run: journal B starts with only the first task's row
          (as if the run was killed after one checkpoint), then resumes. *)
       let full =
-        match Resil.Journal.load ~path:ja ~meta with
+        match Resil.Journal.load ~path:ja ~meta () with
         | Ok j -> j
         | Error e -> Alcotest.fail e
       in
       let first_key = "team10/" ^ (S.benchmark 30).S.name in
-      let jb' = Resil.Journal.create ~path:jb ~meta in
+      let jb' = Resil.Journal.create ~path:jb ~meta () in
       (match Resil.Journal.find full first_key with
       | Some payload -> Resil.Journal.record jb' ~key:first_key payload
       | None -> Alcotest.fail ("missing journal row " ^ first_key));

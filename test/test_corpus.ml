@@ -1,0 +1,348 @@
+(* Tests for the benchmark corpus factory: the binary container format,
+   shard partitioning, and the sharded-run / merged-journal pipeline's
+   byte-identity with an unsharded run. *)
+
+module S = Benchgen.Suite
+module F = Benchgen.Families
+module CF = Corpus.Format
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_path suffix =
+  let p = Filename.temp_file "lsml-corpus" suffix in
+  Sys.remove p;
+  p
+
+let with_temp suffix f =
+  let p = temp_path suffix in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists p then Sys.remove p)
+    (fun () -> f p)
+
+let slurp p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spit p s =
+  let oc = open_out_bin p in
+  output_string oc s;
+  close_out oc
+
+let same_dataset a b =
+  D.num_inputs a = D.num_inputs b
+  && D.num_samples a = D.num_samples b
+  &&
+  let ca = D.columns a and cb = D.columns b in
+  let oa = D.outputs a and ob = D.outputs b in
+  let ok = ref true in
+  for j = 0 to D.num_samples a - 1 do
+    if Words.get oa j <> Words.get ob j then ok := false;
+    for i = 0 to D.num_inputs a - 1 do
+      if Words.get ca.(i) j <> Words.get cb.(i) j then ok := false
+    done
+  done;
+  !ok
+
+let small_config =
+  {
+    Corpus.Gen.count = 10;
+    seed = 5;
+    sizes = { S.train = 40; valid = 20; test = 20 };
+    families = F.all_families;
+    noise_sweep = [ 0; 100 ];
+  }
+
+(* ---- Format ---- *)
+
+let test_format_roundtrip () =
+  with_temp ".lsmlc" @@ fun path ->
+  Corpus.Gen.generate_file ~path small_config;
+  let specs = Array.of_list (Corpus.Gen.specs small_config) in
+  CF.with_file path @@ fun t ->
+  check_int "count" 10 (CF.count t);
+  check_string "meta" (Corpus.Gen.meta_of small_config) (CF.meta t);
+  for i = 0 to CF.count t - 1 do
+    let e = CF.entry t i in
+    let b = F.benchmark_of ~id:i specs.(i) in
+    check_string "name" b.S.name e.CF.name;
+    check_string "category" (S.category_name b.S.category) e.CF.category;
+    check_int "inputs" b.S.num_inputs e.CF.num_inputs;
+    let fresh =
+      F.instantiate ~sizes:small_config.Corpus.Gen.sizes ~id:i specs.(i)
+    in
+    let train, valid, test = CF.read_datasets t i in
+    check_bool "train bits" true (same_dataset fresh.S.train train);
+    check_bool "valid bits" true (same_dataset fresh.S.valid valid);
+    check_bool "test bits" true (same_dataset fresh.S.test test)
+  done
+
+let test_format_seek () =
+  (* Reading out of order must decode the same bits: offsets come from
+     the index, not from sequential consumption. *)
+  with_temp ".lsmlc" @@ fun path ->
+  Corpus.Gen.generate_file ~path small_config;
+  let specs = Array.of_list (Corpus.Gen.specs small_config) in
+  CF.with_file path @@ fun t ->
+  List.iter
+    (fun i ->
+      let fresh =
+        F.instantiate ~sizes:small_config.Corpus.Gen.sizes ~id:i specs.(i)
+      in
+      let train, _, _ = CF.read_datasets t i in
+      check_bool
+        (Printf.sprintf "benchmark %d by seek" i)
+        true
+        (same_dataset fresh.S.train train))
+    [ 7; 2; 9; 0 ]
+
+let expect_parse_error what f =
+  match f () with
+  | exception CF.Parse_error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Parse_error, got %s" what
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Parse_error, parsed fine" what
+
+let test_format_truncation () =
+  with_temp ".lsmlc" @@ fun path ->
+  Corpus.Gen.generate_file ~path small_config;
+  let bytes = slurp path in
+  with_temp ".trunc" @@ fun bad ->
+  (* Cut inside the last blob: the index declares extents past EOF. *)
+  spit bad (String.sub bytes 0 (String.length bytes - 10));
+  expect_parse_error "truncated blob" (fun () -> CF.open_file bad);
+  (* Cut inside the index itself. *)
+  spit bad (String.sub bytes 0 40);
+  expect_parse_error "truncated index" (fun () -> CF.open_file bad);
+  (* Empty file. *)
+  spit bad "";
+  expect_parse_error "empty file" (fun () -> CF.open_file bad)
+
+let test_format_bad_magic_version () =
+  with_temp ".lsmlc" @@ fun path ->
+  Corpus.Gen.generate_file ~path small_config;
+  let bytes = Bytes.of_string (slurp path) in
+  with_temp ".bad" @@ fun bad ->
+  let corrupt pos c =
+    let b = Bytes.copy bytes in
+    Bytes.set b pos c;
+    spit bad (Bytes.to_string b)
+  in
+  corrupt 0 'X';
+  (match CF.open_file bad with
+  | exception CF.Parse_error { offset; _ } -> check_int "magic offset" 0 offset
+  | _ -> Alcotest.fail "bad magic accepted");
+  corrupt 8 '\xff';
+  (match CF.open_file bad with
+  | exception CF.Parse_error { offset; _ } -> check_int "version offset" 8 offset
+  | _ -> Alcotest.fail "bad version accepted")
+
+(* ---- Shard ---- *)
+
+let test_shard_parse () =
+  (match Corpus.Shard.parse "2/4" with
+  | Ok s ->
+      check_int "index" 2 s.Corpus.Shard.index;
+      check_int "count" 4 s.Corpus.Shard.count;
+      check_string "print" "2/4" (Corpus.Shard.to_string s)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      check_bool bad true
+        (match Corpus.Shard.parse bad with Error _ -> true | Ok _ -> false))
+    [ "0/4"; "5/4"; "x/y"; "3"; "1/0"; "-1/2"; "1/2/3" ]
+
+let test_shard_coverage () =
+  (* For every shard count, the shards must partition the corpus: each
+     index in exactly one shard, each shard ascending. *)
+  let total = 17 in
+  for n = 1 to 6 do
+    let shards =
+      List.init n (fun k ->
+          Corpus.Shard.select ~shard:{ Corpus.Shard.index = k + 1; count = n }
+            total)
+    in
+    List.iter
+      (fun sel -> check_bool "ascending" true (List.sort compare sel = sel))
+      shards;
+    let all = List.sort compare (List.concat shards) in
+    check_bool
+      (Printf.sprintf "%d shards cover exactly once" n)
+      true
+      (all = List.init total Fun.id)
+  done;
+  check_int "unsharded selects all" 17
+    (List.length (Corpus.Shard.select total))
+
+(* ---- Generator families ---- *)
+
+let test_families_oracle () =
+  let spec =
+    { F.family = F.Threshold; num_inputs = 8; param = 5; fseed = 11;
+      noise_permille = 0 }
+  in
+  let popcount bits = Array.fold_left (fun a b -> if b then a + 1 else a) 0 bits in
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let bits = Array.init 8 (fun _ -> Random.State.bool st) in
+    check_bool "threshold semantics" (popcount bits >= 5) (F.oracle spec bits);
+    check_bool "deterministic" (F.oracle spec bits) (F.oracle spec bits)
+  done;
+  (* noise=1000 flips every label; noise is deterministic per vector. *)
+  let noisy = { spec with F.noise_permille = 1000 } in
+  for _ = 1 to 50 do
+    let bits = Array.init 8 (fun _ -> Random.State.bool st) in
+    check_bool "full noise complements" (not (F.oracle spec bits))
+      (F.oracle noisy bits)
+  done
+
+let test_gen_parse_helpers () =
+  (match Corpus.Gen.parse_families "arith, threshold" with
+  | Ok [ F.Arith_cone; F.Threshold ] -> ()
+  | Ok _ -> Alcotest.fail "wrong families"
+  | Error e -> Alcotest.fail e);
+  check_bool "unknown family" true
+    (match Corpus.Gen.parse_families "arith,nope" with
+    | Error _ -> true
+    | Ok _ -> false);
+  (match Corpus.Gen.parse_noise "0,25,100" with
+  | Ok [ 0; 25; 100 ] -> ()
+  | Ok _ -> Alcotest.fail "wrong noise"
+  | Error e -> Alcotest.fail e);
+  check_bool "noise out of range" true
+    (match Corpus.Gen.parse_noise "0,2000" with Error _ -> true | Ok _ -> false)
+
+(* ---- Journal shard tags ---- *)
+
+let test_journal_shard_tags () =
+  with_temp ".journal" @@ fun path ->
+  ignore (Resil.Journal.create ~shard:(2, 3) ~path ~meta:"cfg" ());
+  check_bool "same shard loads" true
+    (match Resil.Journal.load ~shard:(2, 3) ~path ~meta:"cfg" () with
+    | Ok _ -> true
+    | Error _ -> false);
+  check_bool "unsharded load rejected" true
+    (match Resil.Journal.load ~path ~meta:"cfg" () with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_bool "other shard rejected" true
+    (match Resil.Journal.load ~shard:(1, 3) ~path ~meta:"cfg" () with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---- Sharded run + merge byte-identity ---- *)
+
+let merge_config =
+  {
+    Corpus.Gen.count = 9;
+    seed = 3;
+    sizes = { S.train = 32; valid = 16; test = 16 };
+    families = F.all_families;
+    noise_sweep = [ 0 ];
+  }
+
+let merge_options =
+  {
+    Corpus.Runner.teams = [ Contest.Teams.team10 ];
+    jobs = 1;
+    progress = false;
+    time_limit = None;
+    fuel = None;
+  }
+
+let test_sharded_merge_identity () =
+  with_temp ".lsmlc" @@ fun cpath ->
+  Corpus.Gen.generate_file ~path:cpath merge_config;
+  CF.with_file cpath @@ fun corpus ->
+  let meta = Corpus.Runner.meta_of_options merge_options corpus in
+  let n = 3 in
+  let paths = List.init (n + 1) (fun _ -> temp_path ".journal") in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) paths)
+    (fun () ->
+      match paths with
+      | unsharded_path :: shard_paths ->
+          let journal = Resil.Journal.create ~path:unsharded_path ~meta () in
+          let reference =
+            Corpus.Runner.run ~journal merge_options corpus
+          in
+          List.iteri
+            (fun i spath ->
+              let shard = { Corpus.Shard.index = i + 1; count = n } in
+              let journal =
+                Resil.Journal.create ~shard:(i + 1, n) ~path:spath ~meta ()
+              in
+              ignore (Corpus.Runner.run ~shard ~journal merge_options corpus))
+            shard_paths;
+          with_temp ".journal" @@ fun merged_path ->
+          (match
+             Corpus.Runner.merge ~sources:shard_paths ~path:merged_path
+               merge_options corpus
+           with
+          | Error e -> Alcotest.fail e
+          | Ok rows ->
+              check_bool "merged rows = unsharded rows" true (rows = reference);
+              check_bool "merged journal bytes = unsharded journal bytes" true
+                (slurp merged_path = slurp unsharded_path))
+      | [] -> assert false)
+
+let test_merge_validation () =
+  with_temp ".lsmlc" @@ fun cpath ->
+  Corpus.Gen.generate_file ~path:cpath merge_config;
+  CF.with_file cpath @@ fun corpus ->
+  let meta = Corpus.Runner.meta_of_options merge_options corpus in
+  let n = 3 in
+  let shard_paths = List.init n (fun _ -> temp_path ".journal") in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) shard_paths)
+    (fun () ->
+      List.iteri
+        (fun i spath ->
+          let shard = { Corpus.Shard.index = i + 1; count = n } in
+          let journal =
+            Resil.Journal.create ~shard:(i + 1, n) ~path:spath ~meta ()
+          in
+          ignore (Corpus.Runner.run ~shard ~journal merge_options corpus))
+        shard_paths;
+      let merge ?(options = merge_options) sources =
+        with_temp ".journal" @@ fun out ->
+        Corpus.Runner.merge ~sources ~path:out options corpus
+      in
+      let expect_error what = function
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: merge accepted" what
+      in
+      expect_error "missing shard" (merge (List.filteri (fun i _ -> i < 2) shard_paths));
+      expect_error "duplicate shard"
+        (merge
+           (match shard_paths with
+           | s1 :: _ :: s3 :: _ -> [ s1; s1; s3 ]
+           | _ -> assert false));
+      expect_error "budget mismatch"
+        (merge
+           ~options:{ merge_options with Corpus.Runner.fuel = Some 5 }
+           shard_paths))
+
+let suites =
+  [ ( "corpus",
+      [ Alcotest.test_case "format round trip" `Quick test_format_roundtrip;
+        Alcotest.test_case "format seek" `Quick test_format_seek;
+        Alcotest.test_case "format truncation" `Quick test_format_truncation;
+        Alcotest.test_case "format bad magic/version" `Quick
+          test_format_bad_magic_version;
+        Alcotest.test_case "shard parse" `Quick test_shard_parse;
+        Alcotest.test_case "shard coverage" `Quick test_shard_coverage;
+        Alcotest.test_case "families oracle" `Quick test_families_oracle;
+        Alcotest.test_case "gen parse helpers" `Quick test_gen_parse_helpers;
+        Alcotest.test_case "journal shard tags" `Quick test_journal_shard_tags;
+        Alcotest.test_case "sharded merge identity" `Quick
+          test_sharded_merge_identity;
+        Alcotest.test_case "merge validation" `Quick test_merge_validation ] )
+  ]

@@ -20,6 +20,7 @@ let () =
          Test_parallel.suites;
          Test_benchgen.suites;
          Test_contest.suites;
+         Test_corpus.suites;
          Test_bdd.suites;
          Test_sat.suites;
          Test_cec.suites;

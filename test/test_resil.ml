@@ -211,7 +211,7 @@ let test_journal_roundtrip () =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
-      let j = J.create ~path ~meta:"cfg v1" in
+      let j = J.create ~path ~meta:"cfg v1" () in
       check_int "empty" 0 (J.length j);
       J.record j ~key:"team1/ex00" "0 0x1p-1 nan 10 3";
       J.record j ~key:"team1/ex01" "1 0x1p-2 0x0p+0 5 2";
@@ -219,7 +219,7 @@ let test_journal_roundtrip () =
       check_int "replace keeps count" 2 (J.length j);
       check_bool "find replaced" true
         (J.find j "team1/ex00" = Some "0 replaced");
-      match J.load ~path ~meta:"cfg v1" with
+      match J.load ~path ~meta:"cfg v1" () with
       | Error e -> Alcotest.fail e
       | Ok j2 ->
           check_int "reloaded rows" 2 (J.length j2);
@@ -232,22 +232,22 @@ let test_journal_meta_mismatch () =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
-      ignore (J.create ~path ~meta:"cfg v1");
+      ignore (J.create ~path ~meta:"cfg v1" ());
       check_bool "meta mismatch rejected" true
-        (match J.load ~path ~meta:"cfg v2" with Error _ -> true | Ok _ -> false);
+        (match J.load ~path ~meta:"cfg v2" () with Error _ -> true | Ok _ -> false);
       (* Not a journal at all. *)
       let oc = open_out path in
       output_string oc "something else entirely\n";
       close_out oc;
       check_bool "bad magic rejected" true
-        (match J.load ~path ~meta:"cfg v1" with Error _ -> true | Ok _ -> false))
+        (match J.load ~path ~meta:"cfg v1" () with Error _ -> true | Ok _ -> false))
 
 let test_journal_missing_file_is_fresh () =
   let path = temp_path () in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
-      match J.load ~path ~meta:"cfg" with
+      match J.load ~path ~meta:"cfg" () with
       | Error e -> Alcotest.fail e
       | Ok j ->
           check_int "fresh" 0 (J.length j);
@@ -258,7 +258,7 @@ let test_journal_rejects_separators () =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
-      let j = J.create ~path ~meta:"cfg" in
+      let j = J.create ~path ~meta:"cfg" () in
       let rejected key payload =
         try
           J.record j ~key payload;
@@ -277,7 +277,7 @@ let test_journal_byte_identical () =
       List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ pa; pb ])
     (fun () ->
       let feed path =
-        let j = J.create ~path ~meta:"cfg" in
+        let j = J.create ~path ~meta:"cfg" () in
         J.record j ~key:"a" "1";
         J.record j ~key:"b" "2";
         j
