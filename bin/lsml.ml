@@ -817,10 +817,354 @@ let corpus_cmd =
           into one byte-identical report.")
     [ corpus_generate_cmd; corpus_info_cmd; corpus_run_cmd; corpus_merge_cmd ]
 
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path (default lsml.sock when $(b,--port) is \
+           not given).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) TCP $(i,HOST):$(docv) instead of a \
+              Unix socket.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host for $(b,--port).")
+
+let listen_of_args socket host port : Serve.Server.listen =
+  match (socket, port) with
+  | Some _, Some _ ->
+      Printf.eprintf "lsml: --socket and --port are mutually exclusive\n";
+      exit 2
+  | Some path, None -> `Unix path
+  | None, Some port -> `Tcp (host, port)
+  | None, None -> `Unix "lsml.sock"
+
+let listen_name = function
+  | `Unix path -> path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let serve_cmd =
+  let run socket host port jobs queue_depth cache_size metrics time_limit
+      fuel =
+    Resil.Fault.configure_from_env ();
+    let listen = listen_of_args socket host port in
+    let cfg =
+      {
+        Serve.Server.listen;
+        jobs;
+        queue_depth;
+        cache_size;
+        metrics_path = metrics;
+        default_deadline = time_limit;
+        default_fuel = fuel;
+      }
+    in
+    let t =
+      try Serve.Server.create cfg
+      with Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "lsml serve: cannot listen on %s: %s %s\n"
+          (listen_name listen) (Unix.error_message e) arg;
+        exit 1
+    in
+    Printf.eprintf
+      "lsml serve: listening on %s (%d jobs, queue depth %d, cache %d)\n%!"
+      (listen_name listen) (max 1 jobs) queue_depth cache_size;
+    Serve.Server.serve t;
+    Printf.eprintf "lsml serve: drained and shut down\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis service: a long-lived daemon answering \
+          JSON-lines solve/eval/verify/status requests over a Unix or TCP \
+          socket, with bounded admission, a content-addressed result \
+          cache, per-request deadlines, and live Prometheus metrics \
+          (point a scraper at the socket; any line starting with \
+          $(b,GET ) is answered as HTTP).")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg
+      $ Arg.(
+          value & opt int 64
+          & info [ "queue-depth" ] ~docv:"N"
+              ~doc:
+                "Admission-queue capacity; requests beyond it are \
+                 rejected immediately with a typed $(i,overloaded) \
+                 response.")
+      $ Arg.(
+          value & opt int 256
+          & info [ "cache-size" ] ~docv:"N"
+              ~doc:
+                "Result-cache entries (strict LRU, 0 disables). Identical \
+                 solve requests replay the cached payload byte-for-byte.")
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "metrics.prom") (some string) None
+          & info [ "metrics-path" ] ~docv:"FILE"
+              ~doc:
+                "Also write the Prometheus metrics page to $(docv) \
+                 (atomically) at shutdown.")
+      $ time_limit_arg $ fuel_arg)
+
+(* Client-side transport errors exit 1; typed server responses map to
+   distinct codes so shell scripts and CI can branch on them. *)
+let client_exit_code = function
+  | "result" | "status" | "ok" -> 0
+  | "degraded" -> 3
+  | "overloaded" -> 4
+  | _ -> 2
+
+let client_connect listen =
+  try Serve.Client.connect listen
+  with Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "lsml client: cannot connect to %s: %s\n"
+      (listen_name listen) (Unix.error_message e);
+    exit 1
+
+let response_type resp =
+  match Serve.Json.member "type" resp with
+  | Some (Serve.Json.Str t) -> t
+  | _ -> ""
+
+let client_rpc listen req =
+  let c = client_connect listen in
+  let resp =
+    try Serve.Client.rpc c req with
+    | Failure msg ->
+        Printf.eprintf "lsml client: %s\n" msg;
+        exit 1
+    | Serve.Json.Parse_error msg ->
+        Printf.eprintf "lsml client: garbled response: %s\n" msg;
+        exit 1
+  in
+  Serve.Client.close c;
+  print_endline (Serve.Json.to_string resp);
+  resp
+
+let finish_rpc resp = exit (client_exit_code (response_type resp))
+
+let read_text path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "lsml client: %s\n" msg;
+    exit 1
+
+let opt_field name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let request ~op fields =
+  Serve.Json.Obj
+    (("id", Serve.Json.Str "cli") :: ("op", Serve.Json.Str op) :: fields)
+
+let client_solve_cmd =
+  let run socket host port team train valid seed sweep time_limit fuel
+      trace out =
+    let listen = listen_of_args socket host port in
+    let req =
+      request ~op:"solve"
+        ([
+           ("team", Serve.Json.Str team);
+           ("train", Serve.Json.Str (read_text train));
+         ]
+        @ opt_field "valid" (fun p -> Serve.Json.Str (read_text p)) valid
+        @ [ ("seed", Serve.Json.Int seed) ]
+        @ (if sweep then [ ("sweep", Serve.Json.Bool true) ] else [])
+        @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
+        @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel
+        @ if trace then [ ("trace", Serve.Json.Bool true) ] else [])
+    in
+    let resp = client_rpc listen req in
+    (match
+       ( out,
+         Option.bind
+           (Serve.Json.member "result" resp)
+           (Serve.Json.member "aag") )
+     with
+    | Some path, Some (Serve.Json.Str aag) ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc aag);
+        Printf.eprintf "wrote %s\n%!" path
+    | Some path, _ ->
+        Printf.eprintf "lsml client: no circuit in response, %s not written\n"
+          path
+    | None, _ -> ());
+    finish_rpc resp
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Submit a solve request: learn a circuit for a training PLA on \
+          the server.  A repeated identical request is served from the \
+          result cache byte-identically.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ team_arg
+      $ pla_arg "train" "Training set."
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "valid" ] ~docv:"FILE.pla"
+              ~doc:"Validation set (default: the training set).")
+      $ seed_arg $ sweep_flag $ time_limit_arg $ fuel_arg
+      $ Arg.(
+          value & flag
+          & info [ "trace" ]
+              ~doc:
+                "Ask the server to attach this request's telemetry spans \
+                 to the response.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE.aag"
+              ~doc:"Write the returned circuit to $(docv)."))
+
+let client_eval_cmd =
+  let run socket host port aag pla time_limit fuel =
+    let listen = listen_of_args socket host port in
+    let req =
+      request ~op:"eval"
+        ([
+           ("aag", Serve.Json.Str (read_text aag));
+           ("pla", Serve.Json.Str (read_text pla));
+         ]
+        @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
+        @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel)
+    in
+    finish_rpc (client_rpc listen req)
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Score a circuit against a PLA dataset on the server.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg
+      $ Arg.(
+          required
+          & opt (some file) None
+          & info [ "aag" ] ~docv:"FILE.aag" ~doc:"Circuit to score.")
+      $ pla_arg "pla" "Dataset to score against." $ time_limit_arg
+      $ fuel_arg)
+
+let client_verify_cmd =
+  let run socket host port a b conflicts time_limit fuel =
+    let listen = listen_of_args socket host port in
+    let req =
+      request ~op:"verify"
+        ([
+           ("a", Serve.Json.Str (read_text a));
+           ("b", Serve.Json.Str (read_text b));
+           ("conflicts", Serve.Json.Int conflicts);
+         ]
+        @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
+        @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel)
+    in
+    finish_rpc (client_rpc listen req)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"SAT equivalence check of two circuits on the server.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg
+      $ Arg.(
+          required & pos 0 (some file) None
+          & info [] ~docv:"A.aag" ~doc:"First circuit.")
+      $ Arg.(
+          required & pos 1 (some file) None
+          & info [] ~docv:"B.aag" ~doc:"Second circuit.")
+      $ Arg.(
+          value & opt int 100_000
+          & info [ "conflict-limit" ] ~docv:"N"
+              ~doc:"SAT conflict budget before answering unknown.")
+      $ time_limit_arg $ fuel_arg)
+
+let client_simple_cmd name doc op =
+  let run socket host port =
+    let listen = listen_of_args socket host port in
+    finish_rpc (client_rpc listen (request ~op []))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ socket_arg $ host_arg $ port_arg)
+
+let client_metrics_cmd =
+  let run socket host port =
+    let listen = listen_of_args socket host port in
+    match Serve.Client.scrape_metrics listen with
+    | body -> print_string body
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "lsml client: cannot connect to %s: %s\n"
+          (listen_name listen) (Unix.error_message e);
+        exit 1
+    | exception Failure msg ->
+        Printf.eprintf "lsml client: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape the server's live Prometheus metrics page (the same \
+          bytes an HTTP $(b,GET /metrics) against the socket returns).")
+    Term.(const run $ socket_arg $ host_arg $ port_arg)
+
+let client_raw_cmd =
+  let run socket host port line =
+    let listen = listen_of_args socket host port in
+    let c = client_connect listen in
+    match Serve.Client.rpc_raw c line with
+    | Some resp ->
+        Serve.Client.close c;
+        print_endline resp;
+        let typ =
+          match Serve.Json.parse resp with
+          | j -> response_type j
+          | exception Serve.Json.Parse_error _ -> ""
+        in
+        exit (client_exit_code typ)
+    | None ->
+        Serve.Client.close c;
+        Printf.eprintf "lsml client: connection closed by server\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "raw"
+       ~doc:
+         "Send one raw protocol line verbatim and print the one-line \
+          response — the escape hatch for scripting and for exercising \
+          the server's error handling.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg
+      $ Arg.(
+          required & pos 0 (some string) None
+          & info [] ~docv:"LINE" ~doc:"Raw request line (JSON)."))
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,lsml serve) daemon.  Exit codes: 0 \
+          result/status/ok, 2 typed error, 3 degraded, 4 overloaded, 1 \
+          transport failure.")
+    [
+      client_solve_cmd; client_eval_cmd; client_verify_cmd;
+      client_simple_cmd "status" "Query queue, cache, and request counters."
+        "status";
+      client_simple_cmd "shutdown"
+        "Gracefully shut the server down (drains in-flight requests first)."
+        "shutdown";
+      client_metrics_cmd; client_raw_cmd;
+    ]
+
 let () =
   let doc = "learning incompletely-specified Boolean functions (IWLS 2020 contest)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lsml" ~doc)
           [ list_cmd; generate_cmd; solve_cmd; eval_cmd; verify_cmd;
-            sweep_cmd; run_cmd; suite_cmd; pareto_cmd; stats_cmd; corpus_cmd ]))
+            sweep_cmd; run_cmd; suite_cmd; pareto_cmd; stats_cmd; corpus_cmd;
+            serve_cmd; client_cmd ]))

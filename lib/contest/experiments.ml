@@ -33,16 +33,26 @@ let task_key (solver : Solver.t) (inst : S.instance) =
 
 (* Fingerprint for the journal meta line: any run parameter that changes
    the rows makes resuming under a different configuration an error
-   instead of a silent mix of incompatible results. *)
+   instead of a silent mix of incompatible results.  Built from the
+   shared Resil.Fingerprint combinators (also used by the serve result
+   cache) so the formats cannot drift apart. *)
 let journal_meta ?time_limit ?fuel ~(teams : Solver.t list) config =
-  Printf.sprintf
-    "seed=%d sizes=%d/%d/%d ids=%s teams=%s limit=%s fuel=%s frate=%h fseed=%d"
-    config.seed config.sizes.S.train config.sizes.S.valid config.sizes.S.test
-    (String.concat "," (List.map string_of_int config.ids))
-    (String.concat "," (List.map (fun (t : Solver.t) -> t.Solver.name) teams))
-    (match time_limit with None -> "none" | Some s -> Printf.sprintf "%h" s)
-    (match fuel with None -> "none" | Some f -> string_of_int f)
-    (Resil.Fault.rate ()) (Resil.Fault.seed ())
+  Resil.Fingerprint.(
+    render
+      [
+        int "seed" config.seed;
+        str "sizes"
+          (Printf.sprintf "%d/%d/%d" config.sizes.S.train config.sizes.S.valid
+             config.sizes.S.test);
+        str "ids" (String.concat "," (List.map string_of_int config.ids));
+        str "teams"
+          (String.concat ","
+             (List.map (fun (t : Solver.t) -> t.Solver.name) teams));
+        opt_float "limit" time_limit;
+        opt_int "fuel" fuel;
+        float_hex "frate" (Resil.Fault.rate ());
+        int "fseed" (Resil.Fault.seed ());
+      ])
 
 let solve_one_guarded ~progress ?time_limit ?fuel ?journal (solver : Solver.t)
     (inst : S.instance) =

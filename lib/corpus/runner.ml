@@ -25,12 +25,18 @@ let default_options =
    team lists or budgets refuse to merge.  The corpus generator meta
    stands in for (seed, sizes, ids). *)
 let journal_meta ?time_limit ?fuel ~teams ~corpus_meta () =
-  Printf.sprintf "corpus=%S teams=%s limit=%s fuel=%s frate=%h fseed=%d"
-    corpus_meta
-    (String.concat "," (List.map (fun (t : Solver.t) -> t.Solver.name) teams))
-    (match time_limit with None -> "none" | Some s -> Printf.sprintf "%h" s)
-    (match fuel with None -> "none" | Some f -> string_of_int f)
-    (Resil.Fault.rate ()) (Resil.Fault.seed ())
+  Resil.Fingerprint.(
+    render
+      [
+        quoted "corpus" corpus_meta;
+        str "teams"
+          (String.concat ","
+             (List.map (fun (t : Solver.t) -> t.Solver.name) teams));
+        opt_float "limit" time_limit;
+        opt_int "fuel" fuel;
+        float_hex "frate" (Resil.Fault.rate ());
+        int "fseed" (Resil.Fault.seed ());
+      ])
 
 let meta_of_options o corpus =
   journal_meta ?time_limit:o.time_limit ?fuel:o.fuel ~teams:o.teams

@@ -1,0 +1,47 @@
+type field = string
+
+let check_token what s =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Fingerprint: %s contains whitespace" what))
+    s
+
+let check_name name =
+  check_token "field name" name;
+  if String.contains name '=' then
+    invalid_arg "Fingerprint: field name contains '='"
+
+let str name v =
+  check_name name;
+  check_token ("value of " ^ name) v;
+  name ^ "=" ^ v
+
+let quoted name v =
+  check_name name;
+  Printf.sprintf "%s=%S" name v
+
+let int name i = str name (string_of_int i)
+let float_hex name f = str name (Printf.sprintf "%h" f)
+
+let opt_int name = function None -> str name "none" | Some i -> int name i
+
+let opt_float name = function
+  | None -> str name "none"
+  | Some f -> float_hex name f
+
+let render fields = String.concat " " fields
+
+(* FNV-1a, 64-bit.  Int64 keeps the digest identical on 32- and 63-bit
+   platforms and under flambda; the loop is allocation-light and fast
+   enough to hash whole PLA payloads on every cache lookup. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let hash64 s =
+  let h = ref fnv_basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h

@@ -1,0 +1,43 @@
+(** Canonical configuration fingerprints.
+
+    One shared formatter for every place the stack needs a compact,
+    deterministic "these parameters produced these results" line: the
+    {!Journal} meta header ({!Contest.Experiments.journal_meta},
+    [Corpus.Runner]) and the serve result-cache key.  Building all of
+    them from the same field combinators means the journal and cache
+    fingerprints can never drift apart in formatting.
+
+    A fingerprint is a space-separated list of [name=value] fields.
+    Values rendered with {!str}/{!int} must not contain whitespace (use
+    {!quoted} for arbitrary text); floats render with [%h] so the value
+    round-trips bit-exactly.  For content addressing, {!hash64} maps any
+    string (e.g. a whole training PLA) to a 16-hex-digit FNV-1a digest
+    that can stand in for the content as a field value. *)
+
+type field
+
+val str : string -> string -> field
+(** [str name v] renders as [name=v].  Raises [Invalid_argument] when
+    [name] or [v] contains whitespace or ['='] appears in [name]. *)
+
+val quoted : string -> string -> field
+(** [quoted name v] renders as [name="v"] with OCaml [%S] escaping, for
+    values that may contain spaces. *)
+
+val int : string -> int -> field
+
+val float_hex : string -> float -> field
+(** Rendered with [%h]: exact, locale-independent. *)
+
+val opt_int : string -> int option -> field
+(** [None] renders as [name=none]. *)
+
+val opt_float : string -> float option -> field
+(** [None] renders as [name=none]; [Some f] as {!float_hex}. *)
+
+val render : field list -> string
+(** Fields joined with single spaces, in the given order. *)
+
+val hash64 : string -> string
+(** 64-bit FNV-1a of the string, as 16 lowercase hex digits.  A stable
+    content address: pure, platform-independent, cheap. *)

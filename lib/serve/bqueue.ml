@@ -1,0 +1,47 @@
+type 'a t = {
+  cap : int;
+  items : 'a Queue.t;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bqueue.create: negative capacity";
+  {
+    cap = capacity;
+    items = Queue.create ();
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let try_push t v =
+  Mutex.protect t.mu (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.cap then `Full
+      else begin
+        Queue.push v t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let take t =
+  Mutex.protect t.mu (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.items)
+let capacity t = t.cap

@@ -1,0 +1,27 @@
+(** Bounded multi-producer/multi-consumer queue — the serve admission
+    queue.
+
+    [try_push] never blocks: past the capacity the caller gets [`Full]
+    and turns it into a typed [overloaded] response, which is the whole
+    admission-control story — the server sheds load at the door instead
+    of buffering unboundedly.  [take] blocks workers until an item or
+    until the queue is closed and drained. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity < 0] raises [Invalid_argument].  A capacity of 0 admits
+    nothing — useful for drain tests and hard shedding. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val take : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    and empty ([None]).  Items enqueued before [close] are still
+    delivered — closing drains, it does not drop. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes every blocked [take]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,98 @@
+(* Hashtbl over entries threaded on an intrusive circular doubly-linked
+   list with a sentinel: sentinel.next is most-recent, sentinel.prev is
+   least-recent, so find/put/evict are all O(1). *)
+
+type entry = {
+  key : string;
+  mutable payload : string;
+  mutable prev : entry;
+  mutable next : entry;
+}
+
+type t = {
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  sentinel : entry;
+  mu : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  let rec sentinel =
+    { key = ""; payload = ""; prev = sentinel; next = sentinel }
+  in
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    sentinel;
+    mu = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink e =
+  e.prev.next <- e.next;
+  e.next.prev <- e.prev
+
+let link_front t e =
+  e.next <- t.sentinel.next;
+  e.prev <- t.sentinel;
+  t.sentinel.next.prev <- e;
+  t.sentinel.next <- e
+
+let find t k =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          unlink e;
+          link_front t e;
+          Some e.payload
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let put t k payload =
+  if t.cap = 0 then 0
+  else
+    Mutex.protect t.mu (fun () ->
+        (match Hashtbl.find_opt t.tbl k with
+        | Some e ->
+            e.payload <- payload;
+            unlink e;
+            link_front t e
+        | None ->
+            let rec e = { key = k; payload; prev = e; next = e } in
+            Hashtbl.replace t.tbl k e;
+            link_front t e);
+        let evicted = ref 0 in
+        while Hashtbl.length t.tbl > t.cap do
+          let lru = t.sentinel.prev in
+          unlink lru;
+          Hashtbl.remove t.tbl lru.key;
+          t.evictions <- t.evictions + 1;
+          incr evicted
+        done;
+        !evicted)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        size = Hashtbl.length t.tbl;
+        capacity = t.cap;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+      })

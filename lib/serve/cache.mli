@@ -1,0 +1,38 @@
+(** Content-addressed LRU result cache.
+
+    Keys are canonical request fingerprints
+    ({!Protocol.solve_cache_fields} rendered and hashed through
+    {!Resil.Fingerprint}); values are the pre-serialized result payload
+    exactly as first sent, so a cache hit replays the response
+    byte-identically.  Thread-safe: workers look up and insert
+    concurrently while the IO loop reads {!stats}.
+
+    Eviction is strict LRU over a capacity measured in entries (results
+    are a few KB each; an entry count is the predictable knob for
+    [--cache-size]).  Hits, misses, and evictions are counted for the
+    status endpoint; the server mirrors them into telemetry. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity < 0] raises [Invalid_argument]; 0 disables caching (every
+    lookup misses, nothing is stored). *)
+
+val find : t -> string -> string option
+(** Lookup; a hit refreshes the entry's recency.  Counts hit/miss. *)
+
+val put : t -> string -> string -> int
+(** Insert or refresh; returns how many least-recently-used entries were
+    evicted to stay within capacity (0 almost always, so the server can
+    mirror evictions into a telemetry counter without re-reading
+    {!stats}). *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,66 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let sockaddr = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let connect listen =
+  let domain =
+    match listen with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr listen)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t =
+  (* Both channels share the fd; flush then close it once. *)
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t = In_channel.input_line t.ic
+
+let rpc_raw t line =
+  send_line t line;
+  recv_line t
+
+let rpc t req =
+  match rpc_raw t (Json.to_string req) with
+  | None -> failwith "Client.rpc: connection closed by server"
+  | Some line -> Json.parse line
+
+let scrape_metrics listen =
+  let t = connect listen in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      (* Request line and terminating blank line must leave in one write:
+         the server answers the GET line as soon as it arrives and closes
+         after flushing, so a second write races the close and can die of
+         SIGPIPE. *)
+      output_string t.oc "GET /metrics HTTP/1.0\r\n\r\n";
+      flush t.oc;
+      let status =
+        match recv_line t with
+        | None -> failwith "Client.scrape_metrics: no response"
+        | Some s -> s
+      in
+      if not (String.length status >= 12 && String.sub status 9 3 = "200") then
+        failwith ("Client.scrape_metrics: " ^ String.trim status);
+      (* Skip the remaining headers, then read the body to EOF. *)
+      let rec skip_headers () =
+        match recv_line t with
+        | None -> ()
+        | Some line when String.trim line = "" -> ()
+        | Some _ -> skip_headers ()
+      in
+      skip_headers ();
+      In_channel.input_all t.ic)

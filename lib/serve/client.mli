@@ -1,0 +1,30 @@
+(** Blocking line-oriented client for the {!Server} daemon.
+
+    Used by `lsml client` and by the tests; one connection, synchronous
+    request/response.  Responses are returned as parsed {!Json.t}
+    objects (the raw line is available through {!rpc_raw}). *)
+
+type t
+
+val connect : Server.listen -> t
+(** Raises [Unix.Unix_error] if the server is not there. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Write one raw line (newline appended). *)
+
+val recv_line : t -> string option
+(** Next line from the server; [None] on EOF. *)
+
+val rpc_raw : t -> string -> string option
+(** [send_line] then [recv_line]. *)
+
+val rpc : t -> Json.t -> Json.t
+(** Send one JSON request and parse the JSON response.  Raises
+    [Failure] on EOF and [Json.Parse_error] on a garbled response. *)
+
+val scrape_metrics : Server.listen -> string
+(** Open a fresh connection, issue [GET /metrics HTTP/1.0], and return
+    the response body (the Prometheus text page).  Raises [Failure] if
+    the response is not a 200. *)

@@ -1,0 +1,45 @@
+(** Minimal JSON for the serve protocol.
+
+    Self-contained (the repo takes no third-party JSON dependency): a
+    value type, a strict recursive-descent parser, and a compact
+    single-line printer.  The printer never emits raw newlines — every
+    serialized value is a valid JSON-lines record.
+
+    {!Raw} is a printer-only escape hatch: it splices a pre-serialized
+    JSON fragment verbatim, which is how the serve result cache replays
+    a stored payload byte-identically.  {!parse} never produces it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (** pre-serialized fragment, printed verbatim *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Strict parse of one JSON value (leading/trailing whitespace
+    allowed; trailing garbage is an error).  Numbers with a fraction or
+    exponent become {!Float}, others {!Int}.  Raises {!Parse_error}
+    with a position-annotated message on malformed input. *)
+
+val to_string : t -> string
+(** Compact, single-line.  Non-finite floats print as [null] (JSON has
+    no representation for them). *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** First binding of the key in an {!Obj}; [None] otherwise. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts {!Int} too. *)
+
+val get_bool : t -> bool option

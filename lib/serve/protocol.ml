@@ -1,0 +1,133 @@
+type solve = {
+  team : string;
+  train : string;
+  valid : string option;
+  deadline_s : float option;
+  fuel : int option;
+  sweep : bool;
+  seed : int;
+  trace : bool;
+}
+
+type eval = {
+  e_aag : string;
+  e_pla : string;
+  e_deadline_s : float option;
+  e_fuel : int option;
+  e_trace : bool;
+}
+
+type verify = {
+  v_a : string;
+  v_b : string;
+  v_conflicts : int;
+  v_deadline_s : float option;
+  v_fuel : int option;
+  v_trace : bool;
+}
+
+type request =
+  | Solve of solve
+  | Eval of eval
+  | Verify of verify
+  | Status
+  | Shutdown
+
+type envelope = { id : Json.t; req : request }
+
+(* Field accessors over the request object.  Wrong-typed fields are
+   rejected rather than coerced: a {"fuel":"10"} is a client bug worth
+   a loud error, not a silent zero. *)
+exception Bad of string
+
+let field_opt j name get what =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+      match get v with
+      | Some x -> Some x
+      | None -> raise (Bad (Printf.sprintf "field %S must be %s" name what)))
+
+let str_opt j name = field_opt j name Json.get_string "a string"
+let int_opt j name = field_opt j name Json.get_int "an integer"
+let float_opt j name = field_opt j name Json.get_float "a number"
+let bool_opt j name = field_opt j name Json.get_bool "a boolean"
+
+let str_req j name =
+  match str_opt j name with
+  | Some s -> s
+  | None -> raise (Bad (Printf.sprintf "missing required field %S" name))
+
+let parse line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error (Json.Null, "bad JSON: " ^ msg)
+  | j -> (
+      let id = Option.value (Json.member "id" j) ~default:Json.Null in
+      match j with
+      | Json.Obj _ -> (
+          try
+            match str_opt j "op" with
+            | None -> Error (id, "missing \"op\" field")
+            | Some op ->
+                let req =
+                  match op with
+                  | "solve" ->
+                      Solve
+                        {
+                          team =
+                            Option.value (str_opt j "team") ~default:"team1";
+                          train = str_req j "train";
+                          valid = str_opt j "valid";
+                          deadline_s = float_opt j "deadline_s";
+                          fuel = int_opt j "fuel";
+                          sweep =
+                            Option.value (bool_opt j "sweep") ~default:false;
+                          seed = Option.value (int_opt j "seed") ~default:1;
+                          trace =
+                            Option.value (bool_opt j "trace") ~default:false;
+                        }
+                  | "eval" ->
+                      Eval
+                        {
+                          e_aag = str_req j "aag";
+                          e_pla = str_req j "pla";
+                          e_deadline_s = float_opt j "deadline_s";
+                          e_fuel = int_opt j "fuel";
+                          e_trace =
+                            Option.value (bool_opt j "trace") ~default:false;
+                        }
+                  | "verify" ->
+                      Verify
+                        {
+                          v_a = str_req j "a";
+                          v_b = str_req j "b";
+                          v_conflicts =
+                            Option.value (int_opt j "conflicts")
+                              ~default:100_000;
+                          v_deadline_s = float_opt j "deadline_s";
+                          v_fuel = int_opt j "fuel";
+                          v_trace =
+                            Option.value (bool_opt j "trace") ~default:false;
+                        }
+                  | "status" -> Status
+                  | "shutdown" -> Shutdown
+                  | op -> raise (Bad (Printf.sprintf "unknown op %S" op))
+                in
+                Ok { id; req }
+          with Bad msg -> Error (id, msg))
+      | _ -> Error (id, "request must be a JSON object"))
+
+let response ~id ~typ ?(extra = []) () =
+  Json.to_string (Json.Obj (("id", id) :: ("type", Json.Str typ) :: extra))
+
+let solve_cache_fields (s : solve) =
+  Resil.Fingerprint.
+    [
+      str "train" (hash64 s.train);
+      str "valid" (hash64 (Option.value s.valid ~default:""));
+      str "team" s.team;
+      int "seed" s.seed;
+      str "sweep" (string_of_bool s.sweep);
+      opt_float "deadline" s.deadline_s;
+      opt_int "fuel" s.fuel;
+    ]

@@ -1,0 +1,55 @@
+(** The `lsml serve` daemon: a long-lived synthesis service.
+
+    Composes the existing layers behind the JSON-lines {!Protocol}:
+
+    - a listening Unix-domain or TCP socket with a select-based IO loop
+      on the calling domain (line framing, many concurrent clients);
+    - a bounded {!Bqueue} admission queue — past [queue_depth] requests
+      are rejected immediately with a typed [overloaded] response;
+    - a worker fleet dispatched onto the existing {!Parallel.Pool}
+      (each pool worker runs one take/handle/reply loop);
+    - a per-request {!Resil.Budget} wall-clock/fuel deadline via
+      {!Contest.Solver.solve_guarded}, so one slow request degrades
+      only its own response (typed [degraded], fallback payload);
+    - a content-addressed {!Cache} keyed by the canonical
+      {!Resil.Fingerprint} of the training PLA + solve options —
+      identical solve requests replay the stored payload
+      byte-identically;
+    - live metrics: any connection whose first line starts with
+      [GET ] receives a one-shot HTTP response carrying the
+      {!Telemetry} Prometheus page, so a stock Prometheus scraper can
+      point at the serve socket directly; [metrics_path] additionally
+      writes the page (atomically) at shutdown.
+
+    Shutdown is graceful: a [shutdown] request stops admission, drains
+    every queued and in-flight request (each still gets its response),
+    acknowledges with [ok], flushes, and returns from {!serve}. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  jobs : int;  (** worker pool size (clamped to >= 1) *)
+  queue_depth : int;  (** admission-queue capacity *)
+  cache_size : int;  (** result-cache entries; 0 disables *)
+  metrics_path : string option;  (** Prometheus page written at shutdown *)
+  default_deadline : float option;
+      (** per-request wall-clock budget when the request names none *)
+  default_fuel : int option;  (** deterministic budget ticks, same rule *)
+}
+
+val default_config : listen:listen -> config
+(** jobs = [Parallel.Pool.recommended_jobs ()], queue_depth = 64,
+    cache_size = 256, no metrics path, no default budgets. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (enables {!Telemetry} for live metrics).  The
+    socket accepts connections from this point on, so a client may
+    connect before {!serve} starts draining them.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val serve : t -> unit
+(** Run the IO loop until a [shutdown] request completes.  Blocks the
+    calling domain; spawns one domain for the worker pool. *)

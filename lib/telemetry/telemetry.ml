@@ -243,12 +243,18 @@ let domains_sorted () =
    recovers nesting; an unmatched begin is closed at the domain's last
    event timestamp. *)
 let domain_spans d =
+  (* Snapshot the buffer reference before the length: if the owning
+     domain grows (reallocates) the buffer concurrently — a live metrics
+     scrape mid-run — clamping to the snapshot's capacity keeps the walk
+     in bounds and yields a consistent prefix of its events. *)
+  let evs = d.evs in
+  let n_evs = min d.n_evs (Array.length evs) in
   let out = ref [] in
   let stack = ref [] in
   let last_ts = ref 0. in
   let seq = ref 0 in
-  for i = 0 to d.n_evs - 1 do
-    match d.evs.(i) with
+  for i = 0 to n_evs - 1 do
+    match evs.(i) with
     | Ev_begin { b_name; b_cat; b_ts } ->
         last_ts := b_ts;
         let slot = !seq in
@@ -293,12 +299,45 @@ let domain_spans d =
 
 let spans () = List.concat_map domain_spans (domains_sorted ())
 
+(* Per-request capture: remember where this domain's event buffer stood,
+   run the request, and reconstruct only the spans recorded in between.
+   The slice is re-walked through [domain_spans] on a throwaway view, so
+   nesting depth is relative to the capture start. *)
+let with_capture f =
+  if not (Atomic.get enabled_flag) then (f (), [])
+  else begin
+    let d = dstate () in
+    let start = d.n_evs in
+    let v = f () in
+    let view =
+      {
+        tid = d.tid;
+        evs = Array.sub d.evs start (d.n_evs - start);
+        n_evs = d.n_evs - start;
+        cells = [||];
+        hcells = [||];
+      }
+    in
+    (v, domain_spans view)
+  end
+
+(* Long-lived processes (the serve daemon) call this between requests so
+   the per-domain event buffer stays bounded; counter and histogram cells
+   are cumulative and survive. *)
+let drop_local_events () =
+  if Atomic.get enabled_flag then begin
+    let d = dstate () in
+    d.n_evs <- 0
+  end
+
 let instants () =
   List.concat_map
     (fun d ->
+      let evs = d.evs in
+      let n_evs = min d.n_evs (Array.length evs) in
       let out = ref [] in
-      for i = d.n_evs - 1 downto 0 do
-        match d.evs.(i) with
+      for i = n_evs - 1 downto 0 do
+        match evs.(i) with
         | Ev_instant { i_name; i_cat; i_ts; i_args } ->
             out :=
               {
@@ -324,7 +363,8 @@ let counters () =
       let total =
         List.fold_left
           (fun acc d ->
-            if id < Array.length d.cells then acc + d.cells.(id) else acc)
+            let cells = d.cells in
+            if id < Array.length cells then acc + cells.(id) else acc)
           0 ds
       in
       (name, total))
@@ -348,8 +388,9 @@ let histograms () =
       let merged = fresh_cells () in
       List.iter
         (fun d ->
-          if id < Array.length d.hcells then begin
-            let c = d.hcells.(id) in
+          let hcells = d.hcells in
+          if id < Array.length hcells then begin
+            let c = hcells.(id) in
             Array.iteri
               (fun i v -> merged.buckets.(i) <- merged.buckets.(i) + v)
               c.buckets;
@@ -473,11 +514,17 @@ let trace_json () =
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
+(* Tmp+rename, the same discipline as Resil.Journal: a scraper reading
+   the metrics (or trace) file concurrently with the writer sees either
+   the previous complete file or the new complete file, never a torn
+   prefix. *)
 let write_file path s =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc s)
+    (fun () -> output_string oc s);
+  Sys.rename tmp path
 
 let write_trace path = write_file path (trace_json ())
 

@@ -113,6 +113,19 @@ val spans : unit -> span_record list
     possible only through recorder misuse, not through the bracketed
     API — is closed at its domain's last event timestamp. *)
 
+val with_capture : (unit -> 'a) -> 'a * span_record list
+(** [with_capture f] runs [f ()] and returns, alongside its result, the
+    spans the {e current domain} recorded during the call (depth
+    relative to the capture start).  The serve layer uses this for
+    per-request trace capture.  Disabled, or when [f] raises: exactly
+    [f ()] (with an empty capture). *)
+
+val drop_local_events : unit -> unit
+(** Discard the {e current domain}'s recorded span/instant events
+    (counters and histograms are cumulative cells and are kept).  A
+    long-lived server calls this between requests so the event buffer
+    never grows without bound.  No-op while disabled. *)
+
 val instants : unit -> instant_record list
 
 val counters : unit -> (string * int) list

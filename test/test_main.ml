@@ -25,4 +25,5 @@ let () =
          Test_sat.suites;
          Test_cec.suites;
          Test_telemetry.suites;
+         Test_serve.suites;
          Test_report.suites ])

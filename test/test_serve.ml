@@ -1,0 +1,661 @@
+module J = Serve.Json
+module Pr = Serve.Protocol
+module F = Resil.Fingerprint
+module S = Benchgen.Suite
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip s = J.to_string (J.parse s)
+
+let test_json_roundtrip () =
+  check_string "object" {|{"a":1,"b":[true,false,null],"c":"x"}|}
+    (roundtrip {| { "a" : 1 , "b" : [ true , false , null ] , "c" : "x" } |});
+  check_string "nested" {|{"a":{"b":{"c":[]}}}|}
+    (roundtrip {|{"a":{"b":{"c":[]}}}|});
+  check_string "escapes" "\"a\\\"b\\\\c\\nd\""
+    (roundtrip {|"a\"b\\c\nd"|});
+  check_string "unicode escape to utf8" "\"\xc3\xa9\""
+    (roundtrip "\"\\u00e9\"");
+  check_string "surrogate pair to utf8" "\"\xf0\x9f\x98\x80\""
+    (roundtrip "\"\\ud83d\\ude00\"");
+  check_string "raw utf8 passes through" "\"\xc3\xa9\""
+    (roundtrip "\"\xc3\xa9\"");
+  check_string "negative int" "-42" (roundtrip "-42");
+  check_string "exponent is float" "1000.0" (roundtrip "1e3");
+  check_string "fraction" "0.1" (roundtrip "0.1");
+  check_string "integer-valued float" "2.0" (roundtrip "2.0")
+
+let test_json_errors () =
+  let bad s =
+    match J.parse s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "trailing garbage" true (bad "{} x");
+  check_bool "unterminated string" true (bad "\"abc");
+  check_bool "bare word" true (bad "frue");
+  check_bool "missing colon" true (bad {|{"a" 1}|});
+  check_bool "control char in string" true (bad "\"a\nb\"");
+  check_bool "lone surrogate" true (bad {|"\ud83d"|});
+  check_bool "empty input" true (bad "")
+
+let test_json_raw_and_accessors () =
+  check_string "raw splice" {|{"x":{"y":1},"z":2}|}
+    (J.to_string (J.Obj [ ("x", J.Raw {|{"y":1}|}); ("z", J.Int 2) ]));
+  let j = J.parse {|{"n":3,"f":2.5,"s":"hi","b":true}|} in
+  check_bool "member hit" true (J.member "n" j <> None);
+  check_bool "member miss" true (J.member "zz" j = None);
+  check_int "get_int" 3 (Option.get (J.get_int (Option.get (J.member "n" j))));
+  check_bool "get_float accepts int" true
+    (J.get_float (Option.get (J.member "n" j)) = Some 3.0);
+  check_bool "get_float" true
+    (J.get_float (Option.get (J.member "f" j)) = Some 2.5);
+  check_bool "get_string" true
+    (J.get_string (Option.get (J.member "s" j)) = Some "hi");
+  check_bool "get_bool" true
+    (J.get_bool (Option.get (J.member "b" j)) = Some true);
+  check_bool "non-finite serializes as null" true
+    (J.to_string (J.Float Float.nan) = "null")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_solve_defaults () =
+  match Pr.parse {|{"id":1,"op":"solve","train":"p"}|} with
+  | Ok { Pr.id = J.Int 1; req = Pr.Solve s } ->
+      check_string "team default" "team1" s.Pr.team;
+      check_string "train" "p" s.Pr.train;
+      check_bool "valid default" true (s.Pr.valid = None);
+      check_bool "deadline default" true (s.Pr.deadline_s = None);
+      check_bool "fuel default" true (s.Pr.fuel = None);
+      check_bool "sweep default" false s.Pr.sweep;
+      check_int "seed default" 1 s.Pr.seed;
+      check_bool "trace default" false s.Pr.trace
+  | _ -> Alcotest.fail "expected a solve envelope"
+
+let test_protocol_errors () =
+  let err line =
+    match Pr.parse line with
+    | Error (id, msg) -> (id, msg)
+    | Ok _ -> Alcotest.fail ("expected parse error for " ^ line)
+  in
+  let id, msg = err {|{"id":7,"train":"p"}|} in
+  check_bool "id echoed on missing op" true (id = J.Int 7);
+  check_bool "missing op named" true
+    (contains ~affix:"op" msg);
+  let _, msg = err {|{"id":1,"op":"solve"}|} in
+  check_bool "missing train named" true
+    (contains ~affix:"train" msg);
+  let _, msg = err {|{"id":1,"op":"solve","train":"p","fuel":"10"}|} in
+  check_bool "wrong-typed fuel named" true
+    (contains ~affix:"fuel" msg);
+  let _, msg = err {|{"id":1,"op":"noop"}|} in
+  check_bool "unknown op named" true
+    (contains ~affix:"noop" msg);
+  let id, _ = err "[1,2]" in
+  check_bool "non-object rejected" true (id = J.Null);
+  let id, msg = err "not json" in
+  check_bool "bad json null id" true (id = J.Null);
+  check_bool "bad json message" true
+    (contains ~affix:"JSON" msg)
+
+let test_protocol_response_and_cache_key () =
+  check_string "response shape"
+    {|{"id":9,"type":"ok","op":"shutdown"}|}
+    (Pr.response ~id:(J.Int 9) ~typ:"ok"
+       ~extra:[ ("op", J.Str "shutdown") ]
+       ());
+  let solve line =
+    match Pr.parse line with
+    | Ok { Pr.req = Pr.Solve s; _ } -> s
+    | _ -> Alcotest.fail "expected solve"
+  in
+  let key s = F.render (Pr.solve_cache_fields s) in
+  let a = solve {|{"id":1,"op":"solve","train":"p","seed":3}|} in
+  let b = solve {|{"id":2,"op":"solve","train":"p","seed":3}|} in
+  check_string "identical requests share a key" (key a) (key b);
+  let c = solve {|{"id":1,"op":"solve","train":"p","seed":4}|} in
+  check_bool "seed changes the key" true (key a <> key c);
+  let d = solve {|{"id":1,"op":"solve","train":"q","seed":3}|} in
+  check_bool "train content changes the key" true (key a <> key d)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bqueue_admission () =
+  let q = Serve.Bqueue.create ~capacity:2 in
+  check_int "capacity" 2 (Serve.Bqueue.capacity q);
+  check_bool "push 1" true (Serve.Bqueue.try_push q 1 = `Ok);
+  check_bool "push 2" true (Serve.Bqueue.try_push q 2 = `Ok);
+  check_bool "push past depth rejected" true (Serve.Bqueue.try_push q 3 = `Full);
+  check_int "length" 2 (Serve.Bqueue.length q);
+  check_bool "fifo 1" true (Serve.Bqueue.take q = Some 1);
+  check_bool "freed a slot" true (Serve.Bqueue.try_push q 3 = `Ok);
+  check_bool "fifo 2" true (Serve.Bqueue.take q = Some 2);
+  check_bool "fifo 3" true (Serve.Bqueue.take q = Some 3);
+  let z = Serve.Bqueue.create ~capacity:0 in
+  check_bool "zero depth admits nothing" true (Serve.Bqueue.try_push z 1 = `Full);
+  check_bool "negative capacity rejected" true
+    (match Serve.Bqueue.create ~capacity:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bqueue_close_drains () =
+  let q = Serve.Bqueue.create ~capacity:4 in
+  ignore (Serve.Bqueue.try_push q "a");
+  ignore (Serve.Bqueue.try_push q "b");
+  Serve.Bqueue.close q;
+  check_bool "push after close" true (Serve.Bqueue.try_push q "c" = `Closed);
+  check_bool "close drains a" true (Serve.Bqueue.take q = Some "a");
+  check_bool "close drains b" true (Serve.Bqueue.take q = Some "b");
+  check_bool "then signals end" true (Serve.Bqueue.take q = None);
+  check_bool "idempotent close" true
+    (Serve.Bqueue.close q;
+     Serve.Bqueue.take q = None)
+
+let test_bqueue_blocking_take () =
+  let q = Serve.Bqueue.create ~capacity:1 in
+  let taker = Domain.spawn (fun () -> Serve.Bqueue.take q) in
+  Unix.sleepf 0.02;
+  check_bool "push wakes taker" true (Serve.Bqueue.try_push q 42 = `Ok);
+  check_bool "woken with the item" true (Domain.join taker = Some 42);
+  let taker = Domain.spawn (fun () -> Serve.Bqueue.take q) in
+  Unix.sleepf 0.02;
+  Serve.Bqueue.close q;
+  check_bool "close wakes taker" true (Domain.join taker = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Serve.Cache.create ~capacity:4 in
+  check_bool "cold miss" true (Serve.Cache.find c "k" = None);
+  check_int "no eviction" 0 (Serve.Cache.put c "k" "payload");
+  check_bool "hit replays bytes" true (Serve.Cache.find c "k" = Some "payload");
+  check_int "refresh no eviction" 0 (Serve.Cache.put c "k" "payload2");
+  check_bool "refresh replaces" true (Serve.Cache.find c "k" = Some "payload2");
+  let st = Serve.Cache.stats c in
+  check_int "size" 1 st.Serve.Cache.size;
+  check_int "hits" 2 st.Serve.Cache.hits;
+  check_int "misses" 1 st.Serve.Cache.misses;
+  check_int "evictions" 0 st.Serve.Cache.evictions
+
+let test_cache_lru_eviction () =
+  let c = Serve.Cache.create ~capacity:2 in
+  ignore (Serve.Cache.put c "a" "1");
+  ignore (Serve.Cache.put c "b" "2");
+  (* Touch a so b becomes least-recently-used. *)
+  ignore (Serve.Cache.find c "a");
+  check_int "put evicts one" 1 (Serve.Cache.put c "c" "3");
+  check_bool "lru entry gone" true (Serve.Cache.find c "b" = None);
+  check_bool "recent entry kept" true (Serve.Cache.find c "a" = Some "1");
+  check_bool "new entry present" true (Serve.Cache.find c "c" = Some "3");
+  let st = Serve.Cache.stats c in
+  check_int "eviction counted" 1 st.Serve.Cache.evictions;
+  check_int "size at capacity" 2 st.Serve.Cache.size
+
+let test_cache_disabled () =
+  let c = Serve.Cache.create ~capacity:0 in
+  check_int "put is a no-op" 0 (Serve.Cache.put c "k" "v");
+  check_bool "always misses" true (Serve.Cache.find c "k" = None);
+  check_int "nothing stored" 0 (Serve.Cache.stats c).Serve.Cache.size;
+  check_bool "negative capacity rejected" true
+    (match Serve.Cache.create ~capacity:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_render () =
+  check_string "field forms"
+    "a=x b=\"two words\" c=3 d=0x1.4p+1 e=none f=7 g=none h=0x0p+0"
+    (F.render
+       [
+         F.str "a" "x";
+         F.quoted "b" "two words";
+         F.int "c" 3;
+         F.float_hex "d" 2.5;
+         F.opt_int "e" None;
+         F.opt_int "f" (Some 7);
+         F.opt_float "g" None;
+         F.opt_float "h" (Some 0.0);
+       ]);
+  check_bool "whitespace in str value rejected" true
+    (match F.str "a" "x y" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "= in name rejected" true
+    (match F.str "a=b" "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fingerprint_hash64 () =
+  (* Published FNV-1a 64-bit vectors. *)
+  check_string "empty" "cbf29ce484222325" (F.hash64 "");
+  check_string "a" "af63dc4c8601ec8c" (F.hash64 "a");
+  check_string "foobar" "85944171f73967e8" (F.hash64 "foobar");
+  check_bool "distinct inputs distinct digests" true
+    (F.hash64 "x" <> F.hash64 "y")
+
+(* The journal meta lines are persisted in checkpoint files; the shared
+   fingerprint refactor must keep them byte-identical to the legacy
+   sprintf formats or --resume would reject every old journal. *)
+let test_fingerprint_journal_meta_pinned () =
+  let old_rate = Resil.Fault.rate () and old_seed = Resil.Fault.seed () in
+  Fun.protect
+    ~finally:(fun () ->
+      Resil.Fault.set_rate old_rate;
+      Resil.Fault.set_seed old_seed)
+    (fun () ->
+      Resil.Fault.set_rate 0.0;
+      Resil.Fault.set_seed 5;
+      let config =
+        {
+          Contest.Experiments.sizes = { S.train = 120; valid = 60; test = 60 };
+          seed = 3;
+          ids = [ 30; 74 ];
+        }
+      in
+      check_string "experiments meta"
+        "seed=3 sizes=120/60/60 ids=30,74 teams=team10 limit=none fuel=none \
+         frate=0x0p+0 fseed=5"
+        (Contest.Experiments.journal_meta ~teams:[ Contest.Teams.team10 ]
+           config);
+      check_string "experiments meta with budgets"
+        "seed=3 sizes=120/60/60 ids=30,74 teams=team10 limit=0x1.4p+1 \
+         fuel=10 frate=0x0p+0 fseed=5"
+        (Contest.Experiments.journal_meta ~time_limit:2.5 ~fuel:10
+           ~teams:[ Contest.Teams.team10 ] config);
+      check_string "corpus meta"
+        "corpus=\"corpus v1\" teams=team10 limit=none fuel=7 frate=0x0p+0 \
+         fseed=5"
+        (Corpus.Runner.journal_meta ~fuel:7 ~teams:[ Contest.Teams.team10 ]
+           ~corpus_meta:"corpus v1" ()))
+
+(* ------------------------------------------------------------------ *)
+(* Server end-to-end over a Unix socket                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_sock () =
+  let path = Filename.temp_file "lsml-serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(jobs = 2) ?(queue_depth = 64) ?(cache_size = 16) f =
+  let path = tmp_sock () in
+  let listen = `Unix path in
+  let cfg =
+    {
+      (Serve.Server.default_config ~listen) with
+      jobs;
+      queue_depth;
+      cache_size;
+    }
+  in
+  let t = Serve.Server.create cfg in
+  let d = Domain.spawn (fun () -> Serve.Server.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Idempotent: if the test already shut the server down the socket
+         is gone and connect fails, which is fine. *)
+      (try
+         let c = Serve.Client.connect listen in
+         (try
+            ignore
+              (Serve.Client.rpc c
+                 (J.Obj [ ("id", J.Str "fin"); ("op", J.Str "shutdown") ]))
+          with _ -> ());
+         Serve.Client.close c
+       with _ -> ());
+      Domain.join d;
+      Telemetry.disable ();
+      Telemetry.reset ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f listen)
+
+let rpc listen fields =
+  let c = Serve.Client.connect listen in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () -> Serve.Client.rpc c (J.Obj fields))
+
+let rpc_raw listen line =
+  let c = Serve.Client.connect listen in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () -> Serve.Client.rpc_raw c line)
+
+let typ_of resp =
+  match J.member "type" resp with Some (J.Str t) -> t | _ -> "?"
+
+let str_at resp path =
+  let rec go j = function
+    | [] -> J.get_string j
+    | k :: rest -> Option.bind (J.member k j) (fun j -> go j rest)
+  in
+  go resp path
+
+(* Full 3-input truth table of x1 xor x2: exactly learnable, so solves
+   are fast and deterministic. *)
+let pla_xor =
+  ".i 3\n.o 1\n000 0\n001 1\n010 1\n011 0\n100 0\n101 1\n110 1\n111 0\n.e\n"
+
+let solve_fields ?(id = "t") ?(team = "team1") ?(seed = 1) ?fuel
+    ?(train = pla_xor) ?(extra = []) () =
+  [
+    ("id", J.Str id);
+    ("op", J.Str "solve");
+    ("team", J.Str team);
+    ("train", J.Str train);
+    ("seed", J.Int seed);
+  ]
+  @ (match fuel with Some f -> [ ("fuel", J.Int f) ] | None -> [])
+  @ extra
+
+(* The cached payload must replay byte-for-byte; compare the raw line
+   from the "result": key onward (the prefix differs only in the
+   "cached" flag). *)
+let payload_suffix line =
+  let marker = "\"result\":" in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then Alcotest.fail ("no result payload in " ^ line)
+    else if String.sub line i m = marker then String.sub line i (n - i)
+    else find (i + 1)
+  in
+  find 0
+
+let test_server_status () =
+  with_server @@ fun listen ->
+  let resp = rpc listen [ ("id", J.Int 1); ("op", J.Str "status") ] in
+  check_string "status type" "status" (typ_of resp);
+  check_bool "id echoed" true (J.member "id" resp = Some (J.Int 1));
+  let result = Option.get (J.member "result" resp) in
+  check_bool "jobs reported" true
+    (Option.bind (J.member "jobs" result) J.get_int = Some 2);
+  check_bool "not draining" true
+    (Option.bind (J.member "draining" result) J.get_bool = Some false)
+
+let test_server_solve_cache_identity () =
+  with_server @@ fun listen ->
+  let line = J.to_string (J.Obj (solve_fields ())) in
+  let first = Option.get (rpc_raw listen line) in
+  let second = Option.get (rpc_raw listen line) in
+  let p1 = J.parse first and p2 = J.parse second in
+  check_string "first is a result" "result" (typ_of p1);
+  check_string "second is a result" "result" (typ_of p2);
+  check_bool "first not cached" true
+    (Option.bind (J.member "cached" p1) J.get_bool = Some false);
+  check_bool "second cached" true
+    (Option.bind (J.member "cached" p2) J.get_bool = Some true);
+  check_string "payload byte-identical" (payload_suffix first)
+    (payload_suffix second);
+  (* A different seed is a different content address. *)
+  let third =
+    J.parse
+      (Option.get (rpc_raw listen (J.to_string (J.Obj (solve_fields ~seed:2 ())))))
+  in
+  check_bool "seed change misses" true
+    (Option.bind (J.member "cached" third) J.get_bool = Some false);
+  let status = rpc listen [ ("id", J.Int 9); ("op", J.Str "status") ] in
+  let cache =
+    Option.get (Option.bind (J.member "result" status) (J.member "cache"))
+  in
+  check_bool "hit counted" true
+    (Option.bind (J.member "hits" cache) J.get_int = Some 1);
+  check_bool "misses counted" true
+    (Option.bind (J.member "misses" cache) J.get_int = Some 2)
+
+let test_server_malformed_then_alive () =
+  with_server @@ fun listen ->
+  let resp = J.parse (Option.get (rpc_raw listen "this is not json")) in
+  check_string "malformed gets typed error" "error" (typ_of resp);
+  check_bool "null id echoed" true (J.member "id" resp = Some J.Null);
+  let resp = rpc listen [ ("id", J.Int 3); ("op", J.Str "frobnicate") ] in
+  check_string "unknown op typed error" "error" (typ_of resp);
+  check_bool "its id echoed" true (J.member "id" resp = Some (J.Int 3));
+  let resp =
+    rpc listen
+      [ ("id", J.Int 4); ("op", J.Str "solve"); ("train", J.Str "... junk") ]
+  in
+  check_string "bad PLA typed error" "error" (typ_of resp);
+  check_bool "bad_request code" true
+    (str_at resp [ "code" ] = Some "bad_request");
+  let resp =
+    rpc listen
+      [
+        ("id", J.Int 5);
+        ("op", J.Str "solve");
+        ("team", J.Str "team99");
+        ("train", J.Str pla_xor);
+      ]
+  in
+  check_string "unknown team typed error" "error" (typ_of resp);
+  (* The server survived all of it. *)
+  let resp = rpc listen [ ("id", J.Int 6); ("op", J.Str "status") ] in
+  check_string "still serving" "status" (typ_of resp)
+
+let test_server_deadline_degraded () =
+  with_server @@ fun listen ->
+  (* fuel=1 exhausts deterministically on the first budget tick. *)
+  let resp = rpc listen (solve_fields ~team:"team3" ~fuel:1 ()) in
+  check_string "degraded response" "degraded" (typ_of resp);
+  check_bool "deadline reason" true
+    (str_at resp [ "reason" ] = Some "deadline");
+  check_bool "fallback payload present" true
+    (str_at resp [ "result"; "status" ] = Some "timeout");
+  (* Degraded results are not cached: the same request re-runs. *)
+  let again = rpc listen (solve_fields ~team:"team3" ~fuel:1 ()) in
+  check_string "degraded again" "degraded" (typ_of again);
+  check_bool "not served from cache" true
+    (Option.bind (J.member "cached" again) J.get_bool = Some false);
+  (* And the server still completes clean work afterwards. *)
+  let ok = rpc listen (solve_fields ()) in
+  check_string "clean solve after degraded" "result" (typ_of ok)
+
+let test_server_overload () =
+  with_server ~queue_depth:0 @@ fun listen ->
+  let resp = rpc listen (solve_fields ()) in
+  check_string "typed overload" "overloaded" (typ_of resp);
+  check_bool "depth reported" true
+    (Option.bind (J.member "queue_depth" resp) J.get_int = Some 0);
+  (* Status is answered inline by the IO loop, never queued. *)
+  let resp = rpc listen [ ("id", J.Int 1); ("op", J.Str "status") ] in
+  check_string "status bypasses admission" "status" (typ_of resp)
+
+let test_server_eval_verify () =
+  with_server @@ fun listen ->
+  let solved = rpc listen (solve_fields ()) in
+  check_string "solve ok" "result" (typ_of solved);
+  let aag = Option.get (str_at solved [ "result"; "aag" ]) in
+  let resp =
+    rpc listen
+      [
+        ("id", J.Int 1);
+        ("op", J.Str "eval");
+        ("aag", J.Str aag);
+        ("pla", J.Str pla_xor);
+      ]
+  in
+  check_string "eval ok" "result" (typ_of resp);
+  let acc =
+    Option.get
+      (Option.bind
+         (Option.bind (J.member "result" resp) (J.member "accuracy"))
+         J.get_float)
+  in
+  check_bool "xor learned exactly" true (acc = 1.0);
+  let resp =
+    rpc listen
+      [
+        ("id", J.Int 2);
+        ("op", J.Str "verify");
+        ("a", J.Str aag);
+        ("b", J.Str aag);
+      ]
+  in
+  check_string "verify ok" "result" (typ_of resp);
+  check_bool "self-equivalent" true
+    (str_at resp [ "result"; "verdict" ] = Some "equivalent")
+
+let test_server_trace_capture () =
+  with_server @@ fun listen ->
+  let resp =
+    rpc listen (solve_fields ~extra:[ ("trace", J.Bool true) ] ())
+  in
+  check_string "traced solve ok" "result" (typ_of resp);
+  match J.member "trace" resp with
+  | Some (J.List spans) ->
+      check_bool "request span captured" true
+        (List.exists
+           (fun s ->
+             match J.member "name" s with
+             | Some (J.Str "serve.solve") -> true
+             | _ -> false)
+           spans)
+  | _ -> Alcotest.fail "expected a trace list in the response"
+
+let test_server_metrics_scrape () =
+  with_server @@ fun listen ->
+  ignore (rpc listen (solve_fields ()));
+  let body = Serve.Client.scrape_metrics listen in
+  check_bool "serve counters exported" true
+    (contains ~affix:"lsml_serve_requests_total" body);
+  check_bool "cache counters exported" true
+    (contains ~affix:"lsml_serve_cache_misses_total" body);
+  (* The scrape is a one-shot HTTP connection; the JSON plane still works. *)
+  let resp = rpc listen [ ("id", J.Int 1); ("op", J.Str "status") ] in
+  check_string "still serving after scrape" "status" (typ_of resp)
+
+(* A solve in flight when shutdown arrives must still get its response,
+   and the shutdown is acknowledged only after the drain.  Runs with
+   the fault injector at full rate: even when every candidate is
+   crashing, the drain still delivers a typed response. *)
+let test_server_shutdown_drains () =
+  let old_rate = Resil.Fault.rate () in
+  Fun.protect ~finally:(fun () -> Resil.Fault.set_rate old_rate)
+  @@ fun () ->
+  with_server @@ fun listen ->
+  let a = Serve.Client.connect listen in
+  let b = Serve.Client.connect listen in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Client.close a;
+      Serve.Client.close b)
+    (fun () ->
+      (* Prime the pool before raising the fault rate: the worker loops
+         themselves start under a fault context, and a full-rate injection
+         during startup would kill them before they ever take a job.  A
+         completed request proves at least one worker is live. *)
+      let primed = rpc listen (solve_fields ~id:"prime" ()) in
+      check_string "pool primed" "result" (typ_of primed);
+      Resil.Fault.set_rate 1.0;
+      Serve.Client.send_line a
+        (J.to_string (J.Obj (solve_fields ~id:"work" ~seed:2 ())));
+      (* Give the IO loop time to admit the solve so the shutdown on the
+         other connection definitely arrives second. *)
+      Unix.sleepf 0.05;
+      Serve.Client.send_line b
+        (J.to_string (J.Obj [ ("id", J.Str "stop"); ("op", J.Str "shutdown") ]));
+      let worked = J.parse (Option.get (Serve.Client.recv_line a)) in
+      check_string "in-flight request drained" "result" (typ_of worked);
+      check_bool "its id" true (J.member "id" worked = Some (J.Str "work"));
+      let stopped = J.parse (Option.get (Serve.Client.recv_line b)) in
+      check_string "shutdown acknowledged" "ok" (typ_of stopped);
+      check_bool "connection closed after drain" true
+        (Serve.Client.recv_line b = None))
+
+(* With the fault injector at full rate every portfolio candidate
+   crashes and is dropped; the solver completes with its constant
+   fallback and the server keeps answering typed responses. *)
+let test_server_fault_injection () =
+  let old_rate = Resil.Fault.rate () in
+  Fun.protect
+    ~finally:(fun () -> Resil.Fault.set_rate old_rate)
+    (fun () ->
+      with_server @@ fun listen ->
+      let ok = rpc listen (solve_fields ()) in
+      check_string "healthy before faults" "result" (typ_of ok);
+      check_bool "a real candidate won" true
+        (str_at ok [ "result"; "technique" ] <> Some "constant");
+      Resil.Fault.set_rate 1.0;
+      let resp = rpc listen (solve_fields ~seed:2 ()) in
+      check_string "typed response under faults" "result" (typ_of resp);
+      check_bool "every candidate dropped, constant fallback" true
+        (str_at resp [ "result"; "technique" ] = Some "constant");
+      Resil.Fault.set_rate 0.0;
+      let after = rpc listen (solve_fields ~seed:3 ()) in
+      check_string "healthy after faults" "result" (typ_of after);
+      check_bool "candidates recover" true
+        (str_at after [ "result"; "technique" ] <> Some "constant"))
+
+let suites =
+  [
+    ( "serve json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "errors" `Quick test_json_errors;
+        Alcotest.test_case "raw and accessors" `Quick
+          test_json_raw_and_accessors;
+      ] );
+    ( "serve protocol",
+      [
+        Alcotest.test_case "solve defaults" `Quick test_protocol_solve_defaults;
+        Alcotest.test_case "errors" `Quick test_protocol_errors;
+        Alcotest.test_case "response and cache key" `Quick
+          test_protocol_response_and_cache_key;
+      ] );
+    ( "serve bqueue",
+      [
+        Alcotest.test_case "admission" `Quick test_bqueue_admission;
+        Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
+        Alcotest.test_case "blocking take" `Quick test_bqueue_blocking_take;
+      ] );
+    ( "serve cache",
+      [
+        Alcotest.test_case "hit miss" `Quick test_cache_hit_miss;
+        Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "disabled" `Quick test_cache_disabled;
+      ] );
+    ( "fingerprint",
+      [
+        Alcotest.test_case "render" `Quick test_fingerprint_render;
+        Alcotest.test_case "hash64 vectors" `Quick test_fingerprint_hash64;
+        Alcotest.test_case "journal meta pinned" `Quick
+          test_fingerprint_journal_meta_pinned;
+      ] );
+    ( "serve server",
+      [
+        Alcotest.test_case "status" `Quick test_server_status;
+        Alcotest.test_case "solve cache identity" `Quick
+          test_server_solve_cache_identity;
+        Alcotest.test_case "malformed then alive" `Quick
+          test_server_malformed_then_alive;
+        Alcotest.test_case "deadline degraded" `Quick
+          test_server_deadline_degraded;
+        Alcotest.test_case "overload" `Quick test_server_overload;
+        Alcotest.test_case "eval verify" `Quick test_server_eval_verify;
+        Alcotest.test_case "trace capture" `Quick test_server_trace_capture;
+        Alcotest.test_case "metrics scrape" `Quick test_server_metrics_scrape;
+        Alcotest.test_case "shutdown drains" `Quick
+          test_server_shutdown_drains;
+        Alcotest.test_case "fault injection" `Quick
+          test_server_fault_injection;
+      ] );
+  ]

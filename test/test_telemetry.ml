@@ -413,6 +413,66 @@ let test_prometheus_format () =
     lines
 
 (* ------------------------------------------------------------------ *)
+(* Atomic metrics export: tmp+rename, no partial file left behind       *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_metrics_atomic () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.atomic.hits" in
+  T.add c 3;
+  let path = Filename.temp_file "lsml-metrics" ".prom" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".tmp" ])
+    (fun () ->
+      T.write_metrics path;
+      check_bool "no tmp file left" false (Sys.file_exists (path ^ ".tmp"));
+      let body = In_channel.with_open_bin path In_channel.input_all in
+      check_string "file holds the exposition page" (T.prometheus ()) body)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request capture and event-buffer bounding for the serve daemon   *)
+(* ------------------------------------------------------------------ *)
+
+let test_with_capture () =
+  with_telemetry @@ fun () ->
+  T.span ~cat:"tst" "cap.before" (fun () -> ());
+  let v, captured =
+    T.with_capture (fun () ->
+        T.span ~cat:"tst" "cap.outer" (fun () ->
+            T.span ~cat:"tst" "cap.inner" (fun () -> ()));
+        21)
+  in
+  check_int "result passes through" 21 v;
+  check_int "only the request's spans" 2 (List.length captured);
+  let names = List.map (fun s -> s.T.span_name) captured in
+  check_bool "inner captured" true (List.mem "cap.inner" names);
+  check_bool "outer captured" true (List.mem "cap.outer" names);
+  check_bool "earlier span excluded" false (List.mem "cap.before" names);
+  let outer = List.find (fun s -> s.T.span_name = "cap.outer") captured in
+  check_int "depth relative to capture start" 0 outer.T.span_depth;
+  (* The recorder itself keeps everything. *)
+  check_int "global record intact" 3 (List.length (T.spans ()));
+  T.disable ();
+  let v, captured = T.with_capture (fun () -> 5) in
+  check_int "disabled passthrough" 5 v;
+  check_int "disabled capture empty" 0 (List.length captured)
+
+let test_drop_local_events () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "tst.drop.hits" in
+  T.incr c;
+  T.span ~cat:"tst" "drop.span" (fun () -> ());
+  T.drop_local_events ();
+  check_int "events discarded" 0 (List.length (T.spans ()));
+  check_int "counter cell survives" 1
+    (List.assoc "tst.drop.hits" (T.counters ()));
+  T.span ~cat:"tst" "drop.after" (fun () -> ());
+  check_int "recording continues" 1 (List.length (T.spans ()))
+
+(* ------------------------------------------------------------------ *)
 (* reset clears events but keeps registrations                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -440,4 +500,8 @@ let suites =
         Alcotest.test_case "trace json roundtrip" `Quick
           test_trace_json_roundtrip;
         Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+        Alcotest.test_case "write metrics atomic" `Quick
+          test_write_metrics_atomic;
+        Alcotest.test_case "with capture" `Quick test_with_capture;
+        Alcotest.test_case "drop local events" `Quick test_drop_local_events;
         Alcotest.test_case "reset" `Quick test_reset ] ) ]
