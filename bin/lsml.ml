@@ -855,8 +855,8 @@ let listen_name = function
   | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
 let serve_cmd =
-  let run socket host port jobs queue_depth cache_size metrics time_limit
-      fuel =
+  let run socket host port jobs queue_depth cache_size cache_file metrics
+      time_limit fuel =
     Resil.Fault.configure_from_env ();
     let listen = listen_of_args socket host port in
     let cfg =
@@ -865,6 +865,10 @@ let serve_cmd =
         jobs;
         queue_depth;
         cache_size;
+        cache_file;
+        cache_compact_bytes =
+          (Serve.Server.default_config ~listen).Serve.Server
+          .cache_compact_bytes;
         metrics_path = metrics;
         default_deadline = time_limit;
         default_fuel = fuel;
@@ -877,6 +881,18 @@ let serve_cmd =
           (listen_name listen) (Unix.error_message e) arg;
         exit 1
     in
+    (match (cache_file, Serve.Server.replay_info t) with
+    | Some path, Some r ->
+        Printf.eprintf
+          "lsml serve: cache log %s: %d result%s replayed%s%s\n%!" path
+          r.Serve.Cache_log.replayed
+          (if r.Serve.Cache_log.replayed = 1 then "" else "s")
+          (if r.Serve.Cache_log.truncated_bytes > 0 then
+             Printf.sprintf " (%d torn tail bytes truncated)"
+               r.Serve.Cache_log.truncated_bytes
+           else "")
+          (if r.Serve.Cache_log.reset then " (stale log reset)" else "")
+    | _ -> ());
     Printf.eprintf
       "lsml serve: listening on %s (%d jobs, queue depth %d, cache %d)\n%!"
       (listen_name listen) (max 1 jobs) queue_depth cache_size;
@@ -909,6 +925,16 @@ let serve_cmd =
                  solve requests replay the cached payload byte-for-byte.")
       $ Arg.(
           value
+          & opt (some string) None
+          & info [ "cache-file" ] ~docv:"FILE"
+              ~doc:
+                "Persist the result cache to an append-only CRC-guarded \
+                 log at $(docv).  On startup the log is replayed (a torn \
+                 tail from a crash is truncated, a log written under a \
+                 different configuration is reset), so a restarted \
+                 daemon keeps serving previous solves byte-identically.")
+      $ Arg.(
+          value
           & opt ~vopt:(Some "metrics.prom") (some string) None
           & info [ "metrics-path" ] ~docv:"FILE"
               ~doc:
@@ -916,38 +942,58 @@ let serve_cmd =
                  (atomically) at shutdown.")
       $ time_limit_arg $ fuel_arg)
 
-(* Client-side transport errors exit 1; typed server responses map to
-   distinct codes so shell scripts and CI can branch on them. *)
+(* Client-side transport errors exit 1 — only after the retry budget is
+   exhausted; typed server responses map to distinct codes so shell
+   scripts and CI can branch on them. *)
 let client_exit_code = function
   | "result" | "status" | "ok" -> 0
   | "degraded" -> 3
   | "overloaded" -> 4
   | _ -> 2
 
-let client_connect listen =
-  try Serve.Client.connect listen
-  with Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "lsml client: cannot connect to %s: %s\n"
-      (listen_name listen) (Unix.error_message e);
-    exit 1
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failed connect or a cut connection up to $(docv) more \
+           times with exponential backoff before giving up; the \
+           transport exit code 1 is only reported after exhaustion.  A \
+           re-sent solve is safe: it lands on the server's result cache \
+           or coalesces onto the still-running execution.")
+
+let retry_ms_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "retry-ms" ] ~docv:"MS"
+        ~doc:
+          "Backoff base: retry attempt $(i,n) waits about \
+           $(docv)*2^$(i,n) ms (capped at 5s, jittered).")
 
 let response_type resp =
   match Serve.Json.member "type" resp with
   | Some (Serve.Json.Str t) -> t
   | _ -> ""
 
-let client_rpc listen req =
-  let c = client_connect listen in
+(* All client commands funnel through Client.rpc_retry / with_retry: a
+   fresh connection per attempt, exponential backoff between them. *)
+let client_rpc ~retries ~retry_ms listen req =
   let resp =
-    try Serve.Client.rpc c req with
-    | Failure msg ->
+    try Serve.Client.rpc_retry ~retries ~retry_ms listen req with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "lsml client: cannot reach %s: %s\n"
+          (listen_name listen) (Unix.error_message e);
+        exit 1
+    | Failure msg | Sys_error msg ->
         Printf.eprintf "lsml client: %s\n" msg;
+        exit 1
+    | End_of_file ->
+        Printf.eprintf "lsml client: connection closed by server\n";
         exit 1
     | Serve.Json.Parse_error msg ->
         Printf.eprintf "lsml client: garbled response: %s\n" msg;
         exit 1
   in
-  Serve.Client.close c;
   print_endline (Serve.Json.to_string resp);
   resp
 
@@ -966,8 +1012,8 @@ let request ~op fields =
     (("id", Serve.Json.Str "cli") :: ("op", Serve.Json.Str op) :: fields)
 
 let client_solve_cmd =
-  let run socket host port team train valid seed sweep time_limit fuel
-      trace out =
+  let run socket host port retries retry_ms team train valid seed sweep
+      time_limit fuel trace out =
     let listen = listen_of_args socket host port in
     let req =
       request ~op:"solve"
@@ -982,7 +1028,7 @@ let client_solve_cmd =
         @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel
         @ if trace then [ ("trace", Serve.Json.Bool true) ] else [])
     in
-    let resp = client_rpc listen req in
+    let resp = client_rpc ~retries ~retry_ms listen req in
     (match
        ( out,
          Option.bind
@@ -1006,7 +1052,8 @@ let client_solve_cmd =
           the server.  A repeated identical request is served from the \
           result cache byte-identically.")
     Term.(
-      const run $ socket_arg $ host_arg $ port_arg $ team_arg
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg $ team_arg
       $ pla_arg "train" "Training set."
       $ Arg.(
           value
@@ -1027,7 +1074,7 @@ let client_solve_cmd =
               ~doc:"Write the returned circuit to $(docv)."))
 
 let client_eval_cmd =
-  let run socket host port aag pla time_limit fuel =
+  let run socket host port retries retry_ms aag pla time_limit fuel =
     let listen = listen_of_args socket host port in
     let req =
       request ~op:"eval"
@@ -1038,13 +1085,14 @@ let client_eval_cmd =
         @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
         @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel)
     in
-    finish_rpc (client_rpc listen req)
+    finish_rpc (client_rpc ~retries ~retry_ms listen req)
   in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Score a circuit against a PLA dataset on the server.")
     Term.(
-      const run $ socket_arg $ host_arg $ port_arg
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg
       $ Arg.(
           required
           & opt (some file) None
@@ -1053,7 +1101,7 @@ let client_eval_cmd =
       $ fuel_arg)
 
 let client_verify_cmd =
-  let run socket host port a b conflicts time_limit fuel =
+  let run socket host port retries retry_ms a b conflicts time_limit fuel =
     let listen = listen_of_args socket host port in
     let req =
       request ~op:"verify"
@@ -1065,13 +1113,14 @@ let client_verify_cmd =
         @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
         @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel)
     in
-    finish_rpc (client_rpc listen req)
+    finish_rpc (client_rpc ~retries ~retry_ms listen req)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"SAT equivalence check of two circuits on the server.")
     Term.(
-      const run $ socket_arg $ host_arg $ port_arg
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg
       $ Arg.(
           required & pos 0 (some file) None
           & info [] ~docv:"A.aag" ~doc:"First circuit.")
@@ -1085,20 +1134,25 @@ let client_verify_cmd =
       $ time_limit_arg $ fuel_arg)
 
 let client_simple_cmd name doc op =
-  let run socket host port =
+  let run socket host port retries retry_ms =
     let listen = listen_of_args socket host port in
-    finish_rpc (client_rpc listen (request ~op []))
+    finish_rpc (client_rpc ~retries ~retry_ms listen (request ~op []))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ socket_arg $ host_arg $ port_arg)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg)
 
 let client_metrics_cmd =
-  let run socket host port =
+  let run socket host port retries retry_ms =
     let listen = listen_of_args socket host port in
-    match Serve.Client.scrape_metrics listen with
+    match
+      Serve.Client.with_retry ~retries ~retry_ms (fun () ->
+          Serve.Client.scrape_metrics listen)
+    with
     | body -> print_string body
     | exception Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "lsml client: cannot connect to %s: %s\n"
+        Printf.eprintf "lsml client: cannot reach %s: %s\n"
           (listen_name listen) (Unix.error_message e);
         exit 1
     | exception Failure msg ->
@@ -1110,15 +1164,24 @@ let client_metrics_cmd =
        ~doc:
          "Scrape the server's live Prometheus metrics page (the same \
           bytes an HTTP $(b,GET /metrics) against the socket returns).")
-    Term.(const run $ socket_arg $ host_arg $ port_arg)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg)
 
 let client_raw_cmd =
-  let run socket host port line =
+  let run socket host port retries retry_ms line =
     let listen = listen_of_args socket host port in
-    let c = client_connect listen in
-    match Serve.Client.rpc_raw c line with
-    | Some resp ->
-        Serve.Client.close c;
+    match
+      Serve.Client.with_retry ~retries ~retry_ms (fun () ->
+          let c = Serve.Client.connect listen in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              match Serve.Client.rpc_raw c line with
+              | Some resp -> resp
+              | None -> raise End_of_file))
+    with
+    | resp ->
         print_endline resp;
         let typ =
           match Serve.Json.parse resp with
@@ -1126,8 +1189,11 @@ let client_raw_cmd =
           | exception Serve.Json.Parse_error _ -> ""
         in
         exit (client_exit_code typ)
-    | None ->
-        Serve.Client.close c;
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "lsml client: cannot reach %s: %s\n"
+          (listen_name listen) (Unix.error_message e);
+        exit 1
+    | exception End_of_file ->
         Printf.eprintf "lsml client: connection closed by server\n";
         exit 1
   in
@@ -1138,7 +1204,8 @@ let client_raw_cmd =
           response — the escape hatch for scripting and for exercising \
           the server's error handling.")
     Term.(
-      const run $ socket_arg $ host_arg $ port_arg
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ retry_ms_arg
       $ Arg.(
           required & pos 0 (some string) None
           & info [] ~docv:"LINE" ~doc:"Raw request line (JSON)."))

@@ -25,14 +25,47 @@ let set_rate r = Atomic.set rate_ppm (int_of_float (r *. 1e6 +. 0.5))
 let rate () = float_of_int (Atomic.get rate_ppm) /. 1e6
 let set_seed s = Atomic.set seed s
 
+(* Optional point-name prefix filter: with a filter installed only the
+   named subsystems can fire, so a chaos run can batter the serve IO
+   paths while every solve underneath stays clean (and cacheable).
+   Stored as an immutable list behind an Atomic for lock-free reads on
+   the hot path. *)
+let filter : string list option Atomic.t = Atomic.make None
+
+let set_filter prefixes =
+  Atomic.set filter
+    (match prefixes with
+    | Some [] | None -> None
+    | Some ps -> Some ps)
+
+let filter_prefixes () = Atomic.get filter
+
+let prefix_matches name p =
+  let np = String.length p in
+  String.length name >= np && String.sub name 0 np = p
+
+let filtered_out name =
+  match Atomic.get filter with
+  | None -> false
+  | Some ps -> not (List.exists (prefix_matches name) ps)
+
 let configure_from_env () =
   (match Sys.getenv_opt "LSML_FAULT_RATE" with
   | Some s -> (
       match float_of_string_opt s with Some r -> set_rate r | None -> ())
   | None -> ());
-  match Sys.getenv_opt "LSML_FAULT_SEED" with
+  (match Sys.getenv_opt "LSML_FAULT_SEED" with
   | Some s -> (
       match int_of_string_opt s with Some v -> set_seed v | None -> ())
+  | None -> ());
+  match Sys.getenv_opt "LSML_FAULT_POINTS" with
+  | Some s ->
+      let ps =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun p -> p <> "")
+      in
+      set_filter (Some ps)
   | None -> ()
 
 type context = { ctx_hash : int; mutable calls : int }
@@ -47,7 +80,7 @@ let with_context ~key ~attempt f =
 
 let point name =
   let ppm = Atomic.get rate_ppm in
-  if ppm > 0 then
+  if ppm > 0 && not (filtered_out name) then
     match Domain.DLS.get ctx_key with
     | None -> ()
     | Some ctx ->

@@ -32,8 +32,18 @@ val set_seed : int -> unit
 
 val seed : unit -> int
 
+val set_filter : string list option -> unit
+(** Restrict firing to points whose name starts with one of the given
+    prefixes (e.g. [Some ["serve."]] batters only the service layer
+    while solves underneath run clean).  [None] or [Some []] removes
+    the filter — every declared point may fire again. *)
+
+val filter_prefixes : unit -> string list option
+(** The installed filter, if any. *)
+
 val configure_from_env : unit -> unit
-(** Reads [LSML_FAULT_RATE] and [LSML_FAULT_SEED] if set. *)
+(** Reads [LSML_FAULT_RATE], [LSML_FAULT_SEED], and [LSML_FAULT_POINTS]
+    (comma-separated name prefixes for {!set_filter}) if set. *)
 
 val with_context : key:string -> attempt:int -> (unit -> 'a) -> 'a
 (** [with_context ~key ~attempt f] runs [f] with fault context

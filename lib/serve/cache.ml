@@ -79,6 +79,15 @@ let put t k payload =
         done;
         !evicted)
 
+(* Least-recent first, so replaying the list through [put] in order
+   reconstructs both the contents and the recency ranking. *)
+let entries t =
+  Mutex.protect t.mu (fun () ->
+      let rec walk e acc =
+        if e == t.sentinel then acc else walk e.next ((e.key, e.payload) :: acc)
+      in
+      walk t.sentinel.next [])
+
 type stats = {
   size : int;
   capacity : int;

@@ -27,6 +27,12 @@ val put : t -> string -> string -> int
     mirror evictions into a telemetry counter without re-reading
     {!stats}). *)
 
+val entries : t -> (string * string) list
+(** Snapshot of the live (key, payload) pairs, least-recently-used
+    first — replaying the list through {!put} in order reconstructs the
+    cache including its recency ranking.  Used by {!Cache_log}
+    compaction to rewrite the persistent log down to the live set. *)
+
 type stats = {
   size : int;
   capacity : int;

@@ -1,0 +1,237 @@
+let magic = "lsml-cachelog v1"
+
+(* IEEE 802.3 CRC-32, table-driven; reflected polynomial 0xEDB88320. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc_update crc s =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.lognot crc) in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl))
+          (Int32.shift_right_logical !c 8))
+    s;
+  Int32.lognot !c
+
+let crc32 s = crc_update 0l s
+
+(* Records are framed with big-endian u32 fields; the length prefix is
+   checksummed together with the strings so a corrupted length cannot
+   frame a bogus-but-CRC-valid record. *)
+let be32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Caps applied before allocating replay buffers, so a garbage length
+   field in a torn tail cannot trigger an out-of-memory allocation. *)
+let max_key_bytes = 1 lsl 12
+let max_payload_bytes = 1 lsl 28
+
+type t = {
+  path : string;
+  header : string;  (** full header line without the newline *)
+  compact_bytes : int;
+  mu : Mutex.t;
+  mutable oc : out_channel option;
+  mutable size : int;
+}
+
+type replay = {
+  entries : (string * string) list;
+  replayed : int;
+  truncated_bytes : int;
+  reset : bool;
+}
+
+let record_bytes key payload = 12 + String.length key + String.length payload
+
+let frame ~key ~payload =
+  let b = Buffer.create (record_bytes key payload) in
+  Buffer.add_string b (be32 (String.length key));
+  Buffer.add_string b (be32 (String.length payload));
+  Buffer.add_string b key;
+  Buffer.add_string b payload;
+  let crc = crc32 (Buffer.contents b) in
+  Buffer.add_string b (be32 (Int32.to_int crc land 0xffffffff));
+  Buffer.contents b
+
+let write_fresh path header =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  output_string oc (header ^ "\n");
+  flush oc;
+  oc
+
+(* Read every whole valid record; stop (without raising) at the first
+   torn or corrupt one and report how far the file can be trusted. *)
+let scan_records ic ~from ~len =
+  let entries = ref [] in
+  let good_end = ref from in
+  let buf = Bytes.create 8 in
+  (try
+     let continue = ref true in
+     while !continue do
+       let start = !good_end in
+       if start + 12 > len then raise Exit;
+       seek_in ic start;
+       really_input ic buf 0 8;
+       let hdr = Bytes.to_string buf in
+       let key_len = read_be32 hdr 0 and payload_len = read_be32 hdr 4 in
+       if
+         key_len < 0 || key_len > max_key_bytes || payload_len < 0
+         || payload_len > max_payload_bytes
+         || start + 12 + key_len + payload_len > len
+       then raise Exit;
+       let key = really_input_string ic key_len in
+       let payload = really_input_string ic payload_len in
+       really_input ic buf 0 4;
+       let stored = read_be32 (Bytes.to_string buf) 0 in
+       let crc = crc_update (crc_update (crc32 hdr) key) payload in
+       if stored <> Int32.to_int crc land 0xffffffff then raise Exit;
+       entries := (key, payload) :: !entries;
+       good_end := start + record_bytes key payload;
+       if !good_end >= len then continue := false
+     done
+   with Exit | End_of_file -> ());
+  (List.rev !entries, !good_end)
+
+(* Last append wins for a repeated key, like Cache.put. *)
+let dedup_last entries =
+  let seen = Hashtbl.create 64 in
+  let rev =
+    List.fold_left
+      (fun acc ((k, _) as e) ->
+        if Hashtbl.mem seen k then acc
+        else begin
+          Hashtbl.replace seen k ();
+          e :: acc
+        end)
+      []
+      (List.rev entries)
+  in
+  rev
+
+let open_log ~path ~config_hash ?(compact_bytes = 4 * 1024 * 1024) () =
+  let header = Printf.sprintf "%s %s" magic config_hash in
+  let fresh ~reset =
+    let oc = write_fresh path header in
+    ( {
+        path;
+        header;
+        compact_bytes;
+        mu = Mutex.create ();
+        oc = Some oc;
+        size = String.length header + 1;
+      },
+      { entries = []; replayed = 0; truncated_bytes = 0; reset } )
+  in
+  if not (Sys.file_exists path) then fresh ~reset:false
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let header_ok =
+      match input_line ic with
+      | line -> line = header
+      | exception End_of_file -> false
+    in
+    if not header_ok then begin
+      close_in ic;
+      fresh ~reset:(len > 0)
+    end
+    else begin
+      let body_start = String.length header + 1 in
+      let entries, good_end = scan_records ic ~from:body_start ~len in
+      close_in ic;
+      let truncated = len - good_end in
+      if truncated > 0 then Unix.truncate path good_end;
+      let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+      let entries = dedup_last entries in
+      ( {
+          path;
+          header;
+          compact_bytes;
+          mu = Mutex.create ();
+          oc = Some oc;
+          size = good_end;
+        },
+        {
+          entries;
+          replayed = List.length entries;
+          truncated_bytes = truncated;
+          reset = false;
+        } )
+    end
+  end
+
+let append t ~key ~payload =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          let rec_ = frame ~key ~payload in
+          output_string oc rec_;
+          (* Flush per record: once in the OS page cache the bytes
+             survive a kill -9 of the daemon (only the machine dying can
+             lose them), and a record cut short by the kill fails its
+             CRC and is truncated on the next open. *)
+          flush oc;
+          t.size <- t.size + String.length rec_)
+
+let size_bytes t = Mutex.protect t.mu (fun () -> t.size)
+
+let live_estimate live =
+  List.fold_left (fun acc (k, v) -> acc + record_bytes k v) 0 live
+
+let compact_locked t ~live =
+  (match t.oc with
+  | Some oc ->
+      flush oc;
+      close_out oc;
+      t.oc <- None
+  | None -> ());
+  let tmp = t.path ^ ".tmp" in
+  let oc = write_fresh tmp t.header in
+  List.iter (fun (key, payload) -> output_string oc (frame ~key ~payload)) live;
+  flush oc;
+  close_out oc;
+  Sys.rename tmp t.path;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path in
+  t.oc <- Some oc;
+  t.size <- String.length t.header + 1 + live_estimate live
+
+let maybe_compact t ~live =
+  Mutex.protect t.mu (fun () ->
+      if t.oc = None then false
+      else begin
+        let live_b = String.length t.header + 1 + live_estimate live in
+        if t.size >= t.compact_bytes && t.size > 2 * live_b then begin
+          compact_locked t ~live;
+          true
+        end
+        else false
+      end)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          flush oc;
+          close_out oc;
+          t.oc <- None)

@@ -1,0 +1,73 @@
+(** Persistent backend for the result {!Cache}: an append-only,
+    CRC-guarded record log.
+
+    The file starts with a one-line versioned text header carrying a
+    {!Resil.Fingerprint} hash of the serving configuration; binary
+    records follow, each framed as
+
+    {v
+      key_len:u32be  payload_len:u32be  key  payload  crc32:u32be
+    v}
+
+    where the CRC covers both length fields and both byte strings.
+    Appends go through a single buffered channel flushed per record, so
+    a [kill -9]'d daemon loses at most the record being written — never
+    previously flushed ones.
+
+    {!open_log} replays the file: a missing file starts fresh; a header
+    whose magic, version, or config hash does not match discards the
+    stale contents (a cache under a different configuration would serve
+    wrong payloads); a torn or corrupt tail — short record, implausible
+    length field, CRC mismatch — is truncated at the last whole valid
+    record and replay succeeds with everything before it.  Corruption is
+    therefore never loaded and never fatal: the daemon always starts.
+
+    When the file grows past [compact_bytes] and carries more dead bytes
+    (overwritten or evicted records) than live ones, the log is
+    compacted: the [live] snapshot is rewritten to a temp file and
+    renamed over the log atomically, so a crash during compaction leaves
+    the previous complete log.
+
+    Thread-safe: workers append concurrently. *)
+
+type t
+
+type replay = {
+  entries : (string * string) list;
+      (** Whole valid records in file order; for duplicate keys the last
+          append wins (list order preserves it — replay through
+          [Cache.put] in order). *)
+  replayed : int;  (** number of entries (after last-wins dedup) *)
+  truncated_bytes : int;
+      (** bytes of torn/corrupt tail dropped from the file, 0 if clean *)
+  reset : bool;
+      (** the existing file was discarded (bad magic/version or a
+          different config hash) *)
+}
+
+val open_log :
+  path:string -> config_hash:string -> ?compact_bytes:int -> unit -> t * replay
+(** Replay [path] (creating it if missing), truncate any invalid tail,
+    and return the log opened for appending plus what was recovered.
+    [config_hash] is pinned in the header; a mismatch resets the file.
+    [compact_bytes] (default 4 MiB) is the growth threshold that arms
+    compaction.  Raises [Sys_error] only for real IO failures (e.g. an
+    unwritable directory) — never for file contents. *)
+
+val append : t -> key:string -> payload:string -> unit
+(** Append one record and flush it to the OS.  Keys and payloads are
+    arbitrary bytes. *)
+
+val maybe_compact : t -> live:(string * string) list -> bool
+(** Compact (tmp+rename) down to [live] — least-recent first, see
+    {!Cache.entries} — if the file has grown past the threshold with
+    more dead than live bytes.  Returns whether a compaction ran. *)
+
+val size_bytes : t -> int
+(** Current length of the log file in bytes. *)
+
+val close : t -> unit
+(** Flush and close.  Idempotent. *)
+
+val crc32 : string -> int32
+(** The log's checksum (IEEE 802.3 polynomial), exposed for tests. *)

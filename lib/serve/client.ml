@@ -6,6 +6,12 @@ let sockaddr = function
       Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
 let connect listen =
+  (* A write racing the server's death must surface as EPIPE — a
+     transport error {!with_retry} can ride out — not kill the process
+     with the default SIGPIPE disposition. *)
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
   let domain =
     match listen with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
   in
@@ -36,6 +42,34 @@ let rpc t req =
   match rpc_raw t (Json.to_string req) with
   | None -> failwith "Client.rpc: connection closed by server"
   | Some line -> Json.parse line
+
+(* Bounded exponential backoff with deterministic jitter.  The jitter
+   is a pure function of (pid, attempt): replayable within a process,
+   yet different across the concurrent clients of one machine, so a
+   herd created by a restarting server does not reconnect in lockstep. *)
+let backoff_ms ~retry_ms ~attempt =
+  let base = min (retry_ms * (1 lsl min attempt 6)) 5_000 in
+  let jitter = Hashtbl.hash (Unix.getpid (), attempt) mod (base / 2 + 1) in
+  (base * 3 / 4) + jitter
+
+let transport_error = function
+  | Unix.Unix_error _ | Failure _ | End_of_file | Sys_error _ -> true
+  | _ -> false
+
+let with_retry ?(retries = 0) ?(retry_ms = 100) f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when transport_error e && attempt < retries ->
+        Unix.sleepf (float_of_int (backoff_ms ~retry_ms ~attempt) /. 1000.);
+        go (attempt + 1)
+  in
+  go 0
+
+let rpc_retry ?retries ?retry_ms listen req =
+  with_retry ?retries ?retry_ms (fun () ->
+      let t = connect listen in
+      Fun.protect ~finally:(fun () -> close t) (fun () -> rpc t req))
 
 let scrape_metrics listen =
   let t = connect listen in

@@ -24,6 +24,22 @@ val rpc : t -> Json.t -> Json.t
 (** Send one JSON request and parse the JSON response.  Raises
     [Failure] on EOF and [Json.Parse_error] on a garbled response. *)
 
+val with_retry : ?retries:int -> ?retry_ms:int -> (unit -> 'a) -> 'a
+(** Run [f], retrying it up to [retries] more times (default 0 — one
+    attempt, no retry) when it raises a transport-shaped error
+    ([Unix_error], [Failure], [End_of_file], [Sys_error]).  Attempt
+    [n] sleeps first for roughly [retry_ms * 2^n] ms (default base
+    100 ms, capped at 5 s) with deterministic per-process jitter.
+    Anything else — including [Json.Parse_error], a protocol bug, not
+    a flaky transport — propagates immediately, as does the last
+    transport error once attempts are exhausted. *)
+
+val rpc_retry : ?retries:int -> ?retry_ms:int -> Server.listen -> Json.t -> Json.t
+(** {!rpc} under {!with_retry}, with a fresh connection per attempt
+    (closed on every exit path).  Safe against a server that crashed
+    mid-response and restarted: re-sending an identical solve lands on
+    the persistent cache or coalesces onto a running flight. *)
+
 val scrape_metrics : Server.listen -> string
 (** Open a fresh connection, issue [GET /metrics HTTP/1.0], and return
     the response body (the Prometheus text page).  Raises [Failure] if

@@ -9,6 +9,8 @@ type config = {
   jobs : int;
   queue_depth : int;
   cache_size : int;
+  cache_file : string option;
+  cache_compact_bytes : int;
   metrics_path : string option;
   default_deadline : float option;
   default_fuel : int option;
@@ -20,10 +22,26 @@ let default_config ~listen =
     jobs = Parallel.Pool.recommended_jobs ();
     queue_depth = 64;
     cache_size = 256;
+    cache_file = None;
+    cache_compact_bytes = 4 * 1024 * 1024;
     metrics_path = None;
     default_deadline = None;
     default_fuel = None;
   }
+
+(* The persistent cache log is only valid under the configuration that
+   wrote it: server-side default budgets flow into solve results when a
+   request names none, yet are rendered as "none" in the request's cache
+   key, so they must be pinned in the log header instead. *)
+let config_hash cfg =
+  Resil.Fingerprint.(
+    hash64
+      (render
+         [
+           str "cachelog" "v1";
+           opt_float "deadline" cfg.default_deadline;
+           opt_int "fuel" cfg.default_fuel;
+         ]))
 
 (* ---- telemetry ---- *)
 
@@ -35,7 +53,19 @@ let c_overloaded = Telemetry.counter "serve.overloaded"
 let c_cache_hits = Telemetry.counter "serve.cache.hits"
 let c_cache_misses = Telemetry.counter "serve.cache.misses"
 let c_cache_evictions = Telemetry.counter "serve.cache.evictions"
+let c_cache_replayed = Telemetry.counter "serve.cache.persist_replayed"
+let c_sf_leaders = Telemetry.counter "serve.singleflight.leaders"
+let c_sf_coalesced = Telemetry.counter "serve.singleflight.coalesced"
+let c_faults_injected = Telemetry.counter "serve.faults.injected"
 let h_queue_wait_us = Telemetry.histogram "serve.queue_wait_us"
+
+(* ---- chaos fault points (see Resil.Fault; LSML_FAULT_POINTS=serve.
+   targets just these) ---- *)
+
+let fp_accept = Resil.Fault.declare "serve.accept"
+let fp_read = Resil.Fault.declare "serve.read"
+let fp_write = Resil.Fault.declare "serve.write"
+let fp_worker = Resil.Fault.declare "serve.worker"
 
 (* ---- state ---- *)
 
@@ -43,10 +73,25 @@ type job = {
   j_conn : int;
   j_id : Json.t;
   j_req : P.request;
+  j_key : string option;
+      (** single-flight key (the solve cache key); [None] for requests
+          that cannot coalesce *)
+  j_seq : int;  (** admission sequence number; salts the fault context *)
   j_enq_us : float;  (** enqueue time, for the queue-wait histogram *)
 }
 
-type reply = { r_conn : int; r_line : string }
+(* Replies carry the response parts, not a rendered line: the IO loop
+   re-renders them per recipient so coalesced waiters get the same
+   payload under their own request ids. *)
+type reply = {
+  r_conn : int;
+  r_id : Json.t;
+  r_key : string option;
+  r_typ : string;
+  r_extra : (string * Json.t) list;
+}
+
+type waiter = { w_conn : int; w_id : Json.t }
 
 type conn = {
   fd : Unix.file_descr;
@@ -66,12 +111,18 @@ type t = {
   lsock : Unix.file_descr;
   queue : job Bqueue.t;
   cache : Cache.t;
+  log : Cache_log.t option;
+  replay : Cache_log.replay option;
+  inflight : (string, waiter list ref) Hashtbl.t;
+      (** single-flight: cache key -> waiters attached to the running
+          job; IO-loop domain only *)
   replies : reply Queue.t;
   rmu : Mutex.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   conns : (int, conn) Hashtbl.t;  (** IO-loop domain only *)
   mutable next_cid : int;
+  mutable next_seq : int;
   mutable pending : int;  (** admitted jobs whose reply is not yet routed *)
   mutable listening : bool;
   mutable draining : bool;
@@ -244,6 +295,18 @@ let handle_solve t (s : P.solve) =
                     Degraded )
                 else begin
                   Telemetry.add c_cache_evictions (Cache.put t.cache key payload);
+                  (match t.log with
+                  | None -> ()
+                  | Some log ->
+                      Cache_log.append log ~key ~payload;
+                      (* Cheap size probe before materializing the live
+                         snapshot; maybe_compact re-checks under its own
+                         lock. *)
+                      if Cache_log.size_bytes log >= t.cfg.cache_compact_bytes
+                      then
+                        ignore
+                          (Cache_log.maybe_compact log
+                             ~live:(Cache.entries t.cache)));
                   ( "result",
                     [
                       ("op", Json.Str "solve");
@@ -377,18 +440,26 @@ let span_json (s : Telemetry.span_record) =
 (* One request, on a worker domain: bound recorder memory (a daemon must
    not accumulate spans forever), run the handler inside a "serve.<op>"
    span, optionally capture the request's own spans for the response,
-   and never let an exception escape to the worker loop. *)
-let handle t ~id req =
+   and never let an exception escape to the worker loop.  The
+   [serve.worker] chaos point fires here, under a per-job fault context,
+   so an injected worker crash surfaces as a typed error response
+   instead of a dead worker. *)
+let handle t ~seq req =
   Telemetry.drop_local_events ();
   let run () =
-    Telemetry.span ~cat:"serve" ("serve." ^ op_name req) (fun () ->
-        match req with
-        | P.Solve s -> handle_solve t s
-        | P.Eval e -> handle_eval t e
-        | P.Verify v -> handle_verify t v
-        | P.Status | P.Shutdown ->
-            (* handled inline by the IO loop; never queued *)
-            bad_request "internal: request should not reach a worker")
+    Resil.Fault.with_context
+      ~key:("serve.worker/" ^ string_of_int seq)
+      ~attempt:0
+      (fun () ->
+        Resil.Fault.point fp_worker;
+        Telemetry.span ~cat:"serve" ("serve." ^ op_name req) (fun () ->
+            match req with
+            | P.Solve s -> handle_solve t s
+            | P.Eval e -> handle_eval t e
+            | P.Verify v -> handle_verify t v
+            | P.Status | P.Shutdown ->
+                (* handled inline by the IO loop; never queued *)
+                bad_request "internal: request should not reach a worker"))
   in
   match
     if trace_wanted req && Telemetry.enabled () then
@@ -396,23 +467,27 @@ let handle t ~id req =
       (r, Some spans)
     else (run (), None)
   with
-  | (typ, extra, outcome), captured ->
+  | (typ, extra, _), captured ->
       let extra =
         match captured with
         | Some spans ->
             extra @ [ ("trace", Json.List (List.map span_json spans)) ]
         | None -> extra
       in
-      (P.response ~id ~typ ~extra (), outcome)
+      (typ, extra)
+  | exception Resil.Fault.Injected point ->
+      Telemetry.incr c_faults_injected;
+      ( "error",
+        [
+          ("code", Json.Str "injected");
+          ("message", Json.Str ("fault injected at " ^ point));
+        ] )
   | exception e ->
-      ( P.response ~id ~typ:"error"
-          ~extra:
-            [
-              ("code", Json.Str "internal");
-              ("message", Json.Str (Printexc.to_string e));
-            ]
-          (),
-        Errored )
+      ( "error",
+        [
+          ("code", Json.Str "internal");
+          ("message", Json.Str (Printexc.to_string e));
+        ] )
 
 (* ---- worker loop (runs on Parallel.Pool workers) ---- *)
 
@@ -423,14 +498,17 @@ let push_reply t r =
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
     ()
 
-let count_outcome t = function
-  | Done ->
+(* Outcomes are counted per delivered response (on the IO loop), so N
+   coalesced clients of one execution count as N completions — the
+   counters describe traffic served, not CPU spent. *)
+let count_typ t = function
+  | "result" | "status" | "ok" ->
       Telemetry.incr c_completed;
       Mutex.protect t.smu (fun () -> t.n_completed <- t.n_completed + 1)
-  | Degraded ->
+  | "degraded" ->
       Telemetry.incr c_degraded;
       Mutex.protect t.smu (fun () -> t.n_degraded <- t.n_degraded + 1)
-  | Errored ->
+  | _ ->
       Telemetry.incr c_errors;
       Mutex.protect t.smu (fun () -> t.n_errors <- t.n_errors + 1)
 
@@ -440,9 +518,15 @@ let rec worker_loop t =
   | Some job ->
       Telemetry.observe h_queue_wait_us
         (int_of_float ((Unix.gettimeofday () *. 1e6) -. job.j_enq_us));
-      let line, outcome = handle t ~id:job.j_id job.j_req in
-      count_outcome t outcome;
-      push_reply t { r_conn = job.j_conn; r_line = line };
+      let typ, extra = handle t ~seq:job.j_seq job.j_req in
+      push_reply t
+        {
+          r_conn = job.j_conn;
+          r_id = job.j_id;
+          r_key = job.j_key;
+          r_typ = typ;
+          r_extra = extra;
+        };
       worker_loop t
 
 (* ---- IO loop (calling domain) ---- *)
@@ -580,17 +664,47 @@ let handle_line t c line =
                 ^ "\n")
             end
             else begin
-              let job =
-                {
-                  j_conn = c.cid;
-                  j_id = id;
-                  j_req = req;
-                  j_enq_us = Unix.gettimeofday () *. 1e6;
-                }
+              (* Single-flight key: the solve cache key.  Traced requests
+                 are excluded — their reply embeds spans from their own
+                 execution, which a coalesced copy would not have. *)
+              let sf_key =
+                match req with
+                | P.Solve s when not s.P.trace ->
+                    Some
+                      Resil.Fingerprint.(
+                        hash64 (render (P.solve_cache_fields s)))
+                | _ -> None
               in
-              match Bqueue.try_push t.queue job with
-              | `Ok -> t.pending <- t.pending + 1
-              | `Full | `Closed ->
+              match
+                Option.bind sf_key (fun k ->
+                    Option.map (fun ws -> (k, ws)) (Hashtbl.find_opt t.inflight k))
+              with
+              | Some (_, waiters) ->
+                  (* Identical solve already running: attach to it instead
+                     of consuming a queue slot and a worker. *)
+                  Telemetry.incr c_sf_coalesced;
+                  waiters := { w_conn = c.cid; w_id = id } :: !waiters
+              | None -> (
+                  let job =
+                    {
+                      j_conn = c.cid;
+                      j_id = id;
+                      j_req = req;
+                      j_key = sf_key;
+                      j_seq = t.next_seq;
+                      j_enq_us = Unix.gettimeofday () *. 1e6;
+                    }
+                  in
+                  match Bqueue.try_push t.queue job with
+                  | `Ok ->
+                      t.next_seq <- t.next_seq + 1;
+                      t.pending <- t.pending + 1;
+                      Option.iter
+                        (fun k ->
+                          Telemetry.incr c_sf_leaders;
+                          Hashtbl.replace t.inflight k (ref []))
+                        sf_key
+                  | `Full | `Closed ->
                   Telemetry.incr c_overloaded;
                   Mutex.protect t.smu (fun () ->
                       t.n_overloaded <- t.n_overloaded + 1);
@@ -605,7 +719,7 @@ let handle_line t c line =
                            );
                          ]
                        ()
-                    ^ "\n")
+                    ^ "\n"))
             end)
   end
 
@@ -631,6 +745,12 @@ let process_input t c =
   end
 
 let read_conn t c =
+  match Resil.Fault.point fp_read with
+  | exception Resil.Fault.Injected _ ->
+      (* Injected read failure: treat it like ECONNRESET. *)
+      Telemetry.incr c_faults_injected;
+      close_conn t c
+  | () ->
   let buf = Bytes.create 65536 in
   let closed = ref false in
   (try
@@ -656,7 +776,10 @@ let flush_conn t c =
   let len = Buffer.length c.out - c.out_pos in
   if len > 0 then begin
     let bytes = Buffer.to_bytes c.out in
-    match Unix.write c.fd bytes c.out_pos len with
+    match
+      Resil.Fault.point fp_write;
+      Unix.write c.fd bytes c.out_pos len
+    with
     | n ->
         c.out_pos <- c.out_pos + n;
         if c.out_pos >= Buffer.length c.out then begin
@@ -664,6 +787,11 @@ let flush_conn t c =
           c.out_pos <- 0;
           if c.close_after_flush then close_conn t c
         end
+    | exception Resil.Fault.Injected _ ->
+        (* Injected write failure: the peer sees a cut connection and
+           must retry its request. *)
+        Telemetry.incr c_faults_injected;
+        close_conn t c
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> close_conn t c
   end
@@ -673,21 +801,29 @@ let accept_all t =
   let continue = ref true in
   while !continue && t.listening do
     match Unix.accept t.lsock with
-    | fd, _ ->
-        Unix.set_nonblock fd;
-        let cid = t.next_cid in
-        t.next_cid <- cid + 1;
-        Hashtbl.replace t.conns cid
-          {
-            fd;
-            cid;
-            inbuf = Buffer.create 1024;
-            out = Buffer.create 1024;
-            out_pos = 0;
-            close_after_flush = false;
-            http = false;
-            saw_line = false;
-          }
+    | fd, _ -> (
+        match Resil.Fault.point fp_accept with
+        | exception Resil.Fault.Injected _ ->
+            (* Injected accept failure: drop the connection on the floor,
+               as a listen-queue overflow would.  The client's retry loop
+               is what recovers. *)
+            Telemetry.incr c_faults_injected;
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | () ->
+            Unix.set_nonblock fd;
+            let cid = t.next_cid in
+            t.next_cid <- cid + 1;
+            Hashtbl.replace t.conns cid
+              {
+                fd;
+                cid;
+                inbuf = Buffer.create 1024;
+                out = Buffer.create 1024;
+                out_pos = 0;
+                close_after_flush = false;
+                http = false;
+                saw_line = false;
+              })
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -715,9 +851,28 @@ let drain_replies t =
   List.iter
     (fun r ->
       t.pending <- t.pending - 1;
-      match Hashtbl.find_opt t.conns r.r_conn with
-      | Some c when not c.close_after_flush -> queue_out c (r.r_line ^ "\n")
-      | _ -> () (* client went away; the work is simply dropped *))
+      (* Detach any coalesced waiters before delivery so a request that
+         arrives after this point starts a fresh flight (likely a cache
+         hit) rather than attaching to a finished one. *)
+      let waiters =
+        match r.r_key with
+        | None -> []
+        | Some k -> (
+            match Hashtbl.find_opt t.inflight k with
+            | Some ws ->
+                Hashtbl.remove t.inflight k;
+                List.rev !ws
+            | None -> [])
+      in
+      let deliver conn_id id =
+        count_typ t r.r_typ;
+        match Hashtbl.find_opt t.conns conn_id with
+        | Some c when not c.close_after_flush ->
+            queue_out c (P.response ~id ~typ:r.r_typ ~extra:r.r_extra () ^ "\n")
+        | _ -> () (* client went away; the work is simply dropped *)
+      in
+      deliver r.r_conn r.r_id;
+      List.iter (fun w -> deliver w.w_conn w.w_id) waiters)
     rs
 
 let maybe_finish_drain t =
@@ -763,17 +918,37 @@ let create cfg =
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let cache = Cache.create ~capacity:cfg.cache_size in
+  let log, replay =
+    match cfg.cache_file with
+    | None -> (None, None)
+    | Some path ->
+        let log, replay =
+          Cache_log.open_log ~path ~config_hash:(config_hash cfg)
+            ~compact_bytes:cfg.cache_compact_bytes ()
+        in
+        (* Replay in file order so last-written wins on recency too. *)
+        List.iter
+          (fun (k, v) -> Telemetry.add c_cache_evictions (Cache.put cache k v))
+          replay.Cache_log.entries;
+        Telemetry.add c_cache_replayed replay.Cache_log.replayed;
+        (Some log, Some replay)
+  in
   {
     cfg;
     lsock;
     queue = Bqueue.create ~capacity:cfg.queue_depth;
-    cache = Cache.create ~capacity:cfg.cache_size;
+    cache;
+    log;
+    replay;
+    inflight = Hashtbl.create 16;
     replies = Queue.create ();
     rmu = Mutex.create ();
     wake_r;
     wake_w;
     conns = Hashtbl.create 16;
     next_cid = 0;
+    next_seq = 0;
     pending = 0;
     listening = true;
     draining = false;
@@ -803,6 +978,10 @@ let serve t =
                    worker_loop t))))
   in
   let finished = ref false in
+  (* Chaos points in the IO paths (accept/read/write) only arm inside a
+     fault context; the key is fixed, so a seeded run replays the same
+     injection pattern. *)
+  Resil.Fault.with_context ~key:"serve.io" ~attempt:0 @@ fun () ->
   while not !finished do
     let conn_list = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
     let reads =
@@ -854,6 +1033,7 @@ let serve t =
   done;
   Bqueue.close t.queue;
   Domain.join pool_domain;
+  Option.iter Cache_log.close t.log;
   (match t.cfg.metrics_path with
   | Some path -> Telemetry.write_metrics path
   | None -> ());
@@ -862,3 +1042,5 @@ let serve t =
   stop_accepting t;
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+let replay_info t = t.replay

@@ -15,6 +15,18 @@
       {!Resil.Fingerprint} of the training PLA + solve options —
       identical solve requests replay the stored payload
       byte-identically;
+    - an optional persistent cache backend ([cache_file]): fresh solve
+      results are appended to a CRC-guarded {!Cache_log} and replayed
+      into the cache on startup, so a restarted (even [kill -9]'d)
+      daemon keeps serving previous solves byte-identically;
+    - single-flight coalescing: while a solve is running, identical
+      untraced solve requests attach to it as waiters instead of being
+      queued; every client receives the same payload under its own
+      request id, and only one synthesis executes;
+    - chaos points ({!Resil.Fault}: [serve.accept], [serve.read],
+      [serve.write], [serve.worker]) for fault-injection runs — IO
+      faults surface as dropped connections, worker faults as typed
+      [error/injected] responses;
     - live metrics: any connection whose first line starts with
       [GET ] receives a one-shot HTTP response carrying the
       {!Telemetry} Prometheus page, so a stock Prometheus scraper can
@@ -32,6 +44,10 @@ type config = {
   jobs : int;  (** worker pool size (clamped to >= 1) *)
   queue_depth : int;  (** admission-queue capacity *)
   cache_size : int;  (** result-cache entries; 0 disables *)
+  cache_file : string option;
+      (** persistent cache log path; [None] keeps the cache in-memory *)
+  cache_compact_bytes : int;
+      (** log size that arms compaction (see {!Cache_log.maybe_compact}) *)
   metrics_path : string option;  (** Prometheus page written at shutdown *)
   default_deadline : float option;
       (** per-request wall-clock budget when the request names none *)
@@ -40,15 +56,20 @@ type config = {
 
 val default_config : listen:listen -> config
 (** jobs = [Parallel.Pool.recommended_jobs ()], queue_depth = 64,
-    cache_size = 256, no metrics path, no default budgets. *)
+    cache_size = 256, no cache file, 4 MiB compaction threshold, no
+    metrics path, no default budgets. *)
 
 type t
 
 val create : config -> t
 (** Bind and listen (enables {!Telemetry} for live metrics).  The
     socket accepts connections from this point on, so a client may
-    connect before {!serve} starts draining them.  Raises
-    [Unix.Unix_error] if the address cannot be bound. *)
+    connect before {!serve} starts draining them.  With [cache_file]
+    set, replays the log (truncating any torn tail) before returning.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val replay_info : t -> Cache_log.replay option
+(** What {!create} recovered from [cache_file]; [None] without one. *)
 
 val serve : t -> unit
 (** Run the IO loop until a [shutdown] request completes.  Blocks the

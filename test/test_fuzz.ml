@@ -12,7 +12,11 @@ let check_bool = Alcotest.(check bool)
    separators, directive/structure characters, and some plain noise. *)
 let pool = "0123456789 \t\n\r-.aipocex#"
 
-let mutate st text =
+(* JSON-flavoured pool: structure characters, escapes, and the hex
+   digits that assemble \u escapes and surrogate halves. *)
+let json_pool = "{}[]\":,\\ud0123456789abcdefeE+-. truefalsn"
+
+let mutate ?(pool = pool) st text =
   let b = Bytes.of_string text in
   let len = Bytes.length b in
   if len = 0 then text
@@ -28,10 +32,10 @@ let mutate st text =
     else s
   end
 
-let fuzz ~name ~rounds ~seed ~valid ~parse ~is_documented_error =
+let fuzz ?pool ~name ~rounds ~seed ~valid ~parse ~is_documented_error () =
   let st = Random.State.make [| seed |] in
   for round = 1 to rounds do
-    let text = mutate st valid in
+    let text = mutate ?pool st valid in
     match parse text with
     | _ -> ()
     | exception e ->
@@ -47,7 +51,8 @@ let test_fuzz_aag () =
     ~parse:(fun s -> ignore (Aig.Io.of_string s))
     ~is_documented_error:(function
       | Aig.Io.Parse_error _ -> true
-      | _ -> false);
+      | _ -> false)
+    ();
   (* The unmutated base text must of course parse. *)
   check_bool "base text valid" true
     (match Aig.Io.of_string valid_aag with _ -> true)
@@ -60,7 +65,8 @@ let test_fuzz_pla () =
     ~parse:(fun s -> ignore (Data.Pla.parse s))
     ~is_documented_error:(function
       | Data.Pla.Parse_error _ -> true
-      | _ -> false);
+      | _ -> false)
+    ();
   check_bool "base text valid" true
     (match Data.Pla.parse valid_pla with _ -> true)
 
@@ -71,12 +77,72 @@ let test_fuzz_dimacs () =
     ~parse:(fun s -> ignore (Sat.Dimacs.of_string s))
     ~is_documented_error:(function
       | Sat.Dimacs.Parse_error _ -> true
-      | _ -> false);
+      | _ -> false)
+    ();
   check_bool "base text valid" true
     (match Sat.Dimacs.of_string valid_dimacs with _ -> true)
+
+(* A valid request envelope rich enough that mutations explore strings,
+   escapes, numbers, booleans, nesting, and the typed protocol fields. *)
+let valid_json =
+  {|{"id":7,"op":"solve","train":"00 0\n11 1\n","n":[1,-2.5,true,null,{"s":"😀 é"}],"q":"a\"b\\c"}|}
+
+let test_fuzz_json () =
+  fuzz ~name:"json" ~rounds:600 ~seed:404 ~pool:json_pool ~valid:valid_json
+    ~parse:(fun s -> ignore (Serve.Json.parse s))
+    ~is_documented_error:(function
+      | Serve.Json.Parse_error _ -> true
+      | _ -> false)
+    ();
+  (* Surrogate edge cases random mutation is unlikely to assemble: each
+     must either parse or fail typed, never crash. *)
+  List.iter
+    (fun s ->
+      match Serve.Json.parse s with
+      | _ -> ()
+      | exception Serve.Json.Parse_error _ -> ())
+    [
+      {|"\ud83d"|}; {|"\ud83d\ud83d"|}; {|"\ude00"|}; {|"\ud83dA"|};
+      {|"\ud83d\ude0|}; {|"\u"|}; {|"\u12"|}; {|"\ud83dx"|}; {|"😀"|};
+    ];
+  check_bool "base text valid" true
+    (match Serve.Json.parse valid_json with _ -> true)
+
+(* Raw splice abuse: Json.Raw trusts its bytes, so a corrupted splice
+   can render an unparseable document — re-parsing it must still fail
+   with the typed error, never crash the reader. *)
+let test_fuzz_json_raw_splice () =
+  let st = Random.State.make [| 707 |] in
+  for _ = 1 to 300 do
+    let payload = mutate ~pool:json_pool st {|{"y":[1,2.5,"z😀"]}|} in
+    let doc =
+      Serve.Json.to_string (Serve.Json.Obj [ ("x", Serve.Json.Raw payload) ])
+    in
+    match Serve.Json.parse doc with
+    | _ -> ()
+    | exception Serve.Json.Parse_error _ -> ()
+  done
+
+(* Protocol.parse returns a Result — by contract it never raises, no
+   matter how the envelope is corrupted or truncated. *)
+let valid_request =
+  {|{"id":3,"op":"solve","train":".i 2\n.o 1\n00 0\n.e\n","seed":5,"sweep":true,"deadline_s":0.5,"fuel":100,"trace":false}|}
+
+let test_fuzz_protocol () =
+  fuzz ~name:"protocol" ~rounds:600 ~seed:505 ~pool:json_pool
+    ~valid:valid_request
+    ~parse:(fun s ->
+      match Serve.Protocol.parse s with Ok _ | Error _ -> ())
+    ~is_documented_error:(fun _ -> false)
+    ();
+  check_bool "base request valid" true
+    (match Serve.Protocol.parse valid_request with Ok _ -> true | Error _ -> false)
 
 let suites =
   [ ( "fuzz",
       [ Alcotest.test_case "aag parser" `Quick test_fuzz_aag;
         Alcotest.test_case "pla parser" `Quick test_fuzz_pla;
-        Alcotest.test_case "dimacs parser" `Quick test_fuzz_dimacs ] ) ]
+        Alcotest.test_case "dimacs parser" `Quick test_fuzz_dimacs;
+        Alcotest.test_case "json parser" `Quick test_fuzz_json;
+        Alcotest.test_case "json raw splice" `Quick test_fuzz_json_raw_splice;
+        Alcotest.test_case "protocol parser" `Quick test_fuzz_protocol ] ) ]

@@ -177,6 +177,66 @@ let test_bqueue_blocking_take () =
   Serve.Bqueue.close q;
   check_bool "close wakes taker" true (Domain.join taker = None)
 
+(* Property: under concurrent producers and consumers, every item
+   admitted with `Ok is consumed exactly once — nothing lost, nothing
+   duplicated — whatever the interleaving. *)
+let prop_bqueue_concurrent_conservation =
+  QCheck.Test.make ~count:15 ~name:"bqueue concurrent conservation"
+    QCheck.(pair (int_range 1 8) (int_range 0 60))
+    (fun (capacity, per_producer) ->
+      let q = Serve.Bqueue.create ~capacity in
+      let producers =
+        List.init 3 (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_producer - 1 do
+                  let v = (p * per_producer) + i in
+                  let rec push () =
+                    match Serve.Bqueue.try_push q v with
+                    | `Ok -> ()
+                    | `Full ->
+                        Domain.cpu_relax ();
+                        push ()
+                    | `Closed -> assert false
+                  in
+                  push ()
+                done))
+      in
+      let consumers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let rec go acc =
+                  match Serve.Bqueue.take q with
+                  | Some v -> go (v :: acc)
+                  | None -> acc
+                in
+                go []))
+      in
+      List.iter Domain.join producers;
+      Serve.Bqueue.close q;
+      let taken = List.concat_map Domain.join consumers in
+      let expected = List.init (3 * per_producer) Fun.id in
+      List.sort compare taken = expected)
+
+(* Property: close() always drains — items admitted before the close
+   are still taken in FIFO order, then take yields None, and try_push
+   after close is always `Closed. *)
+let prop_bqueue_close_drains =
+  QCheck.Test.make ~count:50 ~name:"bqueue close drains then rejects"
+    QCheck.(int_range 0 20)
+    (fun n ->
+      let q = Serve.Bqueue.create ~capacity:(max 1 n) in
+      for i = 0 to n - 1 do
+        match Serve.Bqueue.try_push q i with
+        | `Ok -> ()
+        | `Full | `Closed -> assert false
+      done;
+      Serve.Bqueue.close q;
+      Serve.Bqueue.try_push q 999 = `Closed
+      && List.init n (fun _ -> Serve.Bqueue.take q)
+         = List.init n (fun i -> Some i)
+      && Serve.Bqueue.take q = None
+      && Serve.Bqueue.try_push q 1000 = `Closed)
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -217,6 +277,160 @@ let test_cache_disabled () =
     (match Serve.Cache.create ~capacity:(-1) with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cache log (persistent cache backend)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module CL = Serve.Cache_log
+
+let with_log_file f =
+  let path = Filename.temp_file "lsml-cachelog" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let append_raw path bytes =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+  in
+  output_string oc bytes;
+  close_out oc
+
+let test_cache_log_crc32 () =
+  (* The published CRC-32/IEEE check value. *)
+  check_string "check vector" "cbf43926"
+    (Printf.sprintf "%08lx" (CL.crc32 "123456789"));
+  check_string "empty" "00000000" (Printf.sprintf "%08lx" (CL.crc32 ""));
+  check_bool "one-bit difference changes the sum" true
+    (CL.crc32 "abc" <> CL.crc32 "abd")
+
+let test_cache_log_roundtrip () =
+  with_log_file @@ fun path ->
+  let log, r = CL.open_log ~path ~config_hash:"h1" () in
+  check_int "fresh file replays nothing" 0 r.CL.replayed;
+  check_bool "fresh file is not a reset" true (not r.CL.reset);
+  CL.append log ~key:"k1" ~payload:"v1";
+  CL.append log ~key:"k2" ~payload:(String.make 1000 'x');
+  CL.append log ~key:"k1" ~payload:"v1-rewritten";
+  CL.close log;
+  CL.close log (* idempotent *);
+  let log2, r2 = CL.open_log ~path ~config_hash:"h1" () in
+  check_int "last-wins dedup" 2 r2.CL.replayed;
+  check_int "clean tail" 0 r2.CL.truncated_bytes;
+  check_bool "payload bytes replayed" true
+    (List.assoc "k2" r2.CL.entries = String.make 1000 'x');
+  check_bool "last append wins" true
+    (List.assoc "k1" r2.CL.entries = "v1-rewritten");
+  check_bool "recency order: k1 written last comes last" true
+    (List.map fst r2.CL.entries = [ "k2"; "k1" ]);
+  CL.close log2
+
+let test_cache_log_torn_tail () =
+  with_log_file @@ fun path ->
+  let log, _ = CL.open_log ~path ~config_hash:"h1" () in
+  CL.append log ~key:"good" ~payload:"payload";
+  CL.close log;
+  (* A record cut short mid-write: length prefix promises more bytes
+     than the file holds. *)
+  append_raw path "\x00\x00\x00\x05GARB";
+  let log2, r2 = CL.open_log ~path ~config_hash:"h1" () in
+  check_bool "torn tail dropped" true (r2.CL.truncated_bytes > 0);
+  check_int "whole records survive" 1 r2.CL.replayed;
+  check_bool "survivor intact" true
+    (List.assoc "good" r2.CL.entries = "payload");
+  (* The repaired log accepts appends and replays them. *)
+  CL.append log2 ~key:"after" ~payload:"repair";
+  CL.close log2;
+  let log3, r3 = CL.open_log ~path ~config_hash:"h1" () in
+  check_int "clean after repair" 0 r3.CL.truncated_bytes;
+  check_int "both records replay" 2 r3.CL.replayed;
+  CL.close log3;
+  (* An implausible length field (would be a 4 GiB key) is corruption,
+     not an allocation request. *)
+  append_raw path "\xff\xff\xff\xff\xff\xff\xff\xff crash";
+  let log4, r4 = CL.open_log ~path ~config_hash:"h1" () in
+  check_bool "garbage length truncated" true (r4.CL.truncated_bytes > 0);
+  check_int "records still replay" 2 r4.CL.replayed;
+  CL.close log4
+
+let test_cache_log_corrupt_record () =
+  with_log_file @@ fun path ->
+  let log, _ = CL.open_log ~path ~config_hash:"h1" () in
+  CL.append log ~key:"aa" ~payload:"1111";
+  CL.append log ~key:"bb" ~payload:"2222";
+  CL.close log;
+  (* Flip one payload byte of the LAST record in place: its CRC must
+     fail and only that record be dropped. *)
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd (len - 5) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let log2, r2 = CL.open_log ~path ~config_hash:"h1" () in
+  check_bool "corrupt record dropped" true (r2.CL.truncated_bytes > 0);
+  check_int "prefix survives" 1 r2.CL.replayed;
+  check_bool "first record intact" true
+    (List.assoc "aa" r2.CL.entries = "1111");
+  CL.close log2
+
+let test_cache_log_config_reset () =
+  with_log_file @@ fun path ->
+  let log, _ = CL.open_log ~path ~config_hash:"h1" () in
+  CL.append log ~key:"k" ~payload:"v";
+  CL.close log;
+  (* Same file under a different configuration: stale results must be
+     discarded, not served. *)
+  let log2, r2 = CL.open_log ~path ~config_hash:"h2" () in
+  check_bool "reset reported" true r2.CL.reset;
+  check_int "nothing replayed" 0 r2.CL.replayed;
+  CL.append log2 ~key:"k2" ~payload:"v2";
+  CL.close log2;
+  let log3, r3 = CL.open_log ~path ~config_hash:"h2" () in
+  check_bool "no reset under matching config" true (not r3.CL.reset);
+  check_int "new content replays" 1 r3.CL.replayed;
+  CL.close log3;
+  (* A file that is not a cache log at all is also a reset. *)
+  let oc = open_out path in
+  output_string oc "not a cache log\n";
+  close_out oc;
+  let log4, r4 = CL.open_log ~path ~config_hash:"h2" () in
+  check_bool "foreign file reset" true r4.CL.reset;
+  check_int "foreign file replays nothing" 0 r4.CL.replayed;
+  CL.close log4
+
+let test_cache_log_compaction () =
+  with_log_file @@ fun path ->
+  let log, _ = CL.open_log ~path ~config_hash:"h" ~compact_bytes:256 () in
+  (* Same key overwritten many times: almost all bytes are dead. *)
+  for i = 1 to 50 do
+    CL.append log ~key:"k" ~payload:(Printf.sprintf "%04d-%s" i (String.make 16 'p'))
+  done;
+  let before = CL.size_bytes log in
+  check_bool "grew past the threshold" true (before >= 256);
+  check_bool "under threshold is a no-op" true
+    (let small, _ =
+       CL.open_log ~path:(path ^ ".other") ~config_hash:"h"
+         ~compact_bytes:1_000_000 ()
+     in
+     let r = CL.maybe_compact small ~live:[] in
+     CL.close small;
+     Sys.remove (path ^ ".other");
+     not r);
+  let live = [ ("k", "0050-" ^ String.make 16 'p') ] in
+  check_bool "compaction runs" true (CL.maybe_compact log ~live);
+  check_bool "file shrank" true (CL.size_bytes log < before);
+  (* The compacted log is still appendable and replays live + new. *)
+  CL.append log ~key:"k2" ~payload:"fresh";
+  CL.close log;
+  let log2, r2 = CL.open_log ~path ~config_hash:"h" () in
+  check_int "live and fresh replay" 2 r2.CL.replayed;
+  check_bool "live payload survived compaction" true
+    (List.assoc "k" r2.CL.entries = "0050-" ^ String.make 16 'p');
+  check_bool "no tmp file left behind" true
+    (not (Sys.file_exists (path ^ ".tmp")));
+  CL.close log2
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprint                                                          *)
@@ -297,7 +511,8 @@ let tmp_sock () =
   Sys.remove path;
   path
 
-let with_server ?(jobs = 2) ?(queue_depth = 64) ?(cache_size = 16) f =
+let with_server ?(jobs = 2) ?(queue_depth = 64) ?(cache_size = 16)
+    ?cache_file f =
   let path = tmp_sock () in
   let listen = `Unix path in
   let cfg =
@@ -306,6 +521,7 @@ let with_server ?(jobs = 2) ?(queue_depth = 64) ?(cache_size = 16) f =
       jobs;
       queue_depth;
       cache_size;
+      cache_file;
     }
   in
   let t = Serve.Server.create cfg in
@@ -549,7 +765,15 @@ let test_server_metrics_scrape () =
    crashing, the drain still delivers a typed response. *)
 let test_server_shutdown_drains () =
   let old_rate = Resil.Fault.rate () in
-  Fun.protect ~finally:(fun () -> Resil.Fault.set_rate old_rate)
+  (* Full rate is aimed at the candidates, not the transport: without
+     the filter the serve.accept/read/write points would sever every
+     connection before a drain could be observed. *)
+  Resil.Fault.set_filter
+    (Some
+       [ "teams."; "sat."; "espresso."; "nnet."; "lutnet."; "cgp."; "parallel." ]);
+  Fun.protect ~finally:(fun () ->
+      Resil.Fault.set_rate old_rate;
+      Resil.Fault.set_filter None)
   @@ fun () ->
   with_server @@ fun listen ->
   let a = Serve.Client.connect listen in
@@ -586,8 +810,15 @@ let test_server_shutdown_drains () =
    fallback and the server keeps answering typed responses. *)
 let test_server_fault_injection () =
   let old_rate = Resil.Fault.rate () in
+  (* As above: candidate crashes are the subject, so keep the serve
+     transport and worker points out of the blast radius. *)
+  Resil.Fault.set_filter
+    (Some
+       [ "teams."; "sat."; "espresso."; "nnet."; "lutnet."; "cgp."; "parallel." ]);
   Fun.protect
-    ~finally:(fun () -> Resil.Fault.set_rate old_rate)
+    ~finally:(fun () ->
+      Resil.Fault.set_rate old_rate;
+      Resil.Fault.set_filter None)
     (fun () ->
       with_server @@ fun listen ->
       let ok = rpc listen (solve_fields ()) in
@@ -604,6 +835,218 @@ let test_server_fault_injection () =
       check_string "healthy after faults" "result" (typ_of after);
       check_bool "candidates recover" true
         (str_at after [ "result"; "technique" ] <> Some "constant"))
+
+(* One counter line from the Prometheus page. *)
+let metric_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+             int_of_string_opt
+               (String.trim (String.sub line i (String.length line - i)))
+         | _ -> None)
+
+(* N identical solves (distinct ids) written as ONE buffered batch on
+   one connection: the IO loop admits the whole batch before any reply
+   can be routed, so requests 2..N must coalesce onto request 1 — the
+   deterministic single-flight case.  Exactly one synthesis executes;
+   every client response echoes its own id over the same payload. *)
+let test_server_singleflight_coalesce () =
+  with_server @@ fun listen ->
+  let n = 4 in
+  let c = Serve.Client.connect listen in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  let batch =
+    String.concat "\n"
+      (List.init n (fun i ->
+           J.to_string (J.Obj (solve_fields ~id:(Printf.sprintf "sf%d" i) ()))))
+  in
+  Serve.Client.send_line c batch;
+  let raws = List.init n (fun _ -> Option.get (Serve.Client.recv_line c)) in
+  let resps = List.map J.parse raws in
+  List.iter
+    (fun r -> check_string "coalesced response type" "result" (typ_of r))
+    resps;
+  let ids =
+    List.sort compare
+      (List.map
+         (fun r ->
+           match J.member "id" r with Some (J.Str s) -> s | _ -> "?")
+         resps)
+  in
+  check_bool "every client got its own id" true
+    (ids = List.init n (Printf.sprintf "sf%d"));
+  let suffixes = List.map payload_suffix raws in
+  List.iter
+    (fun s -> check_string "identical payload bytes" (List.hd suffixes) s)
+    suffixes;
+  let body = Serve.Client.scrape_metrics listen in
+  check_bool "one leader" true
+    (metric_value body "lsml_serve_singleflight_leaders_total" = Some 1);
+  check_bool "n-1 coalesced" true
+    (metric_value body "lsml_serve_singleflight_coalesced_total" = Some (n - 1));
+  check_bool "exactly one synthesis executed" true
+    (metric_value body "lsml_serve_cache_misses_total" = Some 1
+    && metric_value body "lsml_serve_cache_hits_total" = Some 0);
+  check_bool "all deliveries counted" true
+    (metric_value body "lsml_serve_completed_total" = Some n)
+
+(* The persistent cache across a full stop/start cycle: a solve served
+   by the first server instance must replay byte-identically from the
+   second, and a torn tail appended to the log (a crash mid-write) must
+   not prevent the third from starting or serving the cached result. *)
+let test_server_cache_persists_across_restart () =
+  with_log_file @@ fun file ->
+  let line = J.to_string (J.Obj (solve_fields ())) in
+  let first =
+    with_server ~cache_file:file (fun listen ->
+        let raw = Option.get (rpc_raw listen line) in
+        check_string "fresh solve" "result" (typ_of (J.parse raw));
+        raw)
+  in
+  with_server ~cache_file:file (fun listen ->
+      let raw = Option.get (rpc_raw listen line) in
+      let p = J.parse raw in
+      check_string "restart still a result" "result" (typ_of p);
+      check_bool "served from the replayed cache" true
+        (Option.bind (J.member "cached" p) J.get_bool = Some true);
+      check_string "byte-identical across restart" (payload_suffix first)
+        (payload_suffix raw);
+      let body = Serve.Client.scrape_metrics listen in
+      check_bool "replay counted" true
+        (metric_value body "lsml_serve_cache_persist_replayed_total" = Some 1));
+  append_raw file "\x00\x00\x00\x09half a re";
+  with_server ~cache_file:file (fun listen ->
+      let p = J.parse (Option.get (rpc_raw listen line)) in
+      check_string "starts despite torn tail" "result" (typ_of p);
+      check_bool "cache survived the torn tail" true
+        (Option.bind (J.member "cached" p) J.get_bool = Some true))
+
+(* Client retry policy: transport-shaped errors are retried with
+   backoff, everything else propagates immediately, and the last error
+   is re-raised once attempts are exhausted. *)
+let test_client_with_retry () =
+  let attempts = ref 0 in
+  let v =
+    Serve.Client.with_retry ~retries:3 ~retry_ms:1 (fun () ->
+        incr attempts;
+        if !attempts < 3 then
+          raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", ""))
+        else 42)
+  in
+  check_int "succeeds once the transport recovers" 42 v;
+  check_int "used exactly the attempts needed" 3 !attempts;
+  let attempts = ref 0 in
+  check_bool "exhaustion re-raises the transport error" true
+    (match
+       Serve.Client.with_retry ~retries:2 ~retry_ms:1 (fun () ->
+           incr attempts;
+           raise End_of_file)
+     with
+    | exception End_of_file -> !attempts = 3
+    | _ -> false);
+  let attempts = ref 0 in
+  check_bool "protocol errors are not retried" true
+    (match
+       Serve.Client.with_retry ~retries:5 ~retry_ms:1 (fun () ->
+           incr attempts;
+           raise (J.Parse_error "garbled"))
+     with
+    | exception J.Parse_error _ -> !attempts = 1
+    | _ -> false);
+  check_int "zero retries means one attempt" 1
+    (let n = ref 0 in
+     (try
+        Serve.Client.with_retry (fun () ->
+            incr n;
+            raise End_of_file)
+      with End_of_file -> ());
+     !n)
+
+(* A client with retries enabled reaches a server that only comes up
+   after its first connect attempts have failed. *)
+let test_client_retry_reaches_late_server () =
+  let path = tmp_sock () in
+  let listen = `Unix path in
+  let d =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        let t =
+          Serve.Server.create
+            { (Serve.Server.default_config ~listen) with jobs = 1 }
+        in
+        Serve.Server.serve t)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         ignore
+           (Serve.Client.rpc_retry ~retries:5 ~retry_ms:50 listen
+              (J.Obj [ ("id", J.Str "fin"); ("op", J.Str "shutdown") ]))
+       with _ -> ());
+      Domain.join d;
+      Telemetry.disable ();
+      Telemetry.reset ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let resp =
+        Serve.Client.rpc_retry ~retries:8 ~retry_ms:40 listen
+          (J.Obj [ ("id", J.Str "r"); ("op", J.Str "status") ])
+      in
+      check_string "retries reached the late server" "status" (typ_of resp))
+
+(* Chaos: a fault injected at the serve.worker point must surface as a
+   typed error/injected response — the worker survives and the server
+   keeps serving. *)
+let test_server_worker_fault_typed_error () =
+  let old_rate = Resil.Fault.rate () in
+  Fun.protect
+    ~finally:(fun () ->
+      Resil.Fault.set_rate old_rate;
+      Resil.Fault.set_filter None)
+  @@ fun () ->
+  with_server @@ fun listen ->
+  Resil.Fault.set_filter (Some [ "serve.worker" ]);
+  Resil.Fault.set_rate 1.0;
+  let resp = rpc listen (solve_fields ()) in
+  check_string "typed error response" "error" (typ_of resp);
+  check_bool "injected code" true (str_at resp [ "code" ] = Some "injected");
+  Resil.Fault.set_rate 0.0;
+  Resil.Fault.set_filter None;
+  let ok = rpc listen (solve_fields ()) in
+  check_string "healthy after the fault clears" "result" (typ_of ok);
+  check_bool "the injection was counted" true
+    (metric_value
+       (Serve.Client.scrape_metrics listen)
+       "lsml_serve_faults_injected_total"
+    = Some 1)
+
+(* Chaos: an injected write fault drops the connection (the client sees
+   EOF, as with a crashed peer); with the fault cleared the same request
+   succeeds — which is exactly what the retry loop automates. *)
+let test_server_write_fault_drops_connection () =
+  let old_rate = Resil.Fault.rate () in
+  Fun.protect
+    ~finally:(fun () ->
+      Resil.Fault.set_rate old_rate;
+      Resil.Fault.set_filter None)
+  @@ fun () ->
+  with_server @@ fun listen ->
+  Resil.Fault.set_filter (Some [ "serve.write" ]);
+  Resil.Fault.set_rate 1.0;
+  let c = Serve.Client.connect listen in
+  Serve.Client.send_line c
+    (J.to_string (J.Obj [ ("id", J.Str "s"); ("op", J.Str "status") ]));
+  check_bool "connection cut by injected write fault" true
+    (Serve.Client.recv_line c = None);
+  Serve.Client.close c;
+  Resil.Fault.set_rate 0.0;
+  Resil.Fault.set_filter None;
+  let resp =
+    Serve.Client.rpc_retry ~retries:3 ~retry_ms:10 listen
+      (J.Obj [ ("id", J.Str "s2"); ("op", J.Str "status") ])
+  in
+  check_string "recovered" "status" (typ_of resp)
 
 let suites =
   [
@@ -626,12 +1069,24 @@ let suites =
         Alcotest.test_case "admission" `Quick test_bqueue_admission;
         Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
         Alcotest.test_case "blocking take" `Quick test_bqueue_blocking_take;
-      ] );
+      ]
+      @ List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_bqueue_concurrent_conservation; prop_bqueue_close_drains ] );
     ( "serve cache",
       [
         Alcotest.test_case "hit miss" `Quick test_cache_hit_miss;
         Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
         Alcotest.test_case "disabled" `Quick test_cache_disabled;
+      ] );
+    ( "serve cache log",
+      [
+        Alcotest.test_case "crc32 vectors" `Quick test_cache_log_crc32;
+        Alcotest.test_case "roundtrip" `Quick test_cache_log_roundtrip;
+        Alcotest.test_case "torn tail" `Quick test_cache_log_torn_tail;
+        Alcotest.test_case "corrupt record" `Quick test_cache_log_corrupt_record;
+        Alcotest.test_case "config reset" `Quick test_cache_log_config_reset;
+        Alcotest.test_case "compaction" `Quick test_cache_log_compaction;
       ] );
     ( "fingerprint",
       [
@@ -657,5 +1112,19 @@ let suites =
           test_server_shutdown_drains;
         Alcotest.test_case "fault injection" `Quick
           test_server_fault_injection;
+        Alcotest.test_case "single-flight coalescing" `Quick
+          test_server_singleflight_coalesce;
+        Alcotest.test_case "cache persists across restart" `Quick
+          test_server_cache_persists_across_restart;
+        Alcotest.test_case "worker fault typed error" `Quick
+          test_server_worker_fault_typed_error;
+        Alcotest.test_case "write fault drops connection" `Quick
+          test_server_write_fault_drops_connection;
+      ] );
+    ( "serve client",
+      [
+        Alcotest.test_case "retry policy" `Quick test_client_with_retry;
+        Alcotest.test_case "retry reaches late server" `Quick
+          test_client_retry_reaches_late_server;
       ] );
   ]
