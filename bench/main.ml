@@ -239,7 +239,167 @@ let incremental_refresh_loop ~rounds =
     engine_ns = engine_total /. float_of_int rounds;
   }
 
+(* The portfolio pick: one good candidate and a field of losers, scored
+   against the same validation columns.  The naive path is the solver's
+   old sequential incumbent loop — each candidate is fully simulated, then
+   its disagreement count early-exits against the incumbent's.  The
+   batched path tiles the columns and abandons losers after their first
+   tiles, skipping most of the *simulation*, which is where the time
+   goes.  Candidate 0 computes the expected function up to ~2% noise, so
+   both paths tighten their limit immediately; every other candidate is
+   unrelated logic sitting at ~50% disagreement. *)
+let pick_best_setup () =
+  let num_inputs = 20 and num_patterns = 16384 in
+  let st = Random.State.make [| 0xba7c; 4 |] in
+  let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns in
+  let candidates =
+    Array.init 24 (fun i ->
+        Benchgen.Logic_bench.cone ~seed:(200 + i) ~num_inputs ~num_nodes:600 ())
+  in
+  let expected = Aig.Sim.simulate candidates.(0) columns in
+  for j = 0 to num_patterns - 1 do
+    if Random.State.float st 1.0 < 0.02 then
+      Words.set expected j (not (Words.get expected j))
+  done;
+  (columns, expected, candidates)
+
+(* The old pick_best inner loop, verbatim: full simulation per candidate,
+   count early-exited against the incumbent. *)
+let sequential_pick engine candidates columns ~expected =
+  let best = ref None in
+  Array.iteri
+    (fun i g ->
+      let limit = match !best with None -> max_int | Some (d, _) -> d in
+      match Aig.Sim.Engine.disagreements ~limit engine g columns ~expected with
+      | None -> ()
+      | Some d -> (
+          match !best with
+          | Some (bd, _) when d >= bd -> ()
+          | _ -> best := Some (d, i)))
+    candidates;
+  match !best with Some (_, i) -> i | None -> assert false
+
+let batched_pick ?tile_words engine candidates columns ~expected =
+  let counts =
+    Aig.Sim.Engine.disagreements_batch ?tile_words engine candidates columns
+      ~expected
+  in
+  let best = ref None in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some d -> (
+          match !best with
+          | Some (bd, _) when d >= bd -> ()
+          | _ -> best := Some (d, i)))
+    counts;
+  match !best with Some (_, i) -> i | None -> assert false
+
+let pick_best_batch_loop ~reps =
+  let columns, expected, candidates = pick_best_setup () in
+  let engine = Aig.Sim.Engine.create () in
+  let naive_winner = ref (-1) in
+  let naive_total =
+    time_ns (fun () ->
+        for _ = 1 to reps do
+          naive_winner := sequential_pick engine candidates columns ~expected
+        done)
+  in
+  let batch_winner = ref (-2) in
+  let engine_total =
+    time_ns (fun () ->
+        for _ = 1 to reps do
+          batch_winner := batched_pick engine candidates columns ~expected
+        done)
+  in
+  if !naive_winner <> !batch_winner then
+    failwith "pick-best-batch: batched winner diverged from sequential";
+  {
+    loop_name = "pick-best-batch";
+    ops = reps;
+    naive_ns = naive_total /. float_of_int reps;
+    engine_ns = engine_total /. float_of_int reps;
+  }
+
+(* Intra-benchmark parallel training: the same forest fit with and without
+   an ambient pool.  Byte-identity of the two models is asserted on every
+   rep — the speedup must come for free. *)
+let forest_intra_loop ~jobs ~reps =
+  let inst =
+    Benchgen.Suite.instantiate ~sizes:Benchgen.Suite.reduced_sizes ~seed:1
+      (Benchgen.Suite.benchmark 52)
+  in
+  let train = inst.Benchgen.Suite.train in
+  let params =
+    { Forest.Bagging.default_params with Forest.Bagging.num_trees = 33 }
+  in
+  let fit ?pool () =
+    Forest.Bagging.train ?pool ~rng:(Random.State.make [| 9; 52 |]) params train
+  in
+  let seq = ref (fit ()) in
+  let naive_total = time_ns (fun () -> for _ = 1 to reps do seq := fit () done) in
+  let par = ref !seq in
+  let engine_total =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        time_ns (fun () -> for _ = 1 to reps do par := fit ~pool () done))
+  in
+  let columns = Data.Dataset.columns train in
+  if
+    not
+      (Words.equal
+         (Forest.Bagging.predict_mask !seq columns)
+         (Forest.Bagging.predict_mask !par columns))
+  then failwith "forest-intra: pooled forest diverged from sequential";
+  {
+    loop_name = Printf.sprintf "forest-intra-%dj" jobs;
+    ops = reps;
+    naive_ns = naive_total /. float_of_int reps;
+    engine_ns = engine_total /. float_of_int reps;
+  }
+
 let speedup_of r = if r.engine_ns > 0.0 then r.naive_ns /. r.engine_ns else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Tile-size sweep for the batched kernel                              *)
+(* ------------------------------------------------------------------ *)
+
+type tile_result = {
+  tile_words : int;
+  tile_ns : float;  (* per pick over the whole portfolio *)
+}
+
+let tile_sweep ~reps () =
+  Contest.Report.heading "Batched pick-best tile-size sweep";
+  let columns, expected, candidates = pick_best_setup () in
+  let engine = Aig.Sim.Engine.create () in
+  let results =
+    List.map
+      (fun tw ->
+        ignore (batched_pick ~tile_words:tw engine candidates columns ~expected);
+        let total =
+          time_ns (fun () ->
+              for _ = 1 to reps do
+                ignore
+                  (batched_pick ~tile_words:tw engine candidates columns
+                     ~expected)
+              done)
+        in
+        { tile_words = tw; tile_ns = total /. float_of_int reps })
+      [ 4; 8; 16; 32; 64 ]
+  in
+  let fastest =
+    List.fold_left (fun acc t -> min acc t.tile_ns) infinity results
+  in
+  Contest.Report.table
+    ~header:[ "tile words"; "ns/pick"; "vs fastest" ]
+    (List.map
+       (fun t ->
+         [ string_of_int t.tile_words;
+           Printf.sprintf "%.0f" t.tile_ns;
+           Printf.sprintf "%.2fx" (t.tile_ns /. fastest) ])
+       results);
+  results
 
 (* ------------------------------------------------------------------ *)
 (* Per-phase GC accounting (Gc.quick_stat deltas around each stage)     *)
@@ -281,11 +441,17 @@ let gc_section samples =
            string_of_int g.gc_top_heap_words ])
        samples)
 
-let engine_loops ~quick () =
+let engine_loops ~quick ~jobs () =
   Contest.Report.heading "Repeated-evaluation loops (naive vs engine)";
   let loops =
     [ solver_accuracy_loop ~reps:(if quick then 5 else 50);
-      incremental_refresh_loop ~rounds:(if quick then 50 else 500) ]
+      incremental_refresh_loop ~rounds:(if quick then 50 else 500);
+      pick_best_batch_loop ~reps:(if quick then 5 else 30) ]
+    @
+    (* Parallel training only earns its measurement at paper scale; the
+       quick (CI smoke) profile skips the pool spin-up. *)
+    if quick then []
+    else [ forest_intra_loop ~jobs:(max 2 jobs) ~reps:3 ]
   in
   Contest.Report.table
     ~header:[ "loop"; "ops"; "naive ns/op"; "engine ns/op"; "speedup" ]
@@ -297,7 +463,8 @@ let engine_loops ~quick () =
            Printf.sprintf "%.0f" r.engine_ns;
            Printf.sprintf "%.2fx" (speedup_of r) ])
        loops);
-  loops
+  let tiles = tile_sweep ~reps:(if quick then 3 else 15) () in
+  (loops, tiles)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH.json (schema documented in EXPERIMENTS.md)                    *)
@@ -320,10 +487,10 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
-let write_bench_json path ~mode ~seed ~kernels ~loops ~gc ~suite_wall_s =
+let write_bench_json path ~mode ~seed ~kernels ~loops ~tiles ~gc ~suite_wall_s =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lsml-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"lsml-bench/3\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
   Buffer.add_string buf "  \"kernels\": [\n";
@@ -347,6 +514,16 @@ let write_bench_json path ~mode ~seed ~kernels ~loops ~gc ~suite_wall_s =
            (json_float (speedup_of r))
            (if i = List.length loops - 1 then "" else ",")))
     loops;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"tiles\": [\n";
+  List.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"tile_words\": %d, \"ns_per_pick\": %s}%s\n"
+           t.tile_words
+           (json_float t.tile_ns)
+           (if i = List.length tiles - 1 then "" else ",")))
+    tiles;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"gc\": [\n";
   List.iteri
@@ -547,7 +724,9 @@ let () =
     selected;
   if perf_only || quick || json_path <> None then begin
     let kernels, gc_kernels = with_gc "kernels" (fun () -> perf ~quick ()) in
-    let loops, gc_loops = with_gc "loops" (fun () -> engine_loops ~quick ()) in
+    let (loops, tiles), gc_loops =
+      with_gc "loops" (fun () -> engine_loops ~quick ~jobs ())
+    in
     let suite_wall_s, gc_suite =
       with_gc "suite" (fun () ->
           if quick then quick_suite_wall ()
@@ -562,7 +741,7 @@ let () =
       (fun path ->
         write_bench_json path
           ~mode:(if quick then "quick" else "perf")
-          ~seed ~kernels ~loops ~gc ~suite_wall_s)
+          ~seed ~kernels ~loops ~tiles ~gc ~suite_wall_s)
       json_path
   end
   else begin

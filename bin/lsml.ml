@@ -123,8 +123,17 @@ let sweep_flag =
           "SAT-sweep the learned circuit (exact, function-preserving \
            reduction) before writing it.")
 
+let solve_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for intra-benchmark parallelism (forest bagging, \
+           CGP fitness). The learned circuit is byte-identical for any \
+           value; default 1.")
+
 let solve_cmd =
-  let run team train valid out sweep trace =
+  let run team train valid out sweep trace jobs =
     match solver_of_name team with
     | None ->
         Printf.eprintf "unknown team %s\n" team;
@@ -146,7 +155,16 @@ let solve_cmd =
           }
         in
         let inst = { S.spec; train; valid; test = placeholder } in
-        let r = solver.Contest.Solver.solve inst in
+        let r =
+          (* The ambient pool parallelises within the single benchmark:
+             trainers deep in the solver (Bagging.train, Cgp.evolve) pick
+             it up via Pool.intra without plumbing. *)
+          if jobs > 1 then
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Parallel.Pool.with_intra pool (fun () ->
+                    solver.Contest.Solver.solve inst))
+          else solver.Contest.Solver.solve inst
+        in
         let aig = Aig.Opt.cleanup r.Contest.Solver.aig in
         let aig =
           if sweep then
@@ -171,7 +189,7 @@ let solve_cmd =
       $ pla_arg "train" "Training set (PLA)."
       $ pla_arg "valid" "Validation set (PLA)."
       $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG.")
-      $ sweep_flag $ trace_arg)
+      $ sweep_flag $ trace_arg $ solve_jobs_arg)
 
 (* ---- eval ---- *)
 

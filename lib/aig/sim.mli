@@ -70,6 +70,58 @@ module Engine : sig
       a candidate that already lost a comparison is abandoned mid-count).
       [Some d] is always the exact count. *)
 
+  val disagreements_batch :
+    ?limit:int ->
+    ?tile_words:int ->
+    ?chunk:int ->
+    t ->
+    Graph.t array ->
+    Words.t array ->
+    expected:Words.t ->
+    int option array
+  (** Score a whole batch of candidate AIGs against shared input columns
+      in cache-blocked tiles: each tile of input/expected words is loaded
+      into the batch arena once and stays hot while every candidate's
+      fused kernels run over it ([chunk] candidates at a time, default
+      {!default_chunk}).  Result [i] is [Some d] with candidate [i]'s
+      exact disagreement count, or [None] once its running count exceeded
+      [limit] or the best completed count of an earlier chunk — pruning
+      requires a {e strictly} greater running count, so the minimum-count
+      candidate and every candidate tied with it always come back exact.
+      Folding the [Some]s in order therefore picks the same winner as the
+      sequential incumbent loop over {!disagreements}, at a fraction of
+      the simulated words.  All graphs must share the column count;
+      [tile_words] (default {!default_tile_words}) is the tile width in
+      62-bit words.  Allocates nothing per tile at steady state: arena,
+      code, and count buffers are engine state reused across calls. *)
+
+  val accuracy_batch :
+    ?tile_words:int ->
+    t ->
+    Graph.t array ->
+    Words.t array ->
+    expected:Words.t ->
+    float array
+  (** [disagreements_batch] run as a single chunk (no pruning can fire),
+      folded to accuracies: result [i] equals
+      [accuracy e graphs.(i) columns expected] bit for bit. *)
+
+  val signatures_batch : ?tile_words:int -> t -> Graph.t -> Words.t array -> Words.t array
+  (** Tiled simulation of one graph that returns every variable's value
+      vector (index 0 is the constant-false vector, inputs are copies of
+      their columns): equals {!Sim.simulate_all} with fresh vectors
+      throughout.  Each row is extracted while its tile is hot, so the
+      full-width result is written exactly once; used by the SAT
+      sweeper's signature refreshes. *)
+
+  val default_tile_words : int
+  (** Default tile width of the batched kernels, in 62-bit words; chosen
+      by the bench tile-size sweep (see EXPERIMENTS.md). *)
+
+  val default_chunk : int
+  (** Default number of candidates scored per tile pass between
+      early-exit limit updates. *)
+
   val num_patterns : t -> int
   (** Patterns per column of the last [run]. *)
 

@@ -245,34 +245,35 @@ let sat_sweep ?(num_patterns = 1024) ?(conflict_limit = 1000) ?(rounds = 8)
         | S.Unknown -> `Unknown
       end
     in
-    (* Base signatures: one simulation for the whole sweep.  Phase
-       normalization keys on bit 0 of the base half ([num_patterns >= 64],
-       so bit 0 always exists), exactly as the concatenated signature's
-       bit 0 did before the split. *)
-    let base_engine = Aig.Sim.Engine.create () in
-    Aig.Sim.Engine.run base_engine g base;
-    let base_sig =
-      Array.init nv (fun v -> Aig.Sim.Engine.signature base_engine v)
-    in
+    (* Base signatures: one tiled simulation for the whole sweep — every
+       variable's vector is extracted while its tile is hot, through this
+       domain's shared engine arena.  Phase normalization keys on bit 0 of
+       the base half ([num_patterns >= 64], so bit 0 always exists),
+       exactly as the concatenated signature's bit 0 did before the
+       split. *)
+    let engine = Aig.Sim.Engine.for_domain () in
+    let base_sig = Aig.Sim.Engine.signatures_batch engine g base in
     let base_phase = Array.map (fun w -> Words.get w 0) base_sig in
     let base_key =
       Array.mapi
         (fun v w -> if base_phase.(v) then Words.lognot w else w)
         base_sig
     in
-    let cex_engine = Aig.Sim.Engine.create () in
     let round = ref 0 in
     let again = ref true in
     while !again && !round < rounds do
       incr round;
       again := false;
-      Aig.Sim.Engine.run cex_engine g (cex_columns ());
+      (* Counterexample signatures refresh each round on the same engine:
+         the column set changes every round, so the tiled batch path (one
+         full pass, all vectors out) beats watermark reuse here. *)
+      let cex_sig = Aig.Sim.Engine.signatures_batch engine g (cex_columns ()) in
       let tbl = WH2.create 257 in
       classes := 0;
       for v = 0 to nv - 1 do
         if merged.(v) < 0 && not given_up.(v) then begin
           let phase = base_phase.(v) in
-          let cw = Aig.Sim.Engine.signature cex_engine v in
+          let cw = cex_sig.(v) in
           let key =
             (base_key.(v), if phase then Words.lognot cw else cw)
           in

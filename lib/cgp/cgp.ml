@@ -190,8 +190,11 @@ let mutate st rate g =
   in
   { g with genes; out; out_neg }
 
-let evolve ?initial params d =
+let evolve ?pool ?initial params d =
   Resil.Fault.point fault_evolve;
+  let pool =
+    match pool with Some _ as p -> p | None -> Parallel.Pool.intra ()
+  in
   let st = Random.State.make [| 0xc69; params.seed |] in
   let columns = Data.Dataset.columns d in
   let outputs = Data.Dataset.outputs d in
@@ -241,10 +244,27 @@ let evolve ?initial params d =
       parent_fit := fitness !parent
     end;
     let improved = ref false in
-    for _ = 1 to params.lambda do
+    (* (1+λ): the whole brood mutates off the generation-start parent.
+       Children are drawn sequentially — [mutate]'s draw count depends
+       only on the (fixed) genome shape, so the stream of random numbers
+       is the same for any jobs count — and their fitness, a pure
+       function of the genome, is what fans out across the pool.
+       Selection is a sequential fold in child order, so the evolved
+       genome is byte-identical with and without a pool. *)
+    let base = !parent in
+    let children = Array.make params.lambda base in
+    for i = 0 to params.lambda - 1 do
       Resil.Budget.check ();
-      let child = mutate st !rate !parent in
-      let fit = fitness child in
+      children.(i) <- mutate st !rate base
+    done;
+    let fits =
+      match pool with
+      | Some p -> Parallel.Pool.map_array p fitness children
+      | None -> Array.map fitness children
+    in
+    for i = 0 to params.lambda - 1 do
+      let child = children.(i) in
+      let fit = fits.(i) in
       (* >= with larger-phenotype preference on exact ties. *)
       if
         fit > !parent_fit

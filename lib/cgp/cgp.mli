@@ -41,9 +41,17 @@ val of_aig : ?padding_factor:int -> Random.State.t -> Aig.Graph.t -> genome
     nodes. *)
 
 val evolve :
-  ?initial:genome -> params -> Data.Dataset.t -> genome * float
+  ?pool:Parallel.Pool.t ->
+  ?initial:genome ->
+  params ->
+  Data.Dataset.t ->
+  genome * float
 (** Run the ES; returns the best genome and its full-training-set
-    accuracy. *)
+    accuracy.  Each generation's brood mutates off the generation-start
+    parent, so the λ fitness evaluations are pure and fan out across
+    [pool] (default {!Parallel.Pool.intra}); mutation and selection stay
+    sequential, making the evolved genome byte-identical for any jobs
+    count. *)
 
 val predict_mask : genome -> Words.t array -> Words.t
 val accuracy : genome -> Data.Dataset.t -> float

@@ -13,11 +13,13 @@ type t = {
 
 (* Scoring reuses this domain's simulation engine: candidate evaluation is
    the innermost loop of every solver, and the engine's arena makes it
-   allocation-free.  Bit-identical to [Aig.Sim.accuracy]. *)
+   allocation-free.  Routed through the batched tiled kernel (batch of
+   one) so every scoring path in the solver — including Cv fold scoring —
+   exercises the same code; bit-identical to [Aig.Sim.accuracy]. *)
 let evaluate aig d =
   let engine = Aig.Sim.Engine.for_domain () in
-  Aig.Sim.Engine.accuracy engine aig (Data.Dataset.columns d)
-    (Data.Dataset.outputs d)
+  (Aig.Sim.Engine.accuracy_batch engine [| aig |] (Data.Dataset.columns d)
+     ~expected:(Data.Dataset.outputs d)).(0)
 
 let enforce_budget ?patterns ?(sweep = false) ~seed aig =
   let aig = Aig.Opt.cleanup aig in
@@ -51,61 +53,56 @@ let pick_best ?sweep ~valid candidates =
   else begin
     let columns = Data.Dataset.columns valid in
     let expected = Data.Dataset.outputs valid in
-    let engine = Aig.Sim.Engine.for_domain () in
-    (* Compare candidates on their disagreement COUNT rather than the
-       accuracy float: with a fixed pattern count the orders coincide
-       ([acc = 1 - d/n] is strictly decreasing in [d]), and the count lets
-       the engine abandon a candidate mid-popcount the moment it exceeds
-       the incumbent's ([~limit] below).  Tie on count -> fewer gates wins,
-       exactly as the float fold did. *)
-    let best = ref None in
-    List.iter
-      (fun (technique, aig) ->
-        (* One span per candidate: its size and disagreement count (or the
-           early-exit mark) are the args, so a trace shows which technique
-           won each benchmark and by how much. *)
-        let (_ : int * int option) =
+    (* Budget enforcement stays a per-candidate span: it can rewrite the
+       circuit (sweep/approximate), and its per-technique cost is what a
+       trace should show. *)
+    let prepared =
+      List.map
+        (fun (technique, aig) ->
           Telemetry.span_ret ~cat:"candidate" "candidate.eval"
-            ~args:(fun (gates, d) ->
-              ("technique", Telemetry.Str technique)
-              :: ("gates", Telemetry.Int gates)
-              ::
-              (match d with
-              | Some d -> [ ("disagreements", Telemetry.Int d) ]
-              | None -> [ ("early_exit", Telemetry.Int 1) ]))
+            ~args:(fun (_, g) ->
+              [
+                ("technique", Telemetry.Str technique);
+                ("gates", Telemetry.Int (Aig.Graph.num_ands g));
+              ])
           @@ fun () ->
-          let aig =
+          ( technique,
             enforce_budget ~patterns:columns ?sweep
-              ~seed:(Hashtbl.hash technique) aig
-          in
-          let gates = Aig.Graph.num_ands aig in
-          match !best with
-          | None ->
-              let d =
-                match
-                  Aig.Sim.Engine.disagreements engine aig columns ~expected
-                with
-                | Some d -> d
-                | None -> assert false (* no limit: count is exact *)
-              in
-              best := Some (d, gates, technique, aig);
-              (gates, Some d)
-          | Some (bd, bg, _, _) -> (
-              match
-                Aig.Sim.Engine.disagreements ~limit:bd engine aig columns
-                  ~expected
-              with
-              | None -> (gates, None) (* provably worse than the incumbent *)
-              | Some d ->
-                  if d < bd || (d = bd && gates < bg) then
-                    best := Some (d, gates, technique, aig);
-                  (gates, Some d))
-        in
-        ())
-      candidates;
+              ~seed:(Hashtbl.hash technique) aig ))
+        candidates
+    in
+    (* One batched, cache-blocked pass scores the whole portfolio: tiles
+       of validation words are loaded once and stay hot while every
+       candidate's fused kernels run over them, and the cross-chunk limit
+       abandons losing candidates after their first tiles.  Candidates
+       are compared on their disagreement COUNT rather than the accuracy
+       float: with a fixed pattern count the orders coincide
+       ([acc = 1 - d/n] is strictly decreasing in [d]).  [Some] counts
+       are exact and the minimum always survives pruning, so the
+       lexicographic (count, gates) fold below — first seen wins exact
+       ties — picks the same winner as the old sequential incumbent
+       loop. *)
+    let graphs = Array.of_list (List.map snd prepared) in
+    let engine = Aig.Sim.Engine.for_domain () in
+    let counts =
+      Aig.Sim.Engine.disagreements_batch engine graphs columns ~expected
+    in
+    let best = ref None in
+    List.iteri
+      (fun i (technique, aig) ->
+        match counts.(i) with
+        | None -> () (* provably worse than a completed candidate *)
+        | Some d -> (
+            let gates = Aig.Graph.num_ands aig in
+            match !best with
+            | None -> best := Some (d, gates, technique, aig)
+            | Some (bd, bg, _, _) ->
+                if d < bd || (d = bd && gates < bg) then
+                  best := Some (d, gates, technique, aig)))
+      prepared;
     match !best with
     | Some (_, _, technique, aig) -> { aig; technique }
-    | None -> assert false
+    | None -> assert false (* the minimum count always survives pruning *)
   end
 
 type guarded = {
@@ -156,40 +153,43 @@ type pareto_point = {
 
 let pareto_front ?(budgets = [ 30; 60; 125; 250; 500; 1000; 2000; 5000 ])
     ~valid ~seed candidates =
+  let columns = Data.Dataset.columns valid in
+  let expected = Data.Dataset.outputs valid in
+  let engine = Aig.Sim.Engine.for_domain () in
   let points =
     List.concat_map
       (fun (name, aig) ->
         let aig = Aig.Opt.cleanup aig in
-        let full =
-          {
-            gates = Aig.Graph.num_ands aig;
-            accuracy = evaluate aig valid;
-            source = name;
-            circuit = aig;
-          }
-        in
+        let full_gates = Aig.Graph.num_ands aig in
         let shrunk =
           List.filter_map
             (fun budget ->
-              if budget >= full.gates then None
+              if budget >= full_gates then None
               else begin
                 let st = Random.State.make [| 0x9a2e70; seed; budget |] in
                 let smaller, _ =
-                  Aig.Approx.approximate
-                    ~patterns:(Data.Dataset.columns valid)
-                    st aig ~budget
+                  Aig.Approx.approximate ~patterns:columns st aig ~budget
                 in
-                Some
-                  {
-                    gates = Aig.Graph.num_ands smaller;
-                    accuracy = evaluate smaller valid;
-                    source = Printf.sprintf "%s@%d" name budget;
-                    circuit = smaller;
-                  }
+                Some (Printf.sprintf "%s@%d" name budget, smaller)
               end)
             budgets
         in
-        full :: shrunk)
+        (* The candidate and its whole shrunken budget ladder score in a
+           single batched pass over the validation columns. *)
+        let ladder = (name, aig) :: shrunk in
+        let graphs = Array.of_list (List.map snd ladder) in
+        let accs =
+          Aig.Sim.Engine.accuracy_batch engine graphs columns ~expected
+        in
+        List.mapi
+          (fun i (source, circuit) ->
+            {
+              gates = Aig.Graph.num_ands circuit;
+              accuracy = accs.(i);
+              source;
+              circuit;
+            })
+          ladder)
       candidates
   in
   (* Keep the non-dominated points: scan by increasing gate count and keep

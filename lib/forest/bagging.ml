@@ -18,7 +18,7 @@ let default_params =
 
 type t = { trees : Dtree.Tree.t array }
 
-let train ~rng params d =
+let train ?pool ~rng params d =
   if params.num_trees < 1 || params.num_trees mod 2 = 0 then
     invalid_arg "Bagging.train: num_trees must be odd";
   let tree_params =
@@ -33,12 +33,24 @@ let train ~rng params d =
         in
         { params.tree with Dtree.Train.feature_subset = Some k }
   in
+  (* Each tree owns a private state derived from one draw of the caller's
+     rng — never the shared [rng] itself — so trees are independent tasks:
+     the same states feed both the pool and the sequential path, keeping
+     the forest byte-identical across any jobs count. *)
+  let seed = Random.State.bits rng in
+  let tree_rng i = Random.State.make [| 0x9e3779b9; seed; i |] in
+  let fit i =
+    let st = tree_rng i in
+    let sample = if params.bootstrap then Data.Dataset.bootstrap st d else d in
+    Dtree.Train.train ~rng:st tree_params sample
+  in
+  let pool =
+    match pool with Some _ as p -> p | None -> Parallel.Pool.intra ()
+  in
   let trees =
-    Array.init params.num_trees (fun _ ->
-        let sample =
-          if params.bootstrap then Data.Dataset.bootstrap rng d else d
-        in
-        Dtree.Train.train ~rng tree_params sample)
+    match pool with
+    | Some p -> Parallel.Pool.run p ~n:params.num_trees fit
+    | None -> Array.init params.num_trees fit
   in
   { trees }
 

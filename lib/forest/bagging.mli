@@ -18,7 +18,13 @@ val default_params : params
 
 type t = { trees : Dtree.Tree.t array }
 
-val train : rng:Random.State.t -> params -> Data.Dataset.t -> t
+val train :
+  ?pool:Parallel.Pool.t -> rng:Random.State.t -> params -> Data.Dataset.t -> t
+(** Fit the forest.  Trees are independent tasks over per-tree
+    [Random.State]s derived from one draw of [rng], so the result is
+    byte-identical whether they fit sequentially or across [pool]
+    (default {!Parallel.Pool.intra}, i.e. whatever the driver installed
+    with [with_intra]; [None] everywhere else). *)
 
 val predict : t -> bool array -> bool
 val predict_mask : t -> Words.t array -> Words.t

@@ -112,6 +112,21 @@ let with_pool ?jobs f =
   let pool = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* Ambient pool for intra-benchmark parallelism.  Training loops deep in
+   the stack (forest bagging, CGP fitness) pick it up without threading a
+   pool through every signature; it is domain-local, so a worker domain of
+   an outer suite-level pool never sees the driver's pool and silently
+   stays sequential (pools are not re-entrant anyway). *)
+let intra_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let intra () = !(Domain.DLS.get intra_key)
+
+let with_intra pool f =
+  let cell = Domain.DLS.get intra_key in
+  let saved = !cell in
+  cell := Some pool;
+  Fun.protect ~finally:(fun () -> cell := saved) (fun () -> f ())
+
 (* Post a batch of per-worker deques.  Returns [None] when the pool cannot
    take it (size 1, stopped, or a batch already in flight, i.e. [run]
    called from inside a task) — the caller then executes sequentially. *)

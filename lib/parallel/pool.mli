@@ -37,6 +37,19 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run the function, and [shutdown] (also on exceptions). *)
 
+val intra : unit -> t option
+(** The ambient pool of the calling domain, if one is installed (see
+    {!with_intra}).  Training loops that can parallelise within one
+    benchmark — forest bagging, CGP population fitness — default their
+    [?pool] argument to this, so a single installation at the driver
+    fans out every level below it without plumbing. *)
+
+val with_intra : t -> (unit -> 'a) -> 'a
+(** [with_intra pool f] runs [f] with [pool] installed as the calling
+    domain's ambient pool (restored afterwards, also on exceptions).
+    Domain-local: worker domains of an outer pool never observe it, so
+    nested batches degrade to sequential instead of deadlocking. *)
+
 val run : t -> n:int -> (int -> 'a) -> 'a array
 (** Evaluate [f 0 .. f (n-1)] across the pool; result [i] is [f i]. *)
 

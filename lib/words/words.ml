@@ -62,6 +62,18 @@ let of_words src ~pos ~length =
   t
 
 let word t i = t.words.(i)
+
+(* Hot-path accessors for flat word arenas: the tiled batch kernel streams
+   backing words in and out of its arena without per-word bounds checks.
+   [unsafe_word] trusts the caller's index; [set_word] keeps the top-word
+   invariant (bits beyond [length] stay clear) so a set written word by
+   word still satisfies [equal]/[hash]/[popcount]. *)
+let unsafe_word t i = Array.unsafe_get t.words i
+
+let set_word t i w =
+  let n = Array.length t.words in
+  if i < 0 || i >= n then invalid_arg "Words.set_word: index out of range";
+  t.words.(i) <- (if i = n - 1 then w land top_mask t else w land word_mask)
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let check_same a b =

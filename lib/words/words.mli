@@ -46,6 +46,17 @@ val word : t -> int -> int
 (** [word t i] is backing word [i] (62 packed bits).  Raises if [i] is out
     of range of the backing array. *)
 
+val unsafe_word : t -> int -> int
+(** [word] without the bounds check.  For fused arena kernels that stream
+    input columns tile by tile ({!Aig.Sim.Engine}); the caller guarantees
+    [0 <= i < num_words (length t)]. *)
+
+val set_word : t -> int -> int -> unit
+(** [set_word t i w] stores backing word [i].  Bits beyond [length t] in
+    the top word are cleared, so sets assembled word by word keep the
+    normalization invariant that {!equal}, {!hash} and {!popcount} rely
+    on. *)
+
 val is_empty : t -> bool
 
 val equal : t -> t -> bool

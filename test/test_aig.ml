@@ -376,6 +376,170 @@ let prop_engine_early_exit =
       | Some d -> d = exact && exact <= limit
       | None -> exact > limit)
 
+(* ------------------------------------------------------------------ *)
+(* Batched (tiled) candidate evaluation                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_edges () =
+  let st = Random.State.make [| 0xba7 |] in
+  let num_inputs = 5 in
+  let n = 300 (* several words, partial top word *) in
+  let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n in
+  let expected = Words.random st n in
+  let e = Engine.create () in
+  (* Empty batch. *)
+  check_int "empty batch" 0
+    (Array.length (Engine.disagreements_batch e [||] columns ~expected));
+  (* Single candidate: equals the scalar engine bit for bit. *)
+  let g = random_graph st ~num_inputs ~num_nodes:30 in
+  let accs = Engine.accuracy_batch e [| g |] columns ~expected in
+  check_int "single candidate count" 1 (Array.length accs);
+  Alcotest.(check (float 1e-12))
+    "single candidate accuracy"
+    (Aig.Sim.accuracy g columns expected)
+    accs.(0);
+  (* Early-exit caller-limit edge: limit = d keeps the exact count,
+     limit = d - 1 prunes. *)
+  let d =
+    match Engine.disagreements_batch e [| g |] columns ~expected with
+    | [| Some d |] -> d
+    | _ -> Alcotest.fail "expected one exact count"
+  in
+  (match Engine.disagreements_batch ~limit:d e [| g |] columns ~expected with
+  | [| Some d' |] -> check_int "limit = d stays exact" d d'
+  | _ -> Alcotest.fail "limit = d must not prune");
+  if d > 0 then begin
+    match
+      Engine.disagreements_batch ~limit:(d - 1) e [| g |] columns ~expected
+    with
+    | [| None |] -> ()
+    | _ -> Alcotest.fail "limit = d - 1 must prune"
+  end;
+  (* Differing node counts in one batch, including a constant (0 ANDs). *)
+  let const = G.create ~num_inputs () in
+  G.set_output const G.const_true;
+  let big = random_graph st ~num_inputs ~num_nodes:120 in
+  let batch = [| const; g; big |] in
+  let accs = Engine.accuracy_batch e batch columns ~expected in
+  Array.iteri
+    (fun i gi ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "ragged batch member %d" i)
+        (Aig.Sim.accuracy gi columns expected)
+        accs.(i))
+    batch
+
+let prop_batch_matches_sequential =
+  QCheck.Test.make ~count:100 ~name:"batched evaluation equals sequential"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let st = Random.State.make [| 0xbab; seed |] in
+      let num_inputs = 1 + Random.State.int st 6 in
+      let ncand = 1 + Random.State.int st 8 in
+      let graphs =
+        Array.init ncand (fun _ ->
+            random_graph st ~num_inputs
+              ~num_nodes:(1 + Random.State.int st 80))
+      in
+      let n = 1 + Random.State.int st 400 in
+      let columns = Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n in
+      let expected = Words.random st n in
+      let e = Engine.create () in
+      let tile_words = 1 + Random.State.int st 6 in
+      let chunk = 1 + Random.State.int st 4 in
+      (* accuracy_batch: bit-identical to the scalar path per candidate. *)
+      let accs = Engine.accuracy_batch ~tile_words e graphs columns ~expected in
+      let accs_ok =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i g -> accs.(i) = Aig.Sim.accuracy g columns expected)
+             graphs)
+      in
+      (* disagreements_batch: every Some is the exact count, every None
+         exceeds the global minimum, and the (count, gates) fold picks
+         the same winner as the sequential incumbent loop. *)
+      let exact =
+        Array.map
+          (fun g ->
+            Words.popcount (Words.logxor (Aig.Sim.simulate g columns) expected))
+          graphs
+      in
+      let min_d = Array.fold_left min max_int exact in
+      let counts =
+        Engine.disagreements_batch ~tile_words ~chunk e graphs columns
+          ~expected
+      in
+      let counts_ok =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i c ->
+               match c with
+               | Some d -> d = exact.(i)
+               | None -> exact.(i) > min_d)
+             counts)
+      in
+      let fold_winner of_i =
+        let best = ref None in
+        Array.iteri
+          (fun i c ->
+            match c with
+            | None -> ()
+            | Some d -> (
+                let gates = G.num_ands graphs.(i) in
+                match !best with
+                | Some (bd, bg, _) when d > bd || (d = bd && gates >= bg) -> ()
+                | _ -> best := Some (d, G.num_ands graphs.(i), of_i i)))
+          counts;
+        match !best with Some (_, _, i) -> i | None -> -1
+      in
+      let sequential_winner =
+        let best = ref None in
+        Array.iteri
+          (fun i g ->
+            let limit =
+              match !best with None -> max_int | Some (d, _, _) -> d
+            in
+            match Engine.disagreements ~limit e g columns ~expected with
+            | None -> ()
+            | Some d -> (
+                let gates = G.num_ands g in
+                match !best with
+                | Some (bd, bg, _) when d > bd || (d = bd && gates >= bg) -> ()
+                | _ -> best := Some (d, gates, i)))
+          graphs;
+        match !best with Some (_, _, i) -> i | None -> -1
+      in
+      accs_ok && counts_ok && fold_winner Fun.id = sequential_winner)
+
+let test_batch_gc_steady () =
+  (* At steady state the tiled kernel must not allocate per tile: once
+     the arenas are warm, a call spanning many tiles allocates exactly as
+     many minor words as a call spanning one tile. *)
+  let st = Random.State.make [| 0x6c |] in
+  let num_inputs = 8 in
+  let graphs =
+    Array.init 6 (fun _ -> random_graph st ~num_inputs ~num_nodes:60)
+  in
+  let mk n =
+    ( Aig.Sim.random_patterns st ~num_inputs ~num_patterns:n,
+      Words.random st n )
+  in
+  let small_cols, small_exp = mk 62 (* one word: a single tile *) in
+  let big_cols, big_exp = mk (62 * 16 * 12) (* 12 default-width tiles *) in
+  let e = Engine.create () in
+  let run cols exp = ignore (Engine.disagreements_batch e graphs cols ~expected:exp) in
+  (* Warm both shapes so arena growth is behind us. *)
+  run big_cols big_exp;
+  run small_cols small_exp;
+  let alloc f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  let small = alloc (fun () -> run small_cols small_exp) in
+  let big = alloc (fun () -> run big_cols big_exp) in
+  Alcotest.(check (float 0.0)) "no per-tile allocation" small big
+
 let prop_import_skips_unreachable =
   QCheck.Test.make ~count:100 ~name:"import copies only the reachable cone"
     (QCheck.make QCheck.Gen.(int_bound 1000))
@@ -449,8 +613,12 @@ let suites =
         Alcotest.test_case "balance chain" `Quick test_balance_chain;
         Alcotest.test_case "multi-output" `Quick test_multi_output;
         Alcotest.test_case "strash resize stress" `Quick test_strash_stress;
-        Alcotest.test_case "size hint" `Quick test_size_hint ]
+        Alcotest.test_case "size hint" `Quick test_size_hint;
+        Alcotest.test_case "batch edge cases" `Quick test_batch_edges;
+        Alcotest.test_case "batch zero alloc per tile" `Quick
+          test_batch_gc_steady ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false)
           [ prop_cleanup; prop_import; prop_balance_preserves_function;
             prop_engine_matches_simulate; prop_engine_incremental;
-            prop_engine_early_exit; prop_import_skips_unreachable ] ) ]
+            prop_engine_early_exit; prop_batch_matches_sequential;
+            prop_import_skips_unreachable ] ) ]

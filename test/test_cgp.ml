@@ -76,9 +76,33 @@ let test_minibatch_mode_runs () =
   in
   check_bool "learns with batches" true (acc >= 0.8)
 
+let test_evolve_pool_deterministic () =
+  (* Evolution must be byte-identical for any jobs count: mutation and
+     selection are sequential, only the pure fitness evaluations fan
+     out. *)
+  let d = full_table 4 (fun b -> (b.(0) && b.(1)) <> b.(2)) in
+  let params = { small_params with Cgp.generations = 300; lambda = 6 } in
+  let run ?pool () = Cgp.evolve ?pool params d in
+  let g_seq, acc_seq = run () in
+  let g_pool, acc_pool =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool -> run ~pool ())
+  in
+  let g_intra, acc_intra =
+    Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+        Parallel.Pool.with_intra pool (fun () -> run ()))
+  in
+  check_bool "accuracy pool = sequential" true (acc_seq = acc_pool);
+  check_bool "accuracy ambient = sequential" true (acc_seq = acc_intra);
+  let aag g = Aig.Io.to_string (Cgp.to_aig g) in
+  Alcotest.(check string) "identical circuits" (aag g_seq) (aag g_pool);
+  Alcotest.(check string) "identical circuits (ambient)" (aag g_seq)
+    (aag g_intra)
+
 let suites =
   [ ( "cgp",
       [ Alcotest.test_case "random evolution AND" `Quick test_random_evolution_learns_and;
+        Alcotest.test_case "evolve pool deterministic" `Quick
+          test_evolve_pool_deterministic;
         Alcotest.test_case "xaig XOR" `Quick test_xaig_learns_xor;
         Alcotest.test_case "bootstrap preserves function" `Quick
           test_bootstrap_preserves_seed_function;

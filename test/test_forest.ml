@@ -118,9 +118,41 @@ let test_boosting_125_majority_tree () =
   in
   check_bool "accurate" true (acc > 0.9)
 
+let test_bagging_pool_deterministic () =
+  (* The forest must be byte-identical whether trees fit sequentially or
+     across a pool — per-tree rngs are derived from one draw of the
+     caller's rng, not threaded through the shared one. *)
+  let st = Random.State.make [| 11 |] in
+  let f bits = (bits.(0) && bits.(1)) || (bits.(2) && not bits.(3)) in
+  let d = noisy_dataset st 6 200 f 0.05 in
+  let params =
+    { Forest.Bagging.default_params with Forest.Bagging.num_trees = 9 }
+  in
+  let fit ?pool () =
+    Forest.Bagging.train ?pool ~rng:(Random.State.make [| 77 |]) params d
+  in
+  let seq = fit () in
+  let pooled = Parallel.Pool.with_pool ~jobs:4 (fun pool -> fit ~pool ()) in
+  let ambient =
+    Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+        Parallel.Pool.with_intra pool (fun () -> fit ()))
+  in
+  let columns = D.columns d in
+  let mask_seq = Forest.Bagging.predict_mask seq columns in
+  check_bool "pool = sequential" true
+    (Words.equal mask_seq (Forest.Bagging.predict_mask pooled columns));
+  check_bool "ambient pool = sequential" true
+    (Words.equal mask_seq (Forest.Bagging.predict_mask ambient columns));
+  (* Structural identity, not just behavioural: the synthesized circuits
+     must match gate for gate. *)
+  let aag g = Aig.Io.to_string (Forest.Bagging.to_aig ~num_inputs:6 g) in
+  Alcotest.(check string) "identical circuits" (aag seq) (aag pooled)
+
 let suites =
   [ ( "forest",
       [ Alcotest.test_case "odd trees required" `Quick test_bagging_requires_odd;
+        Alcotest.test_case "bagging pool deterministic" `Quick
+          test_bagging_pool_deterministic;
         Alcotest.test_case "bagging learns" `Quick test_bagging_learns;
         Alcotest.test_case "bagging mask" `Quick test_bagging_mask_matches_predict;
         Alcotest.test_case "bagging circuit agrees" `Quick test_bagging_aig_agrees;
