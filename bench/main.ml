@@ -20,7 +20,7 @@ let usage_error msg =
 
 let all_experiments =
   [ "table3"; "fig1"; "fig2"; "fig3"; "fig4"; "table4"; "fig16_17"; "table5";
-    "table6"; "table7"; "fig5_6"; "fig7"; "fig11_12"; "fig21"; "fig32_33"; "fig26_27"; "appendix_bdd"; "ablations"; "corpus" ]
+    "table6"; "table7"; "fig5_6"; "fig7"; "fig11_12"; "fig21"; "fig32_33"; "fig26_27"; "appendix_bdd"; "ablations"; "corpus"; "repair" ]
 
 let needs_shared_run = [ "table3"; "fig2"; "fig3"; "fig4"; "fig32_33" ]
 
@@ -466,6 +466,17 @@ let engine_loops ~quick ~jobs () =
   let tiles = tile_sweep ~reps:(if quick then 3 else 15) () in
   (loops, tiles)
 
+(* One row of the CEGIS repair loop benchmark (BENCH.json "repair"). *)
+type repair_sample = {
+  rp_name : string;
+  rp_iterations : int;
+  rp_cex : int;
+  rp_errors_before : int;
+  rp_errors_after : int;
+  rp_stopped : string;
+  rp_wall_s : float;
+}
+
 (* ------------------------------------------------------------------ *)
 (* BENCH.json (schema documented in EXPERIMENTS.md)                    *)
 (* ------------------------------------------------------------------ *)
@@ -487,10 +498,11 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
-let write_bench_json path ~mode ~seed ~kernels ~loops ~tiles ~gc ~suite_wall_s =
+let write_bench_json path ~mode ~seed ~kernels ~loops ~tiles ~repair ~gc
+    ~suite_wall_s =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lsml-bench/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"lsml-bench/4\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
   Buffer.add_string buf "  \"kernels\": [\n";
@@ -524,6 +536,20 @@ let write_bench_json path ~mode ~seed ~kernels ~loops ~tiles ~gc ~suite_wall_s =
            (json_float t.tile_ns)
            (if i = List.length tiles - 1 then "" else ",")))
     tiles;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"repair\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"benchmark\": \"%s\", \"iterations\": %d, \
+            \"counterexamples\": %d, \"errors_before\": %d, \
+            \"errors_after\": %d, \"stopped\": \"%s\", \"wall_s\": %s}%s\n"
+           (json_escape s.rp_name) s.rp_iterations s.rp_cex s.rp_errors_before
+           s.rp_errors_after (json_escape s.rp_stopped)
+           (json_float s.rp_wall_s)
+           (if i = List.length repair - 1 then "" else ",")))
+    repair;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"gc\": [\n";
   List.iteri
@@ -602,7 +628,7 @@ let sat_sweep_perf () =
         (* The sweep must be exact: equality is SAT-checked right here. *)
         (match Cec.equivalent g swept with
         | Cec.Proved -> ()
-        | Cec.Counterexample _ | Cec.Unknown _ ->
+        | Cec.Counterexample _ | Cec.Counterexample_at _ | Cec.Unknown _ ->
             failwith (name ^ ": sweep result not proved equivalent"));
         [ name;
           string_of_int st.Cec.nodes_before;
@@ -615,6 +641,54 @@ let sat_sweep_perf () =
   Contest.Report.table
     ~header:[ "circuit"; "gates"; "swept"; "saved"; "sat calls"; "wall (s)" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* CEGIS repair loop: iterations, counterexamples and wall per benchmark *)
+(* ------------------------------------------------------------------ *)
+
+let repair_bench ?(quick = false) () =
+  Contest.Report.heading "CEGIS repair loop (team10 winner per benchmark)";
+  let ids = if quick then [ 0; 30 ] else [ 0; 12; 30; 52; 74; 85 ] in
+  let sizes = { Benchgen.Suite.train = 300; valid = 150; test = 150 } in
+  let samples =
+    List.map
+      (fun id ->
+        let b = Benchgen.Suite.benchmark id in
+        let inst = Benchgen.Suite.instantiate ~sizes ~seed:1 b in
+        let r = Contest.Teams.team10.Contest.Solver.solve inst in
+        let t0 = Unix.gettimeofday () in
+        let repaired, st =
+          Repair.repair ~train:inst.Benchgen.Suite.train r.Contest.Solver.aig
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        if Aig.Graph.num_ands (Aig.Opt.cleanup repaired) > Contest.Solver.gate_budget
+        then failwith (b.Benchgen.Suite.name ^ ": repair busted the gate budget");
+        {
+          rp_name = b.Benchgen.Suite.name;
+          rp_iterations = st.Repair.iterations;
+          rp_cex = st.Repair.counterexamples;
+          rp_errors_before = st.Repair.train_errors_before;
+          rp_errors_after = st.Repair.train_errors_after;
+          rp_stopped = Repair.stopped_to_string st.Repair.stopped;
+          rp_wall_s = wall;
+        })
+      ids
+  in
+  Contest.Report.table
+    ~header:
+      [ "benchmark"; "iterations"; "cex"; "errors before"; "errors after";
+        "stopped"; "wall (s)" ]
+    (List.map
+       (fun s ->
+         [ s.rp_name;
+           string_of_int s.rp_iterations;
+           string_of_int s.rp_cex;
+           string_of_int s.rp_errors_before;
+           string_of_int s.rp_errors_after;
+           s.rp_stopped;
+           Printf.sprintf "%.2f" s.rp_wall_s ])
+       samples);
+  samples
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-suite scaling: wall-clock of the same slice at 1 and N jobs *)
@@ -727,6 +801,9 @@ let () =
     let (loops, tiles), gc_loops =
       with_gc "loops" (fun () -> engine_loops ~quick ~jobs ())
     in
+    let repair_rows, gc_repair =
+      with_gc "repair" (fun () -> repair_bench ~quick ())
+    in
     let suite_wall_s, gc_suite =
       with_gc "suite" (fun () ->
           if quick then quick_suite_wall ()
@@ -735,13 +812,13 @@ let () =
             parallel_scaling ~jobs ()
           end)
     in
-    let gc = [ gc_kernels; gc_loops; gc_suite ] in
+    let gc = [ gc_kernels; gc_loops; gc_repair; gc_suite ] in
     gc_section gc;
     Option.iter
       (fun path ->
         write_bench_json path
           ~mode:(if quick then "quick" else "perf")
-          ~seed ~kernels ~loops ~tiles ~gc ~suite_wall_s)
+          ~seed ~kernels ~loops ~tiles ~repair:repair_rows ~gc ~suite_wall_s)
       json_path
   end
   else begin
@@ -779,6 +856,7 @@ let () =
         | "fig32_33" -> with_shared E.fig32_33
         | "fig26_27" -> E.fig26_27 standalone_config
         | "appendix_bdd" -> E.appendix_bdd standalone_config
+        | "repair" -> ignore (repair_bench ())
         | "ablations" -> E.ablations standalone_config
         | "corpus" ->
             (* Corpus factory smoke: write a generated corpus to disk, read

@@ -37,6 +37,19 @@ let read_aag path =
   try Aig.Io.read_file path
   with Aig.Io.Parse_error { line; msg } -> parse_error_exit path line msg
 
+(* Verification accepts single- and multi-output AAG files alike. *)
+let read_multi path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Aig.Multi.of_string s
+  with
+  | Aig.Io.Parse_error { line; msg } -> parse_error_exit path line msg
+  | Sys_error msg ->
+      Printf.eprintf "lsml: %s\n" msg;
+      exit 2
+
 (* Telemetry export helpers shared by solve/suite.  Notices go to stderr:
    report bytes on stdout must be identical with and without telemetry. *)
 let write_trace_notice path =
@@ -123,6 +136,16 @@ let sweep_flag =
           "SAT-sweep the learned circuit (exact, function-preserving \
            reduction) before writing it.")
 
+let repair_flag =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "Run the CEGIS repair post-pass: enumerate training samples the \
+           learned circuit misclassifies with an incremental SAT miter and \
+           patch them (resubstitution, then cube patches), staying under \
+           the 5000-gate budget.  Training accuracy never decreases.")
+
 let solve_jobs_arg =
   Arg.(
     value & opt int 1
@@ -133,7 +156,7 @@ let solve_jobs_arg =
            value; default 1.")
 
 let solve_cmd =
-  let run team train valid out sweep trace jobs =
+  let run team train valid out sweep trace jobs repair =
     match solver_of_name team with
     | None ->
         Printf.eprintf "unknown team %s\n" team;
@@ -165,6 +188,26 @@ let solve_cmd =
                     solver.Contest.Solver.solve inst))
           else solver.Contest.Solver.solve inst
         in
+        let r =
+          if repair then begin
+            let aig, st = Repair.repair ~train r.Contest.Solver.aig in
+            Printf.printf
+              "repair: %s iterations=%d cex=%d resub=%d mux=%d errors \
+               %d->%d gates %d->%d\n"
+              (Repair.stopped_to_string st.Repair.stopped)
+              st.Repair.iterations st.Repair.counterexamples
+              st.Repair.resub_patches st.Repair.mux_patches
+              st.Repair.train_errors_before st.Repair.train_errors_after
+              st.Repair.nodes_before st.Repair.nodes_after;
+            let technique =
+              if st.Repair.train_errors_after < st.Repair.train_errors_before
+              then r.Contest.Solver.technique ^ "+repair"
+              else r.Contest.Solver.technique
+            in
+            { Contest.Solver.aig; technique }
+          end
+          else r
+        in
         let aig = Aig.Opt.cleanup r.Contest.Solver.aig in
         let aig =
           if sweep then
@@ -189,7 +232,7 @@ let solve_cmd =
       $ pla_arg "train" "Training set (PLA)."
       $ pla_arg "valid" "Validation set (PLA)."
       $ Arg.(value & opt string "out.aag" & info [ "out" ] ~docv:"FILE.aag" ~doc:"Output AIG.")
-      $ sweep_flag $ trace_arg $ solve_jobs_arg)
+      $ sweep_flag $ trace_arg $ solve_jobs_arg $ repair_flag)
 
 (* ---- eval ---- *)
 
@@ -223,42 +266,100 @@ let aag_pos n docv doc =
   Arg.(required & pos n (some file) None & info [] ~docv ~doc)
 
 let verify_cmd =
+  let cex_bits cex =
+    String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')
+  in
+  let print_cex ma mb i cex =
+    Printf.printf
+      "NOT equivalent: on inputs %s output %d gives %b vs %b\n" (cex_bits cex)
+      i
+      (Aig.Multi.eval ma cex).(i)
+      (Aig.Multi.eval mb cex).(i)
+  in
   let run a b limit verbose =
-    let ga = read_aag a in
-    let gb = read_aag b in
-    if Aig.Graph.num_inputs ga <> Aig.Graph.num_inputs gb then begin
+    let ma = read_multi a in
+    let mb = read_multi b in
+    if
+      Aig.Graph.num_inputs ma.Aig.Multi.graph
+      <> Aig.Graph.num_inputs mb.Aig.Multi.graph
+    then begin
       Printf.eprintf "input counts differ: %s has %d, %s has %d\n" a
-        (Aig.Graph.num_inputs ga) b (Aig.Graph.num_inputs gb);
+        (Aig.Graph.num_inputs ma.Aig.Multi.graph)
+        b
+        (Aig.Graph.num_inputs mb.Aig.Multi.graph);
       exit 2
     end;
-    let result, st = Cec.equivalent_stats ~conflict_limit:limit ga gb in
-    if verbose then
-      Printf.printf
-        "sat: decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n"
-        st.Sat.Solver.decisions st.Sat.Solver.conflicts
-        st.Sat.Solver.propagations st.Sat.Solver.restarts
-        st.Sat.Solver.learned;
-    match result with
-    | Cec.Proved ->
-        Printf.printf "equivalent\n";
-        exit 0
-    | Cec.Counterexample cex ->
-        let bits =
-          String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')
-        in
-        Printf.printf "NOT equivalent: on inputs %s the circuits give %b vs %b\n"
-          bits (Aig.Graph.eval ga cex) (Aig.Graph.eval gb cex);
-        exit 1
-    | Cec.Unknown reason ->
-        Printf.printf "unknown: %s\n" reason;
-        exit 2
+    if Aig.Multi.num_outputs ma <> Aig.Multi.num_outputs mb then begin
+      Printf.eprintf "output counts differ: %s has %d, %s has %d\n" a
+        (Aig.Multi.num_outputs ma) b (Aig.Multi.num_outputs mb);
+      exit 2
+    end;
+    if verbose then begin
+      (* One miter and one effort line per output pair, so the
+         repair-hard outputs are visible individually; the overall
+         verdict is folded from the per-output results. *)
+      let per = Cec.equivalent_per_output ~conflict_limit:limit ma mb in
+      Array.iteri
+        (fun i ((r : Cec.result), (st : Sat.Solver.stats)) ->
+          let verdict =
+            match r with
+            | Cec.Proved -> "proved"
+            | Cec.Counterexample _ | Cec.Counterexample_at _ ->
+                "counterexample"
+            | Cec.Unknown _ -> "unknown"
+          in
+          Printf.printf
+            "output %d: %s  sat: decisions=%d conflicts=%d propagations=%d \
+             restarts=%d learned=%d\n"
+            i verdict st.Sat.Solver.decisions st.Sat.Solver.conflicts
+            st.Sat.Solver.propagations st.Sat.Solver.restarts
+            st.Sat.Solver.learned)
+        per;
+      let refuted = ref None in
+      let unknown = ref None in
+      Array.iteri
+        (fun i (r, _) ->
+          match r with
+          | Cec.Counterexample cex | Cec.Counterexample_at (_, cex) ->
+              if !refuted = None then refuted := Some (i, cex)
+          | Cec.Unknown reason ->
+              if !unknown = None then unknown := Some reason
+          | Cec.Proved -> ())
+        per;
+      match (!refuted, !unknown) with
+      | Some (i, cex), _ ->
+          print_cex ma mb i cex;
+          exit 1
+      | None, Some reason ->
+          Printf.printf "unknown: %s\n" reason;
+          exit 2
+      | None, None ->
+          Printf.printf "equivalent\n";
+          exit 0
+    end
+    else
+      match Cec.equivalent_multi ~conflict_limit:limit ma mb with
+      | Cec.Proved ->
+          Printf.printf "equivalent\n";
+          exit 0
+      | Cec.Counterexample_at (i, cex) ->
+          print_cex ma mb i cex;
+          exit 1
+      | Cec.Counterexample cex ->
+          Printf.printf "NOT equivalent: on inputs %s\n" (cex_bits cex);
+          exit 1
+      | Cec.Unknown reason ->
+          Printf.printf "unknown: %s\n" reason;
+          exit 2
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
-         "Prove two AAG circuits functionally equivalent with SAT-based \
-          combinational equivalence checking, or print a distinguishing \
-          input.  Exits 0 when proved, 1 on a counterexample, 2 otherwise.")
+         "Prove two AAG circuits (single- or multi-output) functionally \
+          equivalent with SAT-based combinational equivalence checking, or \
+          print a distinguishing input and the output index it \
+          distinguishes.  Exits 0 when proved, 1 on a counterexample, 2 \
+          otherwise.")
     Term.(
       const run
       $ aag_pos 0 "A.aag" "First circuit."
@@ -270,10 +371,11 @@ let verify_cmd =
           value & flag
           & info [ "verbose" ]
               ~doc:
-                "Also print the SAT solver's work statistics (decisions, \
-                 conflicts, propagations, restarts, learned clauses).  \
-                 All-zero stats mean structural hashing settled the \
-                 question without a SAT call."))
+                "Print one SAT effort line per output pair (decisions, \
+                 conflicts, propagations, restarts, learned clauses), each \
+                 output discharged as its own miter.  All-zero stats mean \
+                 structural hashing settled that output without a SAT \
+                 call."))
 
 (* ---- sweep ---- *)
 
@@ -509,7 +611,7 @@ let print_gc_section () =
 
 let suite_cmd =
   let run ids teams full seed jobs time_limit fuel journal resume trace
-      metrics perf fail_degraded =
+      metrics perf fail_degraded repair =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
@@ -526,7 +628,8 @@ let suite_cmd =
           exit 2
       | Some path, resume -> (
           let meta =
-            Contest.Experiments.journal_meta ?time_limit ?fuel ~teams config
+            Contest.Experiments.journal_meta ~repair ?time_limit ?fuel ~teams
+              config
           in
           if not resume then begin
             if Sys.file_exists path then begin
@@ -545,9 +648,16 @@ let suite_cmd =
                 Printf.eprintf "cannot resume from %s: %s\n" path msg;
                 exit 2)
     in
+    let solve_teams =
+      (* Wrapping changes only the solve functions; names (journal keys)
+         and grid order are untouched, so resume and jobs=N byte-identity
+         carry over to repaired runs. *)
+      if repair then List.map (fun t -> Contest.Teams.with_repair t) teams
+      else teams
+    in
     let run =
-      Contest.Experiments.run_suite ~teams ~jobs ?time_limit ?fuel ?journal
-        config
+      Contest.Experiments.run_suite ~teams:solve_teams ~jobs ?time_limit ?fuel
+        ?journal config
     in
     Contest.Experiments.table3 run;
     Contest.Experiments.failure_summary run;
@@ -571,7 +681,7 @@ let suite_cmd =
     Term.(
       const run $ ids_arg $ teams_arg $ full_arg $ seed_arg $ jobs_arg
       $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg $ trace_arg
-      $ metrics_arg $ perf_arg $ fail_degraded_arg)
+      $ metrics_arg $ perf_arg $ fail_degraded_arg $ repair_flag)
 
 (* ---- run (end to end) ---- *)
 
@@ -723,7 +833,8 @@ let corpus_info_cmd =
       $ Arg.(value & flag & info [ "list" ] ~doc:"Also list every benchmark."))
 
 let corpus_run_cmd =
-  let run path shard teams jobs time_limit fuel journal resume fail_degraded =
+  let run path shard teams jobs time_limit fuel journal resume fail_degraded
+      repair =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
@@ -731,7 +842,9 @@ let corpus_run_cmd =
     let teams = teams_of_spec teams in
     Resil.Fault.configure_from_env ();
     read_corpus path @@ fun corpus ->
-    let options = { Corpus.Runner.teams; jobs; progress = true; time_limit; fuel } in
+    let options =
+      { Corpus.Runner.teams; jobs; progress = true; time_limit; fuel; repair }
+    in
     let meta = Corpus.Runner.meta_of_options options corpus in
     let shard_pair =
       Option.map (fun (s : Corpus.Shard.t) -> (s.Corpus.Shard.index, s.Corpus.Shard.count)) shard
@@ -789,14 +902,21 @@ let corpus_run_cmd =
     Term.(
       const run $ corpus_pos $ shard_arg $ teams_arg $ jobs_arg
       $ time_limit_arg $ fuel_arg $ journal_arg $ resume_arg
-      $ fail_degraded_arg)
+      $ fail_degraded_arg $ repair_flag)
 
 let corpus_merge_cmd =
-  let run path sources out teams time_limit fuel =
+  let run path sources out teams time_limit fuel repair =
     let teams = teams_of_spec teams in
     read_corpus path @@ fun corpus ->
     let options =
-      { Corpus.Runner.teams; jobs = 1; progress = false; time_limit; fuel }
+      {
+        Corpus.Runner.teams;
+        jobs = 1;
+        progress = false;
+        time_limit;
+        fuel;
+        repair;
+      }
     in
     match Corpus.Runner.merge ~sources ~path:out options corpus with
     | Error msg ->
@@ -824,7 +944,7 @@ let corpus_merge_cmd =
       $ Arg.(
           value & opt string "merged.journal"
           & info [ "out" ] ~docv:"FILE" ~doc:"Merged journal output path.")
-      $ teams_arg $ time_limit_arg $ fuel_arg)
+      $ teams_arg $ time_limit_arg $ fuel_arg $ repair_flag)
 
 let corpus_cmd =
   Cmd.group
@@ -1031,7 +1151,7 @@ let request ~op fields =
 
 let client_solve_cmd =
   let run socket host port retries retry_ms team train valid seed sweep
-      time_limit fuel trace out =
+      repair time_limit fuel trace out =
     let listen = listen_of_args socket host port in
     let req =
       request ~op:"solve"
@@ -1042,6 +1162,7 @@ let client_solve_cmd =
         @ opt_field "valid" (fun p -> Serve.Json.Str (read_text p)) valid
         @ [ ("seed", Serve.Json.Int seed) ]
         @ (if sweep then [ ("sweep", Serve.Json.Bool true) ] else [])
+        @ (if repair then [ ("repair", Serve.Json.Bool true) ] else [])
         @ opt_field "deadline_s" (fun s -> Serve.Json.Float s) time_limit
         @ opt_field "fuel" (fun f -> Serve.Json.Int f) fuel
         @ if trace then [ ("trace", Serve.Json.Bool true) ] else [])
@@ -1078,7 +1199,7 @@ let client_solve_cmd =
           & opt (some file) None
           & info [ "valid" ] ~docv:"FILE.pla"
               ~doc:"Validation set (default: the training set).")
-      $ seed_arg $ sweep_flag $ time_limit_arg $ fuel_arg
+      $ seed_arg $ sweep_flag $ repair_flag $ time_limit_arg $ fuel_arg
       $ Arg.(
           value & flag
           & info [ "trace" ]

@@ -4,6 +4,7 @@ module S = Sat.Solver
 type result =
   | Proved
   | Counterexample of bool array
+  | Counterexample_at of int * bool array
   | Unknown of string
 
 (* ------------------------------------------------------------------ *)
@@ -121,12 +122,27 @@ let import_outputs m (mo : Aig.Multi.t) =
   G.set_output g saved;
   lits
 
-let equivalent_multi ?(conflict_limit = 500_000) m1 m2 =
+(* The first output pair whose XOR cone is true on [cex]: one graph
+   evaluation per output, no SAT work — localization for free. *)
+let localize m xors cex =
+  let saved = G.output m in
+  let rec go i =
+    if i >= Array.length xors then None
+    else begin
+      G.set_output m xors.(i);
+      if G.eval m cex then Some i else go (i + 1)
+    end
+  in
+  let r = go 0 in
+  G.set_output m saved;
+  r
+
+let multi_miter name m1 m2 =
   let g1 = m1.Aig.Multi.graph and g2 = m2.Aig.Multi.graph in
   if G.num_inputs g1 <> G.num_inputs g2 then
-    invalid_arg "Cec.equivalent_multi: input count mismatch";
+    invalid_arg (name ^ ": input count mismatch");
   if Aig.Multi.num_outputs m1 <> Aig.Multi.num_outputs m2 then
-    invalid_arg "Cec.equivalent_multi: output count mismatch";
+    invalid_arg (name ^ ": output count mismatch");
   let n = G.num_inputs g1 in
   let hint =
     G.num_ands g1 + G.num_ands g2 + (4 * Aig.Multi.num_outputs m1)
@@ -134,13 +150,35 @@ let equivalent_multi ?(conflict_limit = 500_000) m1 m2 =
   let m = G.create ~size_hint:hint ~num_inputs:n () in
   let o1 = import_outputs m m1 in
   let o2 = import_outputs m m2 in
-  let xors =
-    Array.to_list (Array.map2 (fun a b -> G.xor_ m a b) o1 o2)
+  let xors = Array.map2 (fun a b -> G.xor_ m a b) o1 o2 in
+  (m, xors)
+
+let equivalent_multi ?(conflict_limit = 500_000) m1 m2 =
+  let m, xors = multi_miter "Cec.equivalent_multi" m1 m2 in
+  let n = G.num_inputs m in
+  let located cex =
+    match localize m xors cex with
+    | Some i -> Counterexample_at (i, cex)
+    | None -> Counterexample cex
   in
-  let x = G.or_list m xors in
+  let x = G.or_list m (Array.to_list xors) in
   if x = G.const_false then Proved
-  else if x = G.const_true then Counterexample (Array.make n false)
-  else prove_miter ~conflict_limit m x
+  else if x = G.const_true then located (Array.make n false)
+  else
+    match prove_miter ~conflict_limit m x with
+    | Counterexample cex -> located cex
+    | r -> r
+
+let equivalent_per_output ?(conflict_limit = 500_000) m1 m2 =
+  let m, xors = multi_miter "Cec.equivalent_per_output" m1 m2 in
+  let n = G.num_inputs m in
+  Array.map
+    (fun x ->
+      if x = G.const_false then (Proved, zero_stats)
+      else if x = G.const_true then
+        (Counterexample (Array.make n false), zero_stats)
+      else prove_miter_stats ~conflict_limit m x)
+    xors
 
 let counterexample_columns cex =
   Array.map (fun b -> Words.init 1 (fun _ -> b)) cex

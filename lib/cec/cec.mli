@@ -15,6 +15,10 @@ type result =
   | Proved
   | Counterexample of bool array
       (** An input assignment on which the two circuits differ. *)
+  | Counterexample_at of int * bool array
+      (** A distinguishing assignment plus the index of an output pair it
+          distinguishes ({!equivalent_multi} localizes the offending cone
+          so callers need not re-simulate every output). *)
   | Unknown of string  (** Resource limit hit; the reason says which. *)
 
 val equivalent : ?conflict_limit:int -> Aig.Graph.t -> Aig.Graph.t -> result
@@ -30,8 +34,22 @@ val equivalent_stats :
     was needed. *)
 
 val equivalent_multi : ?conflict_limit:int -> Aig.Multi.t -> Aig.Multi.t -> result
-(** Multi-output equivalence: the miter ORs one XOR per output pair; a
-    counterexample distinguishes at least one output. *)
+(** Multi-output equivalence: the miter ORs one XOR per output pair.  A
+    distinguishing assignment is returned as [Counterexample_at (i, cex)]
+    where [i] is the first output pair (in output order) that differs on
+    [cex]; never the bare [Counterexample]. *)
+
+val equivalent_per_output :
+  ?conflict_limit:int ->
+  Aig.Multi.t ->
+  Aig.Multi.t ->
+  (result * Sat.Solver.stats) array
+(** One equivalence verdict and SAT-effort report per output pair, each
+    discharged as its own miter over a shared strashed import (so the
+    repair-hard outputs are visible individually — [lsml verify
+    --verbose]).  Per-output results are [Proved], [Counterexample] or
+    [Unknown]; all-zero stats mean that output's miter folded away during
+    strashing. *)
 
 val counterexample_columns : bool array -> Words.t array
 (** Repackage a counterexample as one-pattern simulation columns, ready to

@@ -36,11 +36,12 @@ let task_key (solver : Solver.t) (inst : S.instance) =
    instead of a silent mix of incompatible results.  Built from the
    shared Resil.Fingerprint combinators (also used by the serve result
    cache) so the formats cannot drift apart. *)
-let journal_meta ?time_limit ?fuel ~(teams : Solver.t list) config =
+let journal_meta ?(repair = false) ?time_limit ?fuel
+    ~(teams : Solver.t list) config =
   Resil.Fingerprint.(
     render
-      [
-        int "seed" config.seed;
+      ([
+         int "seed" config.seed;
         str "sizes"
           (Printf.sprintf "%d/%d/%d" config.sizes.S.train config.sizes.S.valid
              config.sizes.S.test);
@@ -48,11 +49,15 @@ let journal_meta ?time_limit ?fuel ~(teams : Solver.t list) config =
         str "teams"
           (String.concat ","
              (List.map (fun (t : Solver.t) -> t.Solver.name) teams));
-        opt_float "limit" time_limit;
-        opt_int "fuel" fuel;
-        float_hex "frate" (Resil.Fault.rate ());
-        int "fseed" (Resil.Fault.seed ());
-      ])
+         opt_float "limit" time_limit;
+         opt_int "fuel" fuel;
+         float_hex "frate" (Resil.Fault.rate ());
+         int "fseed" (Resil.Fault.seed ());
+       ]
+      (* Appended only when the repair post-pass is on, so journals
+         written by builds predating repair keep their exact meta
+         string (resume compatibility). *)
+      @ if repair then [ str "repair" "on" ] else []))
 
 let solve_one_guarded ~progress ?time_limit ?fuel ?journal (solver : Solver.t)
     (inst : S.instance) =
@@ -216,6 +221,7 @@ let table3_of per_team =
     |> List.map (fun (r : Score.team_row) ->
            [ r.Score.team;
              Printf.sprintf "%.2f" r.Score.avg_test;
+             Printf.sprintf "%.2f" r.Score.avg_train;
              Printf.sprintf "%.2f" r.Score.avg_gates;
              Printf.sprintf "%.2f" r.Score.avg_levels;
              Printf.sprintf "%.2f" r.Score.overfit;
@@ -225,8 +231,8 @@ let table3_of per_team =
   in
   Report.table
     ~header:
-      [ "team"; "test accuracy"; "And gates"; "levels"; "overfit"; "t/o";
-        "crash"; "fb" ]
+      [ "team"; "test accuracy"; "train accuracy"; "And gates"; "levels";
+        "overfit"; "t/o"; "crash"; "fb" ]
     rows
 
 let table3 run = table3_of run.per_team

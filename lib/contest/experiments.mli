@@ -69,10 +69,17 @@ val task_key : Solver.t -> Benchgen.Suite.instance -> string
 (** ["team3/ex07"] — the journal key and fault-context key of a task. *)
 
 val journal_meta :
-  ?time_limit:float -> ?fuel:int -> teams:Solver.t list -> config -> string
+  ?repair:bool ->
+  ?time_limit:float ->
+  ?fuel:int ->
+  teams:Solver.t list ->
+  config ->
+  string
 (** Configuration fingerprint for {!Resil.Journal} headers: seed, sizes,
     ids, team list, budgets, and the fault-injection settings.  Resuming
-    under a different fingerprint is rejected. *)
+    under a different fingerprint is rejected.  [repair] (default false)
+    appends a [repair=on] field only when true, so pre-repair journals
+    keep their original meta string. *)
 
 val failure_summary : run -> unit
 (** Print the end-of-run failure summary: a stable "degraded rows:" count

@@ -3,6 +3,7 @@ type metrics = {
   technique : string;
   test_acc : float;
   valid_acc : float;
+  train_acc : float;
   gates : int;
   levels : int;
   timeouts : int;
@@ -19,6 +20,7 @@ let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false) ?(wall_s = 0.0)
     technique = result.Solver.technique;
     test_acc = Solver.evaluate aig instance.Benchgen.Suite.test;
     valid_acc = Solver.evaluate aig instance.Benchgen.Suite.valid;
+    train_acc = Solver.evaluate aig instance.Benchgen.Suite.train;
     gates = Aig.Graph.num_ands (Aig.Opt.cleanup aig);
     levels = Aig.Graph.levels aig;
     timeouts;
@@ -33,18 +35,19 @@ let measure ?(timeouts = 0) ?(crashes = 0) ?(fell_back = false) ?(wall_s = 0.0)
    guarantee that.  The technique goes last because it is the only field
    that could ever contain a space. *)
 let metrics_to_line m =
-  Printf.sprintf "%d %h %h %d %d %d %d %h %b %s" m.benchmark m.test_acc
-    m.valid_acc m.gates m.levels m.timeouts m.crashes m.wall_s m.fell_back
-    m.technique
+  Printf.sprintf "%d %h %h %h %d %d %d %d %h %b %s" m.benchmark m.test_acc
+    m.valid_acc m.train_acc m.gates m.levels m.timeouts m.crashes m.wall_s
+    m.fell_back m.technique
 
 let metrics_of_line line =
   match String.split_on_char ' ' line with
-  | benchmark :: test_acc :: valid_acc :: gates :: levels :: timeouts
-    :: crashes :: wall_s :: fell_back :: (_ :: _ as technique) -> (
+  | benchmark :: test_acc :: valid_acc :: train_acc :: gates :: levels
+    :: timeouts :: crashes :: wall_s :: fell_back :: (_ :: _ as technique) -> (
       match
         ( int_of_string_opt benchmark,
           float_of_string_opt test_acc,
           float_of_string_opt valid_acc,
+          float_of_string_opt train_acc,
           int_of_string_opt gates,
           int_of_string_opt levels,
           int_of_string_opt timeouts,
@@ -55,6 +58,7 @@ let metrics_of_line line =
       | ( Some benchmark,
           Some test_acc,
           Some valid_acc,
+          Some train_acc,
           Some gates,
           Some levels,
           Some timeouts,
@@ -67,6 +71,7 @@ let metrics_of_line line =
               technique = String.concat " " technique;
               test_acc;
               valid_acc;
+              train_acc;
               gates;
               levels;
               timeouts;
@@ -80,6 +85,7 @@ let metrics_of_line line =
 type team_row = {
   team : string;
   avg_test : float;
+  avg_train : float;
   avg_gates : float;
   avg_levels : float;
   overfit : float;
@@ -97,6 +103,7 @@ let team_summary ~team metrics =
   {
     team;
     avg_test = 100.0 *. mean (fun m -> m.test_acc) metrics;
+    avg_train = 100.0 *. mean (fun m -> m.train_acc) metrics;
     avg_gates = mean (fun m -> float_of_int m.gates) metrics;
     avg_levels = mean (fun m -> float_of_int m.levels) metrics;
     overfit = 100.0 *. mean (fun m -> m.valid_acc -. m.test_acc) metrics;

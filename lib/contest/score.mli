@@ -5,6 +5,7 @@ type metrics = {
   technique : string;
   test_acc : float;
   valid_acc : float;
+  train_acc : float;  (** accuracy on the training care-set *)
   gates : int;
   levels : int;
   timeouts : int;  (** guarded attempts that exhausted their budget *)
@@ -24,7 +25,8 @@ val measure :
   Benchgen.Suite.instance ->
   Solver.result ->
   metrics
-(** Evaluate a solver result on the instance's validation and test sets.
+(** Evaluate a solver result on the instance's training, validation and
+    test sets.
     The optional resilience counters (default 0 / 0 / [false] / 0.0) come
     from {!Solver.solve_guarded}. *)
 
@@ -40,6 +42,7 @@ val metrics_of_line : string -> metrics option
 type team_row = {
   team : string;
   avg_test : float;  (** percent *)
+  avg_train : float;  (** percent *)
   avg_gates : float;
   avg_levels : float;
   overfit : float;  (** avg (validation - test) accuracy, percent *)

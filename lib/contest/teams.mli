@@ -87,3 +87,13 @@ val nn_formula_candidate :
   seed:int -> Data.Dataset.t -> string * Aig.Graph.t
 (** Team 5's NN-guided exhaustive formula search over the four inputs
     with the largest first-layer weight mass. *)
+
+val with_repair : ?config:Repair.config -> Solver.t -> Solver.t
+(** Wrap a solver with the {!Repair} CEGIS post-pass: after the base
+    solve, counterexample-guided repair drives the result toward
+    training-set exactness under the 5000-gate budget.  The returned
+    solver keeps the base solver's name (journal keys stay stable; the
+    journal meta line carries the repair flag instead) and appends
+    ["+repair"] to the technique only when the pass removed at least one
+    training disagreement.  Training accuracy never decreases and the
+    gate budget always holds ({!Repair.repair}'s contract). *)

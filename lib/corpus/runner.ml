@@ -9,6 +9,7 @@ type options = {
   progress : bool;
   time_limit : float option;
   fuel : int option;
+  repair : bool;
 }
 
 let default_options =
@@ -18,33 +19,44 @@ let default_options =
     progress = true;
     time_limit = None;
     fuel = None;
+    repair = false;
   }
+
+(* The repair post-pass is applied by wrapping the team list once, so the
+   canonical task grid (and therefore journal keys, parallel scheduling
+   and row order) is untouched — only the solve functions change. *)
+let effective_teams o =
+  if o.repair then List.map (fun t -> Contest.Teams.with_repair t) o.teams
+  else o.teams
 
 (* Same role as Experiments.journal_meta: every parameter that changes
    the rows is part of the fingerprint, so shards of different corpora,
    team lists or budgets refuse to merge.  The corpus generator meta
    stands in for (seed, sizes, ids). *)
-let journal_meta ?time_limit ?fuel ~teams ~corpus_meta () =
+let journal_meta ?(repair = false) ?time_limit ?fuel ~teams ~corpus_meta () =
   Resil.Fingerprint.(
     render
-      [
-        quoted "corpus" corpus_meta;
-        str "teams"
-          (String.concat ","
-             (List.map (fun (t : Solver.t) -> t.Solver.name) teams));
-        opt_float "limit" time_limit;
-        opt_int "fuel" fuel;
-        float_hex "frate" (Resil.Fault.rate ());
-        int "fseed" (Resil.Fault.seed ());
-      ])
+      ([
+         quoted "corpus" corpus_meta;
+         str "teams"
+           (String.concat ","
+              (List.map (fun (t : Solver.t) -> t.Solver.name) teams));
+         opt_float "limit" time_limit;
+         opt_int "fuel" fuel;
+         float_hex "frate" (Resil.Fault.rate ());
+         int "fseed" (Resil.Fault.seed ());
+       ]
+      (* Conditional, as in Experiments.journal_meta: journals from
+         pre-repair builds keep their exact meta string. *)
+      @ if repair then [ str "repair" "on" ] else []))
 
 let meta_of_options o corpus =
-  journal_meta ?time_limit:o.time_limit ?fuel:o.fuel ~teams:o.teams
-    ~corpus_meta:(Format.meta corpus) ()
+  journal_meta ~repair:o.repair ?time_limit:o.time_limit ?fuel:o.fuel
+    ~teams:o.teams ~corpus_meta:(Format.meta corpus) ()
 
 let run ?shard ?journal o corpus =
   let instances = Gen.instances ?shard corpus in
-  E.solve_grid ~teams:o.teams ~progress:o.progress ~jobs:o.jobs
+  E.solve_grid ~teams:(effective_teams o) ~progress:o.progress ~jobs:o.jobs
     ?time_limit:o.time_limit ?fuel:o.fuel ?journal instances
 
 let name_of corpus i = (Format.entry corpus i).Format.name

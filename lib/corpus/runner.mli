@@ -14,12 +14,14 @@ type options = {
   progress : bool;
   time_limit : float option;
   fuel : int option;
+  repair : bool;  (** apply {!Contest.Teams.with_repair} to every team *)
 }
 
 val default_options : options
-(** All ten teams, one job, progress on, no budgets. *)
+(** All ten teams, one job, progress on, no budgets, no repair. *)
 
 val journal_meta :
+  ?repair:bool ->
   ?time_limit:float ->
   ?fuel:int ->
   teams:Contest.Solver.t list ->

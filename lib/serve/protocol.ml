@@ -5,6 +5,7 @@ type solve = {
   deadline_s : float option;
   fuel : int option;
   sweep : bool;
+  repair : bool;
   seed : int;
   trace : bool;
 }
@@ -82,6 +83,8 @@ let parse line =
                           fuel = int_opt j "fuel";
                           sweep =
                             Option.value (bool_opt j "sweep") ~default:false;
+                          repair =
+                            Option.value (bool_opt j "repair") ~default:false;
                           seed = Option.value (int_opt j "seed") ~default:1;
                           trace =
                             Option.value (bool_opt j "trace") ~default:false;
@@ -131,3 +134,7 @@ let solve_cache_fields (s : solve) =
       opt_float "deadline" s.deadline_s;
       opt_int "fuel" s.fuel;
     ]
+  (* Appended only when on: cache entries written by pre-repair servers
+     keep their exact keys, so a persistent cache log stays valid across
+     the upgrade. *)
+  @ if s.repair then [ Resil.Fingerprint.str "repair" "on" ] else []

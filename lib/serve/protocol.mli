@@ -25,6 +25,7 @@ type solve = {
   deadline_s : float option;  (** per-request wall-clock budget *)
   fuel : int option;  (** deterministic budget ticks *)
   sweep : bool;  (** SAT-sweep the learned circuit *)
+  repair : bool;  (** CEGIS repair post-pass on the learned circuit *)
   seed : int;
   trace : bool;  (** capture per-request telemetry spans *)
 }

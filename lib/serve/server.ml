@@ -253,6 +253,29 @@ let handle_solve t (s : P.solve) =
                 let aig =
                   Aig.Opt.cleanup g.Contest.Solver.result.Contest.Solver.aig
                 in
+                let technique =
+                  g.Contest.Solver.result.Contest.Solver.technique
+                in
+                (* The optional CEGIS repair post-pass runs under its own
+                   copy of the request budget; Repair returns its best
+                   intermediate when the budget expires, so even a
+                   timed-out pass never loses training accuracy. *)
+                let aig, technique =
+                  if s.P.repair && not degraded then
+                    match
+                      under_budget ?time_limit:deadline ?fuel (fun () ->
+                          Repair.repair ~train aig)
+                    with
+                    | Ok (repaired, st) ->
+                        ( repaired,
+                          if
+                            st.Repair.train_errors_after
+                            < st.Repair.train_errors_before
+                          then technique ^ "+repair"
+                          else technique )
+                    | Error () -> (aig, technique)
+                  else (aig, technique)
+                in
                 (* The optional exact sweep runs under its own copy of the
                    request budget; if it times out the unswept (still
                    correct) circuit is served. *)
@@ -272,10 +295,7 @@ let handle_solve t (s : P.solve) =
                   Json.to_string
                     (Json.Obj
                        [
-                         ( "technique",
-                           Json.Str
-                             g.Contest.Solver.result.Contest.Solver.technique
-                         );
+                         ("technique", Json.Str technique);
                          ("gates", Json.Int (Aig.Graph.num_ands aig));
                          ("levels", Json.Int (Aig.Graph.levels aig));
                          ( "valid_acc",
@@ -395,16 +415,20 @@ let handle_verify t (v : P.verify) =
               match result with
               | Cec.Proved ->
                   [ ("verdict", Json.Str "equivalent"); ("sat", stats) ]
-              | Cec.Counterexample cex ->
+              | Cec.Counterexample cex | Cec.Counterexample_at (_, cex) ->
                   let bits =
                     String.init (Array.length cex) (fun i ->
                         if cex.(i) then '1' else '0')
                   in
-                  [
-                    ("verdict", Json.Str "counterexample");
-                    ("inputs", Json.Str bits);
-                    ("sat", stats);
-                  ]
+                  let output =
+                    match result with
+                    | Cec.Counterexample_at (i, _) ->
+                        [ ("output", Json.Int i) ]
+                    | _ -> []
+                  in
+                  [ ("verdict", Json.Str "counterexample") ]
+                  @ output
+                  @ [ ("inputs", Json.Str bits); ("sat", stats) ]
               | Cec.Unknown reason ->
                   [
                     ("verdict", Json.Str "unknown");

@@ -5,6 +5,7 @@ let check_bool = Alcotest.(check bool)
 let result_name = function
   | Cec.Proved -> "proved"
   | Cec.Counterexample _ -> "counterexample"
+  | Cec.Counterexample_at _ -> "counterexample-at"
   | Cec.Unknown _ -> "unknown"
 
 let check_proved name r = Alcotest.(check string) name "proved" (result_name r)
@@ -84,11 +85,29 @@ let test_multi_output () =
   in
   check_proved "multi proved" (Cec.equivalent_multi m1 m2);
   let m3 = mk (fun g a b c -> [ G.xor_ g a b; G.or_ g b c ]) in
-  match Cec.equivalent_multi m1 m3 with
-  | Cec.Counterexample cex ->
+  (match Cec.equivalent_multi m1 m3 with
+  | Cec.Counterexample_at (i, cex) ->
       check_bool "multi cex" true
-        (Aig.Multi.eval m1 cex <> Aig.Multi.eval m3 cex)
-  | r -> Alcotest.failf "expected counterexample, got %s" (result_name r)
+        (Aig.Multi.eval m1 cex <> Aig.Multi.eval m3 cex);
+      (* Outputs 0 agree everywhere; the localized index must be 1 and the
+         counterexample must distinguish exactly that output pair. *)
+      Alcotest.(check int) "offending output" 1 i;
+      check_bool "index distinguishes" true
+        ((Aig.Multi.eval m1 cex).(i) <> (Aig.Multi.eval m3 cex).(i))
+  | r -> Alcotest.failf "expected counterexample-at, got %s" (result_name r));
+  (* Per-output effort: output 0 proved, output 1 refuted, each with its
+     own stats record. *)
+  let per = Cec.equivalent_per_output m1 m3 in
+  Alcotest.(check int) "per-output length" 2 (Array.length per);
+  (match per.(0) with
+  | Cec.Proved, _ -> ()
+  | r, _ -> Alcotest.failf "output 0: expected proved, got %s" (result_name r));
+  match per.(1) with
+  | Cec.Counterexample cex, _ ->
+      check_bool "output 1 cex distinguishes" true
+        ((Aig.Multi.eval m1 cex).(1) <> (Aig.Multi.eval m3 cex).(1))
+  | r, _ ->
+      Alcotest.failf "output 1: expected counterexample, got %s" (result_name r)
 
 (* ---- randomized cross-check against the BDD package ---- *)
 
@@ -123,7 +142,7 @@ let test_cross_check_bdd () =
     | Cec.Proved ->
         check_bool (Printf.sprintf "trial %d: bdd agrees proved" trial) true
           bdd_eq
-    | Cec.Counterexample cex ->
+    | Cec.Counterexample cex | Cec.Counterexample_at (_, cex) ->
         check_bool (Printf.sprintf "trial %d: bdd agrees cex" trial) false
           bdd_eq;
         check_bool
@@ -193,7 +212,8 @@ let conflict_limit = 2_000_000
 let prove name g g' =
   match Cec.equivalent ~conflict_limit g g' with
   | Cec.Proved -> ()
-  | Cec.Counterexample _ -> Alcotest.failf "%s: NOT equivalent" name
+  | Cec.Counterexample _ | Cec.Counterexample_at _ ->
+      Alcotest.failf "%s: NOT equivalent" name
   | Cec.Unknown reason -> Alcotest.failf "%s: unknown (%s)" name reason
 
 let test_opt_passes_preserve () =

@@ -62,6 +62,7 @@ let test_scoring () =
           technique = "t";
           test_acc = acc;
           valid_acc = acc +. 0.01;
+          train_acc = acc +. 0.02;
           gates = 100 * (i + 1);
           levels = 10;
           timeouts = 0;
@@ -176,8 +177,8 @@ let test_popcount_tree () =
 
 let test_sorted_rows () =
   let rows =
-    [ { Contest.Score.team = "x"; avg_test = 80.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 };
-      { Contest.Score.team = "y"; avg_test = 90.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 } ]
+    [ { Contest.Score.team = "x"; avg_test = 80.0; avg_train = 81.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 };
+      { Contest.Score.team = "y"; avg_test = 90.0; avg_train = 91.0; avg_gates = 1.0; avg_levels = 1.0; overfit = 0.0; timeouts = 0; crashes = 0; fallbacks = 0 } ]
   in
   match Contest.Score.sort_rows rows with
   | first :: _ -> Alcotest.(check string) "best first" "y" first.Contest.Score.team
@@ -341,6 +342,7 @@ let test_metrics_line_roundtrip () =
       technique = "sine mlp + prune";
       test_acc = Float.nan;
       valid_acc = 0.8125;
+      train_acc = 0.8203125;
       gates = 17;
       levels = 4;
       timeouts = 1;
@@ -441,6 +443,28 @@ let test_experiment_drivers_smoke () =
   Contest.Experiments.fig4 run;
   Contest.Experiments.fig32_33 run
 
+let test_with_repair () =
+  let inst = instance 30 in
+  let base = Contest.Teams.team10 in
+  let wrapped = Contest.Teams.with_repair base in
+  check_bool "name unchanged" true
+    (wrapped.Contest.Solver.name = base.Contest.Solver.name);
+  let r0 = base.Contest.Solver.solve inst in
+  let r1 = wrapped.Contest.Solver.solve inst in
+  let train_acc (r : Contest.Solver.result) =
+    Contest.Solver.evaluate r.Contest.Solver.aig inst.S.train
+  in
+  check_bool "train accuracy never drops" true (train_acc r1 >= train_acc r0);
+  check_bool "within budget" true
+    (Aig.Graph.num_ands (Aig.Opt.cleanup r1.Contest.Solver.aig)
+    <= Contest.Solver.gate_budget);
+  (* Determinism of the wrapped solver (jobs identity depends on it). *)
+  let r2 = wrapped.Contest.Solver.solve inst in
+  check_bool "deterministic" true
+    (Aig.Io.to_string r1.Contest.Solver.aig
+     = Aig.Io.to_string r2.Contest.Solver.aig
+    && r1.Contest.Solver.technique = r2.Contest.Solver.technique)
+
 let suites =
   [ ( "contest",
       [ Alcotest.test_case "enforce budget" `Quick test_enforce_budget;
@@ -459,6 +483,7 @@ let suites =
         Alcotest.test_case "solve guarded" `Quick test_solve_guarded;
         Alcotest.test_case "metrics line roundtrip" `Quick
           test_metrics_line_roundtrip;
+        Alcotest.test_case "with_repair post-pass" `Quick test_with_repair;
         Alcotest.test_case "run_suite resume identity" `Slow
           test_run_suite_resume_identity;
         Alcotest.test_case "team7 adder match" `Slow test_team7_matches_adder;

@@ -253,6 +253,7 @@ let merge_options =
     progress = false;
     time_limit = None;
     fuel = None;
+    repair = false;
   }
 
 let test_sharded_merge_identity () =

@@ -24,6 +24,7 @@ let () =
          Test_bdd.suites;
          Test_sat.suites;
          Test_cec.suites;
+         Test_repair.suites;
          Test_telemetry.suites;
          Test_serve.suites;
          Test_report.suites ])

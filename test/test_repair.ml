@@ -1,0 +1,204 @@
+(* CEGIS repair: monotonicity, determinism, exactness, and metamorphic
+   invariance under the AIG optimization passes. *)
+
+module G = Aig.Graph
+module D = Data.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_graph st ~num_inputs ~num_nodes =
+  let g = G.create ~num_inputs () in
+  let pool = ref (List.init num_inputs (G.input g)) in
+  let pick () =
+    let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+    G.lit_notif l (Random.State.bool st)
+  in
+  for _ = 1 to num_nodes do
+    let l = G.and_ g (pick ()) (pick ()) in
+    pool := l :: !pool
+  done;
+  G.set_output g (pick ());
+  g
+
+let random_dataset st ~num_inputs ~num_samples =
+  D.create ~num_inputs
+    (List.init num_samples (fun _ ->
+         ( Array.init num_inputs (fun _ -> Random.State.bool st),
+           Random.State.bool st )))
+
+(* Every input vector exactly once: the care-set is the whole space, so
+   a repaired-to-Exact circuit must compute the labelling function. *)
+let full_dataset st ~num_inputs =
+  D.create ~num_inputs
+    (List.init (1 lsl num_inputs) (fun v ->
+         ( Array.init num_inputs (fun k -> v lsr k land 1 = 1),
+           Random.State.bool st )))
+
+let train_accuracy g d =
+  D.accuracy ~predicted:(Aig.Sim.simulate g (D.columns d)) d
+
+(* Fast configuration for the properties: the circuits are tiny, so a
+   few CEGIS iterations either converge or demonstrate the bound. *)
+let quick = { Repair.default_config with max_iterations = 64; cex_batch = 8 }
+
+let prop_monotone =
+  QCheck.Test.make ~count:60 ~name:"repair never lowers training accuracy"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let st = Random.State.make [| 0x3e4a; seed |] in
+      let num_inputs = 2 + Random.State.int st 4 in
+      let g =
+        random_graph st ~num_inputs ~num_nodes:(1 + Random.State.int st 40)
+      in
+      let d =
+        random_dataset st ~num_inputs
+          ~num_samples:(1 + Random.State.int st 60)
+      in
+      let before = train_accuracy g d in
+      let repaired, stats = Repair.repair ~config:quick ~train:d g in
+      let after = train_accuracy repaired d in
+      after >= before
+      && stats.Repair.train_errors_after <= stats.Repair.train_errors_before
+      && G.num_ands (Aig.Opt.cleanup repaired) <= quick.Repair.gate_budget)
+
+let prop_deterministic =
+  QCheck.Test.make ~count:40 ~name:"repair deterministic in (seed, budget)"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let mk () =
+        let st = Random.State.make [| 0x77b1; seed |] in
+        let num_inputs = 2 + Random.State.int st 3 in
+        let g = random_graph st ~num_inputs ~num_nodes:20 in
+        let d = random_dataset st ~num_inputs ~num_samples:40 in
+        Repair.repair ~config:quick ~train:d g
+      in
+      let g1, s1 = mk () in
+      let g2, s2 = mk () in
+      Aig.Io.to_string g1 = Aig.Io.to_string g2 && s1 = s2)
+
+let prop_exact_is_proved =
+  QCheck.Test.make ~count:25
+    ~name:"repaired-to-Exact circuit is Proved equivalent to the spec"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let st = Random.State.make [| 0x51c9; seed |] in
+      let num_inputs = 3 in
+      let g = random_graph st ~num_inputs ~num_nodes:15 in
+      let d = full_dataset st ~num_inputs in
+      let repaired, stats = Repair.repair ~config:quick ~train:d g in
+      (* Tiny full-care-set instances must converge under this budget. *)
+      stats.Repair.stopped = Repair.Exact
+      && Cec.equivalent repaired (Repair.spec_of_dataset d) = Cec.Proved)
+
+(* Metamorphic: every function-preserving Opt pass applied after repair
+   keeps the training accuracy of the repaired circuit. *)
+let prop_opt_metamorphic =
+  QCheck.Test.make ~count:30 ~name:"Opt passes preserve repaired accuracy"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let st = Random.State.make [| 0x2d8f; seed |] in
+      let num_inputs = 2 + Random.State.int st 3 in
+      let g = random_graph st ~num_inputs ~num_nodes:25 in
+      let d = random_dataset st ~num_inputs ~num_samples:50 in
+      let repaired, _ = Repair.repair ~config:quick ~train:d g in
+      let acc = train_accuracy repaired d in
+      let passes =
+        [
+          ("cleanup", Aig.Opt.cleanup repaired);
+          ("balance", Aig.Opt.balance repaired);
+          ( "remap roundtrip",
+            Aig.Opt.remap_inputs repaired ~map:Fun.id ~num_inputs );
+          ("vote3", Aig.Opt.vote3 repaired repaired repaired);
+        ]
+      in
+      List.for_all (fun (_, g') -> train_accuracy g' d = acc) passes)
+
+let test_fixes_single_error () =
+  (* AND of two inputs, trained towards OR: repair on the full truth
+     table must converge to OR exactly. *)
+  let g = G.create ~num_inputs:2 () in
+  G.set_output g (G.and_ g (G.input g 0) (G.input g 1));
+  let d =
+    D.create ~num_inputs:2
+      [
+        ([| false; false |], false);
+        ([| true; false |], true);
+        ([| false; true |], true);
+        ([| true; true |], true);
+      ]
+  in
+  let repaired, stats = Repair.repair ~train:d g in
+  check_bool "stopped exact" true (stats.Repair.stopped = Repair.Exact);
+  check_int "no errors left" 0 stats.Repair.train_errors_after;
+  check_bool "errors decreased" true
+    (stats.Repair.train_errors_after < stats.Repair.train_errors_before);
+  List.iter
+    (fun (a, b) ->
+      check_bool
+        (Printf.sprintf "or %b %b" a b)
+        (a || b)
+        (G.eval repaired [| a; b |]))
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let test_majority_vote_ties () =
+  (* Duplicate rows with conflicting labels: majority wins, a tie counts
+     as label 0.  The care-set spec of this dataset is input 0 alone. *)
+  let d =
+    D.create ~num_inputs:1
+      [
+        ([| true |], true);
+        ([| true |], true);
+        ([| true |], false);
+        ([| false |], true);
+        ([| false |], false);
+      ]
+  in
+  let spec = Repair.spec_of_dataset d in
+  check_bool "majority true" true (G.eval spec [| true |]);
+  check_bool "tie is false" false (G.eval spec [| false |])
+
+let test_budget_holds_on_oversized_input () =
+  (* A parity cone far over a toy budget: repair must return something
+     within the budget no matter what. *)
+  let st = Random.State.make [| 9 |] in
+  let g = G.create ~num_inputs:12 () in
+  G.set_output g
+    (List.fold_left (G.xor_ g) G.const_false (List.init 12 (G.input g)));
+  let d = random_dataset st ~num_inputs:12 ~num_samples:64 in
+  let config = { quick with Repair.gate_budget = 20 } in
+  let repaired, stats = Repair.repair ~config ~train:d g in
+  check_bool "within budget" true (G.num_ands (Aig.Opt.cleanup repaired) <= 20);
+  check_int "stats nodes match" (G.num_ands (Aig.Opt.cleanup repaired))
+    stats.Repair.nodes_after
+
+let test_input_mismatch_raises () =
+  let g = G.create ~num_inputs:3 () in
+  G.set_output g (G.input g 0);
+  let d = D.create ~num_inputs:2 [ ([| true; false |], true) ] in
+  check_bool "raises" true
+    (match Repair.repair ~train:d g with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let suites =
+  [
+    ( "repair",
+      [
+        Alcotest.test_case "fixes single error" `Quick test_fixes_single_error;
+        Alcotest.test_case "majority vote ties" `Quick test_majority_vote_ties;
+        Alcotest.test_case "budget holds" `Quick
+          test_budget_holds_on_oversized_input;
+        Alcotest.test_case "input mismatch" `Quick test_input_mismatch_raises;
+      ] );
+    qsuite "repair properties"
+      [
+        prop_monotone;
+        prop_deterministic;
+        prop_exact_is_proved;
+        prop_opt_metamorphic;
+      ];
+  ]
